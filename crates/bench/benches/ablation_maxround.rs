@@ -1,0 +1,34 @@
+//! MAX_ROUND ablation (Section 6.2 "other experiments"): effect of the number
+//! of one-hop/two-hop pruning rounds applied to each DC subgraph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, social_dense, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_maxround(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_maxround");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in [email(SuiteScale::Small), social_dense(SuiteScale::Small)] {
+        for max_round in [1usize, 2, 3, 4] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(Algorithm::DcFastQc)
+                .with_max_round(max_round)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(
+                BenchmarkId::new(format!("round{max_round}"), dataset.name),
+                &dataset.graph,
+                |b, g| b.iter(|| solve_s1(g, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxround);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 10: scalability on synthetic Erdős–Rényi graphs — (a) varying the
+//! number of vertices at fixed edge density, (b) varying the edge density at
+//! a fixed vertex count (γ = 0.9, θ = 10 as in the paper).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::er;
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_fig10a_vertices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_vary_vertices");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for n in [500usize, 1000, 2000, 4000] {
+        let dataset = er(n, 20.0, 7);
+        for (label, algo) in [
+            ("DCFastQC", Algorithm::DcFastQc),
+            ("QuickPlus", Algorithm::QuickPlus),
+        ] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(algo)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(BenchmarkId::new(label, n), &dataset.graph, |b, g| {
+                b.iter(|| solve_s1(g, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig10b_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_vary_density");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for density in [5.0f64, 10.0, 20.0, 40.0] {
+        let dataset = er(1000, density, 11);
+        for (label, algo) in [
+            ("DCFastQC", Algorithm::DcFastQc),
+            ("QuickPlus", Algorithm::QuickPlus),
+        ] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(algo)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("density={density}")),
+                &dataset.graph,
+                |b, g| b.iter(|| solve_s1(g, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10a_vertices, bench_fig10b_density);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 11: branching-strategy ablation — DCFastQC with Hybrid-SE, Sym-SE
+//! and plain SE branching.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, lexicon, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, BranchingStrategy, MqceConfig};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_branching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in [email(SuiteScale::Small), lexicon(SuiteScale::Small)] {
+        for (label, branching) in [
+            ("Hybrid-SE", BranchingStrategy::HybridSe),
+            ("Sym-SE", BranchingStrategy::SymSe),
+            ("SE", BranchingStrategy::Se),
+        ] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(Algorithm::DcFastQc)
+                .with_branching(branching)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(
+                BenchmarkId::new(label, dataset.name),
+                &dataset.graph,
+                |b, g| b.iter(|| solve_s1(g, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 12: divide-and-conquer ablation — FastQC without DC, the basic DC
+//! framework (BDCFastQC), and the paper's DC framework (DCFastQC).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, lexicon, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_dc_frameworks");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in [email(SuiteScale::Small), lexicon(SuiteScale::Small)] {
+        for (label, algo) in [
+            ("DCFastQC", Algorithm::DcFastQc),
+            ("BDCFastQC", Algorithm::BasicDcFastQc),
+            ("FastQC", Algorithm::FastQc),
+        ] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(algo)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(
+                BenchmarkId::new(label, dataset.name),
+                &dataset.graph,
+                |b, g| b.iter(|| solve_s1(g, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7: DCFastQC vs Quick+ on every dataset of the suite at its default
+//! `γ_d` / `θ_d` (reduced-scale graphs so `cargo bench` stays quick; the
+//! `experiments fig7` binary runs the full-scale version).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{standard_suite, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_all_datasets");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in standard_suite(SuiteScale::Small) {
+        for (label, algo) in [
+            ("DCFastQC", Algorithm::DcFastQc),
+            ("QuickPlus", Algorithm::QuickPlus),
+        ] {
+            let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+                .unwrap()
+                .with_algorithm(algo)
+                .with_time_limit(Duration::from_secs(3));
+            group.bench_with_input(
+                BenchmarkId::new(label, dataset.name),
+                &dataset.graph,
+                |b, g| b.iter(|| solve_s1(g, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

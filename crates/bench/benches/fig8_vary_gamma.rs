@@ -1,0 +1,37 @@
+//! Figure 8: running time of DCFastQC vs Quick+ as γ varies, on two of the
+//! default datasets (reduced scale).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, lexicon, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_vary_gamma");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in [email(SuiteScale::Small), lexicon(SuiteScale::Small)] {
+        for gamma in [0.85, 0.9, 0.95] {
+            for (label, algo) in [
+                ("DCFastQC", Algorithm::DcFastQc),
+                ("QuickPlus", Algorithm::QuickPlus),
+            ] {
+                let config = MqceConfig::new(gamma, dataset.theta_d)
+                    .unwrap()
+                    .with_algorithm(algo)
+                    .with_time_limit(Duration::from_secs(3));
+                let id = format!("{}/gamma={gamma}", dataset.name);
+                group.bench_with_input(BenchmarkId::new(label, id), &dataset.graph, |b, g| {
+                    b.iter(|| solve_s1(g, &config))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 9: running time of DCFastQC vs Quick+ as θ varies, on two of the
+//! default datasets (reduced scale).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, lexicon, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_vary_theta");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for dataset in [email(SuiteScale::Small), lexicon(SuiteScale::Small)] {
+        let thetas = [
+            dataset.theta_d.saturating_sub(2).max(3),
+            dataset.theta_d,
+            dataset.theta_d + 2,
+        ];
+        for theta in thetas {
+            for (label, algo) in [
+                ("DCFastQC", Algorithm::DcFastQc),
+                ("QuickPlus", Algorithm::QuickPlus),
+            ] {
+                let config = MqceConfig::new(dataset.gamma_d, theta)
+                    .unwrap()
+                    .with_algorithm(algo)
+                    .with_time_limit(Duration::from_secs(3));
+                let id = format!("{}/theta={theta}", dataset.name);
+                group.bench_with_input(BenchmarkId::new(label, id), &dataset.graph, |b, g| {
+                    b.iter(|| solve_s1(g, &config))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Substrate microbenchmarks: the graph-side primitives the enumeration
+//! algorithms lean on (core decomposition, degeneracy ordering, 2-hop
+//! neighbourhoods, induced subgraphs).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{social_large, social_sparse, SuiteScale};
+use mqce_graph::core_decomp::core_decomposition;
+use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_substrate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for dataset in [social_sparse(SuiteScale::Small), social_large(SuiteScale::Small)] {
+        let g = &dataset.graph;
+        group.bench_with_input(
+            BenchmarkId::new("core_decomposition", dataset.name),
+            g,
+            |b, g| b.iter(|| core_decomposition(g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_hop_neighborhoods", dataset.name),
+            g,
+            |b, g| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for v in (0..g.num_vertices() as u32).step_by(37) {
+                        total += two_hop_neighborhood(g, v).len();
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("induced_subgraphs", dataset.name),
+            g,
+            |b, g| {
+                b.iter(|| {
+                    let mut edges = 0usize;
+                    for v in (0..g.num_vertices() as u32).step_by(101) {
+                        let ball = two_hop_neighborhood(g, v);
+                        edges += InducedSubgraph::new(g, &ball).graph.num_edges();
+                    }
+                    edges
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! MQCE-S2 cost (Section 2.2): set-trie maximality filtering on realistic S1
+//! outputs, compared against the quadratic reference filter.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqce_bench::datasets::{email, web, SuiteScale};
+use mqce_core::{solve_s1, Algorithm, MqceConfig};
+use mqce_settrie::{filter_maximal, filter_maximal_naive, SetTrie};
+
+fn bench_settrie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settrie_filter");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for dataset in [email(SuiteScale::Small), web(SuiteScale::Small)] {
+        // Real S1 output of Quick+ (contains non-maximal QCs to filter out).
+        let config = MqceConfig::new(dataset.gamma_d, dataset.theta_d)
+            .unwrap()
+            .with_algorithm(Algorithm::QuickPlus)
+            .with_time_limit(Duration::from_secs(10));
+        let s1 = solve_s1(&dataset.graph, &config).outputs;
+
+        group.bench_with_input(BenchmarkId::new("set_trie", dataset.name), &s1, |b, sets| {
+            b.iter(|| filter_maximal(sets))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("quadratic_reference", dataset.name),
+            &s1,
+            |b, sets| b.iter(|| filter_maximal_naive(sets)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trie_build_and_query", dataset.name),
+            &s1,
+            |b, sets| {
+                b.iter(|| {
+                    let mut trie = SetTrie::new();
+                    for s in sets {
+                        trie.insert(s);
+                    }
+                    sets.iter()
+                        .filter(|s| !trie.exists_proper_superset_of(s))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_settrie);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Command-line driver for the paper-reproduction experiments.
+//!
+//! ```text
+//! cargo run --release -p mqce-bench --bin experiments -- <experiment> [--quick] [--json out.json]
+//! ```
+//!
+//! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
+//! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `all`.
+//!
+//! `--quick` runs the reduced-scale suite with a short time limit (useful for
+//! smoke-testing the harness); the default is the full laptop-scale suite.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mqce_bench::experiments::{self, ExperimentOptions};
+use mqce_bench::runner::{save_json, RunRecord};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|all> \
+         [--quick] [--time-limit <seconds>] [--json <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut experiment: Option<String> = None;
+    let mut opts = ExperimentOptions::default();
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts = ExperimentOptions::quick();
+            }
+            "--time-limit" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.time_limit = Duration::from_secs(secs);
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let experiment = experiment.unwrap_or_else(|| usage());
+
+    let records: Vec<RunRecord> = match experiment.as_str() {
+        "table1" => experiments::table1(opts),
+        "fig7" => experiments::fig7(opts),
+        "fig8" => experiments::fig8(opts),
+        "fig9" => experiments::fig9(opts),
+        "fig10a" => experiments::fig10a(opts),
+        "fig10b" => experiments::fig10b(opts),
+        "fig11" => experiments::fig11(opts),
+        "fig12" => experiments::fig12(opts),
+        "maxround" => experiments::maxround(opts),
+        "shrink" => experiments::shrink(opts),
+        "s2" => experiments::s2_cost(opts),
+        "all" => experiments::run_all(opts),
+        _ => usage(),
+    };
+
+    if let Some(path) = json_path {
+        save_json(&path, &records).expect("write JSON results");
+        println!("\nwrote {} records to {}", records.len(), path.display());
+    }
+}

@@ -1,0 +1,314 @@
+//! The synthetic dataset suite standing in for the paper's real datasets.
+//!
+//! The paper evaluates on 14 konect.cc graphs (Table 1) that cannot be
+//! redistributed here, so each dataset is replaced by a synthetic graph with
+//! the same *qualitative* character — the properties the algorithms' costs
+//! actually depend on: edge density, degeneracy, degree skew, and whether
+//! locally dense regions (the source of large maximal quasi-cliques) exist.
+//! Sizes are scaled down so the whole experiment suite completes on one core
+//! (see `DESIGN.md` §5). Each dataset also carries its default `γ_d`/`θ_d`,
+//! mirroring the per-dataset defaults of Table 1.
+
+use mqce_graph::generators::{
+    barabasi_albert, community_graph, erdos_renyi_density, grid, planted_quasi_cliques,
+    CommunityGraphParams, PlantedGroup,
+};
+use mqce_graph::{Graph, GraphStats};
+
+/// A named benchmark dataset with its default parameters.
+pub struct Dataset {
+    /// Short name used in tables and bench ids.
+    pub name: &'static str,
+    /// Which real dataset of Table 1 this stands in for.
+    pub stand_in_for: &'static str,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Default density threshold `γ_d`.
+    pub gamma_d: f64,
+    /// Default size threshold `θ_d`.
+    pub theta_d: usize,
+}
+
+impl Dataset {
+    /// Graph statistics (the `|V|, |E|, |E|/|V|, d, ω` columns of Table 1).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(&self.graph)
+    }
+}
+
+/// Scale of the generated suite. `Small` keeps every run under a couple of
+/// seconds (used by the Criterion benches and CI); `Full` is the default for
+/// the experiments binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Reduced sizes for benches / smoke runs.
+    Small,
+    /// Full (still laptop-sized) experiment scale.
+    Full,
+}
+
+fn scaled(scale: SuiteScale, small: usize, full: usize) -> usize {
+    match scale {
+        SuiteScale::Small => small,
+        SuiteScale::Full => full,
+    }
+}
+
+/// "collab" — a scientific collaboration network (Ca-GrQC-like): many small,
+/// tight author groups.
+pub fn collab(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 400, 1500);
+    Dataset {
+        name: "collab",
+        stand_in_for: "Ca-GrQC",
+        graph: community_graph(
+            CommunityGraphParams {
+                n,
+                num_communities: n / 14,
+                p_intra: 0.92,
+                inter_degree: 1.2,
+            },
+            101,
+        ),
+        gamma_d: 0.9,
+        theta_d: 7,
+    }
+}
+
+/// "contact" — a dense face-to-face contact network (Opsahl-like): small but
+/// comparatively dense, with many overlapping quasi-cliques.
+pub fn contact(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 250, 700);
+    Dataset {
+        name: "contact",
+        stand_in_for: "Opsahl",
+        graph: community_graph(
+            CommunityGraphParams {
+                n,
+                num_communities: n / 18,
+                p_intra: 0.88,
+                inter_degree: 3.0,
+            },
+            103,
+        ),
+        gamma_d: 0.9,
+        theta_d: 9,
+    }
+}
+
+/// "email" — a hub-dominated communication network (Enron-like): high maximum
+/// degree, dense cores embedded in a sparse periphery.
+pub fn email(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 600, 2500);
+    let groups: Vec<PlantedGroup> = (0..n / 120)
+        .map(|i| PlantedGroup {
+            size: 10 + (i % 6),
+            density: 0.93,
+        })
+        .collect();
+    Dataset {
+        name: "email",
+        stand_in_for: "Enron",
+        graph: planted_quasi_cliques(n, 6.0 / n as f64, &groups, 107),
+        gamma_d: 0.9,
+        theta_d: 8,
+    }
+}
+
+/// "lexicon" — a word-association network (WordNet-like): medium density,
+/// moderate-size dense clusters.
+pub fn lexicon(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 800, 3000);
+    Dataset {
+        name: "lexicon",
+        stand_in_for: "WordNet",
+        graph: community_graph(
+            CommunityGraphParams {
+                n,
+                num_communities: n / 16,
+                p_intra: 0.9,
+                inter_degree: 2.0,
+            },
+            109,
+        ),
+        gamma_d: 0.9,
+        theta_d: 8,
+    }
+}
+
+/// "social-sparse" — a very sparse follower network (Douban/Twitter-like):
+/// heavy-tailed degrees, almost no locally dense regions.
+pub fn social_sparse(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 2000, 8000);
+    Dataset {
+        name: "social-sparse",
+        stand_in_for: "Douban / Twitter",
+        graph: barabasi_albert(n, 2, 113),
+        gamma_d: 0.9,
+        theta_d: 4,
+    }
+}
+
+/// "social-large" — a larger social network with embedded friend groups
+/// (Hyves-like).
+pub fn social_large(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 2500, 10000);
+    let groups: Vec<PlantedGroup> = (0..n / 250)
+        .map(|i| PlantedGroup {
+            size: 9 + (i % 5),
+            density: 0.95,
+        })
+        .collect();
+    Dataset {
+        name: "social-large",
+        stand_in_for: "Hyves",
+        graph: planted_quasi_cliques(n, 3.0 / n as f64, &groups, 127),
+        gamma_d: 0.9,
+        theta_d: 8,
+    }
+}
+
+/// "web" — a web/rating graph with very dense niches (Trec/Flixster-like),
+/// evaluated at a high γ.
+pub fn web(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 1200, 4000);
+    let groups: Vec<PlantedGroup> = (0..n / 150)
+        .map(|i| PlantedGroup {
+            size: 12 + (i % 8),
+            density: 0.97,
+        })
+        .collect();
+    Dataset {
+        name: "web",
+        stand_in_for: "Trec / Flixster",
+        graph: planted_quasi_cliques(n, 5.0 / n as f64, &groups, 131),
+        gamma_d: 0.96,
+        theta_d: 11,
+    }
+}
+
+/// "social-dense" — a denser social network (Pokec-like) used as one of the
+/// four default datasets for the parameter sweeps.
+pub fn social_dense(scale: SuiteScale) -> Dataset {
+    let n = scaled(scale, 1000, 4000);
+    Dataset {
+        name: "social-dense",
+        stand_in_for: "Pokec",
+        graph: community_graph(
+            CommunityGraphParams {
+                n,
+                num_communities: n / 20,
+                p_intra: 0.85,
+                inter_degree: 6.0,
+            },
+            137,
+        ),
+        gamma_d: 0.9,
+        theta_d: 10,
+    }
+}
+
+/// "road" — a road network (FullUSA-like): an almost-planar grid with no dense
+/// regions at all, evaluated at γ just above 0.5.
+pub fn road(scale: SuiteScale) -> Dataset {
+    let side = scaled(scale, 40, 120);
+    Dataset {
+        name: "road",
+        stand_in_for: "FullUSA",
+        graph: grid(side, side),
+        gamma_d: 0.51,
+        theta_d: 3,
+    }
+}
+
+/// "er" — the Erdős–Rényi graph family of the synthetic experiments
+/// (Figure 10), parameterised by vertex count and edge density.
+pub fn er(n: usize, density: f64, seed: u64) -> Dataset {
+    Dataset {
+        name: "er",
+        stand_in_for: "synthetic ER",
+        graph: erdos_renyi_density(n, density, seed),
+        gamma_d: 0.9,
+        theta_d: 10,
+    }
+}
+
+/// The full dataset suite, in the order used by Table 1 / Figure 7.
+pub fn standard_suite(scale: SuiteScale) -> Vec<Dataset> {
+    vec![
+        collab(scale),
+        contact(scale),
+        email(scale),
+        lexicon(scale),
+        social_sparse(scale),
+        social_large(scale),
+        web(scale),
+        social_dense(scale),
+        road(scale),
+    ]
+}
+
+/// The four default datasets used for the γ/θ sweeps (Figures 8, 9, 11, 12),
+/// mirroring the paper's Enron / WordNet / Hyves / Pokec selection: they span
+/// different sizes and densities.
+pub fn default_four(scale: SuiteScale) -> Vec<Dataset> {
+    vec![
+        email(scale),
+        lexicon(scale),
+        social_large(scale),
+        social_dense(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_expected_members() {
+        let suite = standard_suite(SuiteScale::Small);
+        assert_eq!(suite.len(), 9);
+        let names: Vec<_> = suite.iter().map(|d| d.name).collect();
+        assert!(names.contains(&"collab"));
+        assert!(names.contains(&"road"));
+        // Names are unique.
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn datasets_are_nonempty_and_deterministic() {
+        for d in standard_suite(SuiteScale::Small) {
+            assert!(d.graph.num_vertices() > 0, "{} empty", d.name);
+            assert!(d.graph.num_edges() > 0, "{} has no edges", d.name);
+            assert!(d.gamma_d >= 0.5 && d.gamma_d <= 1.0);
+            assert!(d.theta_d >= 3);
+        }
+        // Determinism: regenerating gives the same graph.
+        let a = email(SuiteScale::Small);
+        let b = email(SuiteScale::Small);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_small() {
+        let small = lexicon(SuiteScale::Small);
+        let full = lexicon(SuiteScale::Full);
+        assert!(full.graph.num_vertices() > small.graph.num_vertices());
+    }
+
+    #[test]
+    fn er_density_parameter() {
+        let d = er(500, 8.0, 3);
+        assert_eq!(d.graph.num_vertices(), 500);
+        assert_eq!(d.graph.num_edges(), 4000);
+    }
+
+    #[test]
+    fn default_four_is_a_subset_of_suite() {
+        let four = default_four(SuiteScale::Small);
+        assert_eq!(four.len(), 4);
+    }
+}

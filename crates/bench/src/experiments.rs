@@ -1,0 +1,472 @@
+//! The experiments that regenerate every table and figure of the paper's
+//! evaluation (Section 6). Each function returns the run records it produced
+//! so the binary can print them and the tests can assert on their shape.
+
+use std::time::Duration;
+
+use mqce_core::BranchingStrategy;
+use mqce_graph::GraphStats;
+
+use crate::datasets::{self, Dataset, SuiteScale};
+use crate::runner::{measure, print_table, AlgoSpec, RunRecord};
+
+/// Global options for an experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentOptions {
+    /// Dataset scale.
+    pub scale: SuiteScale,
+    /// Per-run time limit (the paper's INF cap, scaled down).
+    pub time_limit: Duration,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: SuiteScale::Full,
+            time_limit: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Quick options used by tests and smoke runs.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            scale: SuiteScale::Small,
+            time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+fn gamma_sweep(default: f64) -> Vec<f64> {
+    // The paper sweeps γ around each dataset's default (e.g. 0.85..0.99).
+    let candidates = [0.8, 0.85, 0.9, 0.95, 0.99];
+    if candidates.contains(&default) {
+        candidates.to_vec()
+    } else {
+        let mut v = candidates.to_vec();
+        v.push(default);
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+}
+
+fn theta_sweep(default: usize) -> Vec<usize> {
+    let lo = default.saturating_sub(2).max(3);
+    (lo..lo + 5).collect()
+}
+
+/// **Table 1**: dataset statistics, number of MQCs, number of QCs reported by
+/// DCFastQC and Quick+, and MQC size statistics, at each dataset's defaults.
+pub fn table1(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    println!("\n== Table 1: datasets and large-MQC statistics ==");
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>6} {:>5} {:>5} {:>5} {:>8} {:>12} {:>10} {:>7} {:>7} {:>7}",
+        "dataset", "|V|", "|E|", "|E|/|V|", "d", "w", "th_d", "g_d", "#MQC", "#DCFastQC", "#Quick+", "Hmin", "Hmax", "Havg"
+    );
+    for dataset in datasets::standard_suite(opts.scale) {
+        let stats = dataset.stats();
+        let dc = measure(
+            dataset.name,
+            &dataset.graph,
+            AlgoSpec::dcfastqc(),
+            dataset.gamma_d,
+            dataset.theta_d,
+            opts.time_limit,
+        );
+        let quick = measure(
+            dataset.name,
+            &dataset.graph,
+            AlgoSpec::quickplus(),
+            dataset.gamma_d,
+            dataset.theta_d,
+            opts.time_limit,
+        );
+        println!(
+            "{:<14} {:>8} {:>9} {:>8.2} {:>6} {:>5} {:>5} {:>5.2} {:>8} {:>12} {:>10} {:>7} {:>7} {:>7.2}",
+            dataset.name,
+            stats.num_vertices,
+            stats.num_edges,
+            stats.edge_density,
+            stats.max_degree,
+            stats.degeneracy,
+            dataset.theta_d,
+            dataset.gamma_d,
+            dc.mqcs,
+            dc.s1_outputs,
+            if quick.timed_out { "OUT".to_string() } else { quick.s1_outputs.to_string() },
+            dc.mqc_min,
+            dc.mqc_max,
+            dc.mqc_avg,
+        );
+        records.push(dc);
+        records.push(quick);
+    }
+    records
+}
+
+/// **Figure 7**: DCFastQC vs Quick+ running time on every dataset at its
+/// default parameters.
+pub fn fig7(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for dataset in datasets::standard_suite(opts.scale) {
+        for spec in [AlgoSpec::dcfastqc(), AlgoSpec::quickplus()] {
+            records.push(measure(
+                dataset.name,
+                &dataset.graph,
+                spec,
+                dataset.gamma_d,
+                dataset.theta_d,
+                opts.time_limit,
+            ));
+        }
+    }
+    print_table("Figure 7: comparison on all datasets (default settings)", &records);
+    print_speedups(&records, "Quick+", "DCFastQC");
+    records
+}
+
+/// **Figure 8**: running time as γ varies on the four default datasets.
+pub fn fig8(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for dataset in datasets::default_four(opts.scale) {
+        for gamma in gamma_sweep(dataset.gamma_d) {
+            for spec in [AlgoSpec::dcfastqc(), AlgoSpec::quickplus()] {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    gamma,
+                    dataset.theta_d,
+                    opts.time_limit,
+                ));
+            }
+        }
+    }
+    print_table("Figure 8: varying gamma", &records);
+    records
+}
+
+/// **Figure 9**: running time as θ varies on the four default datasets.
+pub fn fig9(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for dataset in datasets::default_four(opts.scale) {
+        for theta in theta_sweep(dataset.theta_d) {
+            for spec in [AlgoSpec::dcfastqc(), AlgoSpec::quickplus()] {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    dataset.gamma_d,
+                    theta,
+                    opts.time_limit,
+                ));
+            }
+        }
+    }
+    print_table("Figure 9: varying theta", &records);
+    records
+}
+
+/// **Figure 10(a)**: scalability on Erdős–Rényi graphs as the number of
+/// vertices grows (edge density fixed at 20, γ=0.9, θ=10).
+pub fn fig10a(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let sizes: Vec<usize> = match opts.scale {
+        SuiteScale::Small => vec![500, 1000, 2000],
+        SuiteScale::Full => vec![2_000, 5_000, 10_000, 20_000, 50_000],
+    };
+    let mut records = Vec::new();
+    for &n in &sizes {
+        let dataset = datasets::er(n, 20.0, 7);
+        let name = format!("er-n{n}");
+        for spec in [AlgoSpec::dcfastqc(), AlgoSpec::quickplus()] {
+            records.push(measure(
+                &name,
+                &dataset.graph,
+                spec,
+                dataset.gamma_d,
+                dataset.theta_d,
+                opts.time_limit,
+            ));
+        }
+    }
+    print_table("Figure 10(a): varying number of vertices (ER, density 20)", &records);
+    records
+}
+
+/// **Figure 10(b)**: scalability on Erdős–Rényi graphs as the edge density
+/// grows (vertex count fixed, γ=0.9, θ=10).
+pub fn fig10b(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let (n, densities): (usize, Vec<f64>) = match opts.scale {
+        SuiteScale::Small => (1000, vec![5.0, 10.0, 20.0]),
+        SuiteScale::Full => (5_000, vec![10.0, 20.0, 30.0, 50.0, 70.0]),
+    };
+    let mut records = Vec::new();
+    for &density in &densities {
+        let dataset = datasets::er(n, density, 11);
+        let name = format!("er-d{density}");
+        for spec in [AlgoSpec::dcfastqc(), AlgoSpec::quickplus()] {
+            records.push(measure(
+                &name,
+                &dataset.graph,
+                spec,
+                dataset.gamma_d,
+                dataset.theta_d,
+                opts.time_limit,
+            ));
+        }
+    }
+    print_table("Figure 10(b): varying edge density (ER)", &records);
+    records
+}
+
+/// **Figure 11**: branching-strategy ablation (Hybrid-SE vs Sym-SE vs SE)
+/// while varying γ and θ on two datasets.
+pub fn fig11(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let specs = [
+        AlgoSpec::dcfastqc_with_branching("Hybrid-SE", BranchingStrategy::HybridSe),
+        AlgoSpec::dcfastqc_with_branching("Sym-SE", BranchingStrategy::SymSe),
+        AlgoSpec::dcfastqc_with_branching("SE", BranchingStrategy::Se),
+    ];
+    let two: Vec<Dataset> = {
+        let mut v = datasets::default_four(opts.scale);
+        v.truncate(2);
+        v
+    };
+    let mut records = Vec::new();
+    for dataset in &two {
+        for gamma in gamma_sweep(dataset.gamma_d) {
+            for spec in specs {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    gamma,
+                    dataset.theta_d,
+                    opts.time_limit,
+                ));
+            }
+        }
+        for theta in theta_sweep(dataset.theta_d) {
+            for spec in specs {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    dataset.gamma_d,
+                    theta,
+                    opts.time_limit,
+                ));
+            }
+        }
+    }
+    print_table("Figure 11: branching strategies (Hybrid-SE / Sym-SE / SE)", &records);
+    records
+}
+
+/// **Figure 12**: divide-and-conquer ablation (FastQC vs BDCFastQC vs
+/// DCFastQC) while varying γ and θ on two datasets.
+pub fn fig12(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let specs = [
+        AlgoSpec::dcfastqc(),
+        AlgoSpec::bdcfastqc(),
+        AlgoSpec::fastqc(),
+    ];
+    let two: Vec<Dataset> = {
+        let mut v = datasets::default_four(opts.scale);
+        v.truncate(2);
+        v
+    };
+    let mut records = Vec::new();
+    for dataset in &two {
+        for gamma in gamma_sweep(dataset.gamma_d) {
+            for spec in specs {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    gamma,
+                    dataset.theta_d,
+                    opts.time_limit,
+                ));
+            }
+        }
+        for theta in theta_sweep(dataset.theta_d) {
+            for spec in specs {
+                records.push(measure(
+                    dataset.name,
+                    &dataset.graph,
+                    spec,
+                    dataset.gamma_d,
+                    theta,
+                    opts.time_limit,
+                ));
+            }
+        }
+    }
+    print_table("Figure 12: DC frameworks (DCFastQC / BDCFastQC / FastQC)", &records);
+    records
+}
+
+/// **MAX_ROUND ablation** (Section 6.2 "other experiments", item 3).
+pub fn maxround(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for dataset in datasets::default_four(opts.scale) {
+        for round in 1..=4usize {
+            let label: &'static str = match round {
+                1 => "MAX_ROUND=1",
+                2 => "MAX_ROUND=2",
+                3 => "MAX_ROUND=3",
+                _ => "MAX_ROUND=4",
+            };
+            records.push(measure(
+                dataset.name,
+                &dataset.graph,
+                AlgoSpec::dcfastqc_with_max_round(label, round),
+                dataset.gamma_d,
+                dataset.theta_d,
+                opts.time_limit,
+            ));
+        }
+    }
+    print_table("MAX_ROUND ablation", &records);
+    records
+}
+
+/// **DC shrinking effect** (Section 6.2 "other experiments", item 2): how much
+/// smaller the DC subgraphs are than the original graph.
+pub fn shrink(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    println!("\n== DC graph-size reduction ==");
+    println!(
+        "{:<14} {:>8} {:>14} {:>16} {:>16} {:>10}",
+        "dataset", "|V|", "#subproblems", "avg |V_i| (2hop)", "avg |V_i| pruned", "ratio"
+    );
+    for dataset in datasets::standard_suite(opts.scale) {
+        let rec = measure(
+            dataset.name,
+            &dataset.graph,
+            AlgoSpec::dcfastqc(),
+            dataset.gamma_d,
+            dataset.theta_d,
+            opts.time_limit,
+        );
+        let stats = GraphStats::compute(&dataset.graph);
+        let sub = rec.stats.dc_subproblems.max(1) as f64;
+        let before = rec.stats.dc_vertices_before_pruning as f64 / sub;
+        let after = rec.stats.dc_vertices_after_pruning as f64 / sub;
+        println!(
+            "{:<14} {:>8} {:>14} {:>16.1} {:>16.1} {:>9.4}%",
+            dataset.name,
+            stats.num_vertices,
+            rec.stats.dc_subproblems,
+            before,
+            after,
+            100.0 * after / stats.num_vertices.max(1) as f64
+        );
+        records.push(rec);
+    }
+    records
+}
+
+/// **MQCE-S2 cost** (Section 2.2): time spent in the set-trie maximality
+/// filter relative to the S1 search.
+pub fn s2_cost(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    println!("\n== MQCE-S2 (set-trie filtering) cost ==");
+    println!(
+        "{:<14} {:>10} {:>8} {:>14} {:>14}",
+        "dataset", "#S1 out", "#MQC", "S1 time (ms)", "S2 time (ms)"
+    );
+    for dataset in datasets::standard_suite(opts.scale) {
+        let rec = measure(
+            dataset.name,
+            &dataset.graph,
+            AlgoSpec::dcfastqc(),
+            dataset.gamma_d,
+            dataset.theta_d,
+            opts.time_limit,
+        );
+        println!(
+            "{:<14} {:>10} {:>8} {:>14.2} {:>14.3}",
+            dataset.name, rec.s1_outputs, rec.mqcs, rec.s1_millis, rec.s2_millis
+        );
+        records.push(rec);
+    }
+    records
+}
+
+fn print_speedups(records: &[RunRecord], baseline: &str, ours: &str) {
+    println!("\nspeedup of {ours} over {baseline}:");
+    let mut datasets_seen: Vec<&str> = Vec::new();
+    for r in records {
+        if !datasets_seen.contains(&r.dataset.as_str()) {
+            datasets_seen.push(&r.dataset);
+        }
+    }
+    for d in datasets_seen {
+        let base = records
+            .iter()
+            .find(|r| r.dataset == d && r.algorithm == baseline);
+        let our = records.iter().find(|r| r.dataset == d && r.algorithm == ours);
+        if let (Some(b), Some(o)) = (base, our) {
+            if b.timed_out {
+                println!("  {d}: > {:.1}x (baseline hit the time limit)", b.s1_millis.max(1.0) / o.s1_millis.max(0.01));
+            } else {
+                println!("  {d}: {:.1}x", b.s1_millis.max(0.01) / o.s1_millis.max(0.01));
+            }
+        }
+    }
+}
+
+/// Runs every experiment in sequence (the `all` subcommand).
+pub fn run_all(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let mut all = Vec::new();
+    all.extend(table1(opts));
+    all.extend(fig7(opts));
+    all.extend(fig8(opts));
+    all.extend(fig9(opts));
+    all.extend(fig10a(opts));
+    all.extend(fig10b(opts));
+    all.extend(fig11(opts));
+    all.extend(fig12(opts));
+    all.extend(maxround(opts));
+    all.extend(shrink(opts));
+    all.extend(s2_cost(opts));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole experiment path works end to end at quick scale; the
+    /// comparative *shape* of the headline result (DCFastQC beats Quick+ in
+    /// branch count on datasets with dense structure) holds.
+    #[test]
+    fn fig7_quick_scale_shape() {
+        let records = fig7(ExperimentOptions::quick());
+        assert!(!records.is_empty());
+        // Same MQC count for both algorithms on every dataset they both
+        // finished.
+        let datasets: Vec<String> = records.iter().map(|r| r.dataset.clone()).collect();
+        for d in datasets {
+            let rs: Vec<&RunRecord> = records.iter().filter(|r| r.dataset == d).collect();
+            if rs.len() == 2 && !rs[0].timed_out && !rs[1].timed_out {
+                assert_eq!(rs[0].mqcs, rs[1].mqcs, "MQC count mismatch on {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_and_theta_sweeps_are_sane() {
+        assert!(gamma_sweep(0.9).contains(&0.9));
+        assert!(gamma_sweep(0.96).contains(&0.96));
+        assert!(gamma_sweep(0.51).len() >= 5);
+        let t = theta_sweep(8);
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(&8));
+        assert!(theta_sweep(3)[0] >= 3);
+    }
+}

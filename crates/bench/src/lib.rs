@@ -1,0 +1,20 @@
+//! Benchmark harness reproducing the paper's evaluation (Section 6).
+//!
+//! * [`datasets`] — the synthetic dataset suite standing in for the paper's
+//!   real konect.cc graphs (see `DESIGN.md` §5 for the substitution
+//!   rationale), plus the Erdős–Rényi family of the synthetic experiments.
+//! * [`runner`] — measurement plumbing: run one algorithm configuration on
+//!   one graph and record times, output counts and search statistics.
+//! * [`experiments`] — one function per table/figure of the paper
+//!   (Table 1, Figures 7–12, and the MAX_ROUND / shrinking / S2-cost
+//!   "other experiments").
+//!
+//! The `experiments` binary drives these from the command line; the Criterion
+//! benches in `benches/` cover the same sweeps in `cargo bench` form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod runner;

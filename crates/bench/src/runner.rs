@@ -1,0 +1,277 @@
+//! Measurement harness: run one algorithm configuration on one dataset and
+//! record everything the paper's tables and figures report.
+
+use std::time::{Duration, Instant};
+
+use mqce_core::{enumerate_mqcs, Algorithm, BranchingStrategy, MqceConfig, SearchStats};
+use mqce_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One measured run: the row unit of every experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name (e.g. `DCFastQC`).
+    pub algorithm: String,
+    /// Branching strategy used (only meaningful for FastQC variants).
+    pub branching: String,
+    /// Density threshold γ.
+    pub gamma: f64,
+    /// Size threshold θ.
+    pub theta: usize,
+    /// `MAX_ROUND` used by the DC pruning.
+    pub max_round: usize,
+    /// Wall-clock time of MQCE-S1 in milliseconds.
+    pub s1_millis: f64,
+    /// Wall-clock time of MQCE-S2 (set-trie filtering) in milliseconds.
+    pub s2_millis: f64,
+    /// Number of quasi-cliques reported by S1.
+    pub s1_outputs: usize,
+    /// Number of maximal quasi-cliques after filtering.
+    pub mqcs: usize,
+    /// Minimum / maximum / average MQC size (0 when there is none).
+    pub mqc_min: usize,
+    /// Maximum MQC size.
+    pub mqc_max: usize,
+    /// Average MQC size.
+    pub mqc_avg: f64,
+    /// Branch-and-bound nodes explored.
+    pub branches: u64,
+    /// Whether the run hit the time limit (reported as `INF` in tables).
+    pub timed_out: bool,
+    /// Raw search statistics.
+    #[serde(skip)]
+    pub stats: SearchStats,
+}
+
+impl RunRecord {
+    /// Total pipeline time in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.s1_millis + self.s2_millis
+    }
+
+    /// The time cell as printed in the figures: the S1 time, or `INF` when the
+    /// limit was hit (matching the paper's convention of reporting the
+    /// enumeration time and a 24 h INF cap).
+    pub fn time_cell(&self) -> String {
+        if self.timed_out {
+            "INF".to_string()
+        } else {
+            format!("{:.1}", self.s1_millis)
+        }
+    }
+}
+
+/// A named algorithm configuration to measure.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgoSpec {
+    /// Label used in reports.
+    pub label: &'static str,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Branching strategy (FastQC variants only).
+    pub branching: BranchingStrategy,
+    /// `MAX_ROUND` for DC pruning.
+    pub max_round: usize,
+}
+
+impl AlgoSpec {
+    /// The paper's algorithm with default settings.
+    pub fn dcfastqc() -> Self {
+        AlgoSpec {
+            label: "DCFastQC",
+            algorithm: Algorithm::DcFastQc,
+            branching: BranchingStrategy::HybridSe,
+            max_round: 2,
+        }
+    }
+
+    /// The Quick+ baseline.
+    pub fn quickplus() -> Self {
+        AlgoSpec {
+            label: "Quick+",
+            algorithm: Algorithm::QuickPlus,
+            branching: BranchingStrategy::HybridSe,
+            max_round: 1,
+        }
+    }
+
+    /// FastQC without divide-and-conquer.
+    pub fn fastqc() -> Self {
+        AlgoSpec {
+            label: "FastQC",
+            algorithm: Algorithm::FastQc,
+            branching: BranchingStrategy::HybridSe,
+            max_round: 2,
+        }
+    }
+
+    /// FastQC in the basic DC framework of [19, 24].
+    pub fn bdcfastqc() -> Self {
+        AlgoSpec {
+            label: "BDCFastQC",
+            algorithm: Algorithm::BasicDcFastQc,
+            branching: BranchingStrategy::HybridSe,
+            max_round: 1,
+        }
+    }
+
+    /// DCFastQC restricted to a particular branching strategy (Figure 11).
+    pub fn dcfastqc_with_branching(label: &'static str, branching: BranchingStrategy) -> Self {
+        AlgoSpec {
+            label,
+            algorithm: Algorithm::DcFastQc,
+            branching,
+            max_round: 2,
+        }
+    }
+
+    /// DCFastQC with a custom `MAX_ROUND` (the MAX_ROUND ablation).
+    pub fn dcfastqc_with_max_round(label: &'static str, max_round: usize) -> Self {
+        AlgoSpec {
+            label,
+            algorithm: Algorithm::DcFastQc,
+            branching: BranchingStrategy::HybridSe,
+            max_round,
+        }
+    }
+}
+
+/// Runs one configuration on one graph and records the outcome.
+pub fn measure(
+    dataset: &str,
+    g: &Graph,
+    spec: AlgoSpec,
+    gamma: f64,
+    theta: usize,
+    time_limit: Duration,
+) -> RunRecord {
+    let config = MqceConfig::new(gamma, theta)
+        .expect("benchmark parameters are valid")
+        .with_algorithm(spec.algorithm)
+        .with_branching(spec.branching)
+        .with_max_round(spec.max_round)
+        .with_time_limit(time_limit);
+    let start = Instant::now();
+    let result = enumerate_mqcs(g, &config);
+    let _total = start.elapsed();
+    let (mqc_min, mqc_max, mqc_avg) = result.mqc_size_stats().unwrap_or((0, 0, 0.0));
+    RunRecord {
+        dataset: dataset.to_string(),
+        algorithm: spec.label.to_string(),
+        branching: format!("{:?}", spec.branching),
+        gamma,
+        theta,
+        max_round: spec.max_round,
+        s1_millis: result.s1_time.as_secs_f64() * 1e3,
+        s2_millis: result.s2_time.as_secs_f64() * 1e3,
+        s1_outputs: result.qcs.len(),
+        mqcs: result.mqcs.len(),
+        mqc_min,
+        mqc_max,
+        mqc_avg,
+        branches: result.stats.branches,
+        timed_out: result.timed_out(),
+        stats: result.stats,
+    }
+}
+
+/// Prints a uniform table of run records (one row per record).
+pub fn print_table(title: &str, records: &[RunRecord]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<14} {:<22} {:>6} {:>5} {:>12} {:>12} {:>10} {:>8} {:>12}",
+        "dataset", "algorithm", "gamma", "theta", "S1 time(ms)", "S2 time(ms)", "#S1 out", "#MQC", "branches"
+    );
+    for r in records {
+        println!(
+            "{:<14} {:<22} {:>6.2} {:>5} {:>12} {:>12.2} {:>10} {:>8} {:>12}",
+            r.dataset,
+            r.algorithm,
+            r.gamma,
+            r.theta,
+            r.time_cell(),
+            r.s2_millis,
+            r.s1_outputs,
+            r.mqcs,
+            r.branches
+        );
+    }
+}
+
+/// Serialises run records to a JSON file (one array).
+pub fn save_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(records).expect("records serialise");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqce_graph::Graph;
+
+    #[test]
+    fn measure_produces_consistent_record() {
+        let g = Graph::complete(6);
+        let rec = measure(
+            "k6",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+        );
+        assert_eq!(rec.dataset, "k6");
+        assert_eq!(rec.mqcs, 1);
+        assert_eq!(rec.mqc_min, 6);
+        assert_eq!(rec.mqc_max, 6);
+        assert!(!rec.timed_out);
+        assert!(rec.s1_outputs >= rec.mqcs);
+        assert!(rec.total_millis() >= rec.s1_millis);
+        assert_ne!(rec.time_cell(), "INF");
+    }
+
+    #[test]
+    fn specs_have_distinct_labels() {
+        let labels = [
+            AlgoSpec::dcfastqc().label,
+            AlgoSpec::quickplus().label,
+            AlgoSpec::fastqc().label,
+            AlgoSpec::bdcfastqc().label,
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = Graph::complete(5);
+        let rec = measure("k5", &g, AlgoSpec::quickplus(), 0.9, 2, Duration::from_secs(5));
+        let dir = std::env::temp_dir().join("mqce_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json");
+        save_json(&path, std::slice::from_ref(&rec)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<RunRecord> = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].dataset, "k5");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timed_out_record_prints_inf() {
+        let mut rec = measure(
+            "k4",
+            &Graph::complete(4),
+            AlgoSpec::fastqc(),
+            0.9,
+            2,
+            Duration::from_secs(5),
+        );
+        rec.timed_out = true;
+        assert_eq!(rec.time_cell(), "INF");
+    }
+}

@@ -1,0 +1,266 @@
+//! A small argument parser for the `mqce` binary.
+//!
+//! The workspace deliberately restricts itself to a handful of offline
+//! dependencies, so instead of `clap` the CLI uses this minimal parser:
+//! positional arguments in order, `--flag value` options (also accepted as
+//! `--flag=value`), and boolean `--flag` switches. It is enough for the six
+//! sub-commands and keeps the error messages precise.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// Positional arguments, in order of appearance.
+    pub positional: Vec<String>,
+    /// Option values keyed by their (lowercased, `--`-stripped) name. Boolean
+    /// switches are stored with an empty value.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Argument-parsing and validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option was given without the required value.
+    MissingValue(String),
+    /// An option appeared twice.
+    Duplicate(String),
+    /// An option is not recognised by the sub-command.
+    Unknown(String),
+    /// A value could not be parsed (option name, value, expected type).
+    BadValue {
+        /// Option name.
+        option: String,
+        /// The provided value.
+        value: String,
+        /// What was expected, e.g. "a number in [0.5, 1]".
+        expected: &'static str,
+    },
+    /// A required positional argument is missing.
+    MissingPositional(&'static str),
+    /// Too many positional arguments were given.
+    ExtraPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(opt) => write!(f, "option --{opt} needs a value"),
+            ArgError::Duplicate(opt) => write!(f, "option --{opt} was given twice"),
+            ArgError::Unknown(opt) => write!(f, "unknown option --{opt}"),
+            ArgError::BadValue { option, value, expected } => {
+                write!(f, "option --{option}: {value:?} is not {expected}")
+            }
+            ArgError::MissingPositional(name) => write!(f, "missing required argument <{name}>"),
+            ArgError::ExtraPositional(arg) => write!(f, "unexpected argument {arg:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switch-style options (no value) recognised anywhere.
+const SWITCHES: &[&str] = &["print-sets", "verify", "quiet"];
+
+/// Parses raw arguments into positionals and options.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(stripped) = arg.strip_prefix("--") {
+            let (name, inline_value) = match stripped.split_once('=') {
+                Some((n, v)) => (n.to_ascii_lowercase(), Some(v.to_string())),
+                None => (stripped.to_ascii_lowercase(), None),
+            };
+            let value = if let Some(v) = inline_value {
+                v
+            } else if SWITCHES.contains(&name.as_str()) {
+                String::new()
+            } else {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => return Err(ArgError::MissingValue(name)),
+                }
+            };
+            if parsed.options.insert(name.clone(), value).is_some() {
+                return Err(ArgError::Duplicate(name));
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// Rejects any option not in `allowed`.
+    pub fn restrict_options(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Required positional argument at `index`, named `name` in errors.
+    pub fn positional(&self, index: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Errors if more than `max` positional arguments were supplied.
+    pub fn no_extra_positionals(&self, max: usize) -> Result<(), ArgError> {
+        if self.positional.len() > max {
+            return Err(ArgError::ExtraPositional(self.positional[max].clone()));
+        }
+        Ok(())
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// String-valued option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// `f64` option with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+                expected: "a real number",
+            }),
+        }
+    }
+
+    /// `usize` option with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// `u64` option with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// Comma-separated list of vertex ids.
+    pub fn get_vertex_list(&self, name: &str) -> Result<Vec<u32>, ArgError> {
+        let raw = match self.get(name) {
+            None => return Ok(Vec::new()),
+            Some(raw) => raw,
+        };
+        raw.split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| {
+                t.trim().parse().map_err(|_| ArgError::BadValue {
+                    option: name.to_string(),
+                    value: raw.to_string(),
+                    expected: "a comma-separated list of vertex ids",
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_options() {
+        let p = parse(&argv(&["enumerate", "graph.txt", "--gamma", "0.9", "--theta=5"])).unwrap();
+        assert_eq!(p.positional, vec!["enumerate", "graph.txt"]);
+        assert_eq!(p.get("gamma"), Some("0.9"));
+        assert_eq!(p.get("theta"), Some("5"));
+        assert_eq!(p.get_f64("gamma", 0.5).unwrap(), 0.9);
+        assert_eq!(p.get_usize("theta", 1).unwrap(), 5);
+        assert_eq!(p.get_usize("absent", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn switches_do_not_consume_values() {
+        let p = parse(&argv(&["enumerate", "g.txt", "--print-sets", "--gamma", "0.8"])).unwrap();
+        assert!(p.switch("print-sets"));
+        assert_eq!(p.get_f64("gamma", 0.5).unwrap(), 0.8);
+        assert!(!p.switch("verify"));
+    }
+
+    #[test]
+    fn missing_value_and_duplicates_error() {
+        assert_eq!(
+            parse(&argv(&["x", "--gamma"])).unwrap_err(),
+            ArgError::MissingValue("gamma".into())
+        );
+        assert_eq!(
+            parse(&argv(&["x", "--gamma", "0.5", "--gamma", "0.6"])).unwrap_err(),
+            ArgError::Duplicate("gamma".into())
+        );
+        // `--gamma --theta 3` is also a missing value, not a value of "--theta".
+        assert!(parse(&argv(&["x", "--gamma", "--theta", "3"])).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let p = parse(&argv(&["x", "--gamma", "abc", "--theta", "-3"])).unwrap();
+        assert!(matches!(p.get_f64("gamma", 0.5), Err(ArgError::BadValue { .. })));
+        assert!(matches!(p.get_usize("theta", 1), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn vertex_lists() {
+        let p = parse(&argv(&["x", "--vertices", "3, 5,8"])).unwrap();
+        assert_eq!(p.get_vertex_list("vertices").unwrap(), vec![3, 5, 8]);
+        assert!(p.get_vertex_list("absent").unwrap().is_empty());
+        let bad = parse(&argv(&["x", "--vertices", "3,foo"])).unwrap();
+        assert!(bad.get_vertex_list("vertices").is_err());
+    }
+
+    #[test]
+    fn restriction_and_positional_checks() {
+        let p = parse(&argv(&["stats", "a.txt", "b.txt", "--weird", "1"])).unwrap();
+        assert!(p.restrict_options(&["gamma"]).is_err());
+        assert!(p.restrict_options(&["weird"]).is_ok());
+        assert_eq!(p.positional(0, "command").unwrap(), "stats");
+        assert!(matches!(p.positional(5, "x"), Err(ArgError::MissingPositional("x"))));
+        assert!(p.no_extra_positionals(2).is_err());
+        assert!(p.no_extra_positionals(3).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::Unknown("foo".into()).to_string().contains("--foo"));
+        assert!(ArgError::MissingPositional("input").to_string().contains("<input>"));
+        let bad = ArgError::BadValue {
+            option: "gamma".into(),
+            value: "x".into(),
+            expected: "a real number",
+        };
+        assert!(bad.to_string().contains("gamma"));
+    }
+}

@@ -1,0 +1,564 @@
+//! Implementation of the `mqce` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`], which parses the sub-command,
+//! loads the graph, calls into `mqce-core`, and writes a plain-text report to
+//! the supplied writer (so the integration tests can capture it).
+//!
+//! Sub-commands:
+//!
+//! * `stats <graph>` — dataset statistics (the columns of Table 1).
+//! * `enumerate <graph> --gamma γ --theta θ [...]` — run the MQCE pipeline.
+//! * `topk <graph> --gamma γ --k k` — the k largest maximal quasi-cliques.
+//! * `query <graph> --gamma γ --theta θ --vertices a,b,c` — MQCs containing
+//!   the given vertices.
+//! * `generate <kind> <output> [...]` — write a synthetic benchmark graph.
+//! * `convert <input> <output>` — convert between edge-list / DIMACS / METIS.
+//! * `help` — usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+use mqce_core::prelude::*;
+use mqce_core::query::find_mqcs_containing;
+use mqce_core::verify::verify_mqc_set;
+use mqce_core::{find_largest_mqcs, Algorithm, BranchingStrategy};
+use mqce_graph::{formats, generators, Graph, GraphStats};
+
+use args::{parse, ArgError, ParsedArgs};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// The sub-command is not recognised.
+    UnknownCommand(String),
+    /// A graph file could not be read or written.
+    Io(String),
+    /// Invalid problem parameters.
+    Params(String),
+    /// Anything else (query errors, verification failures, …).
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(cmd) => {
+                write!(f, "unknown command {cmd:?}; run `mqce help` for usage")
+            }
+            CliError::Io(msg) | CliError::Params(msg) | CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text printed by `mqce help`.
+pub const USAGE: &str = "\
+mqce — maximal quasi-clique enumeration (FastQC / DCFastQC, SIGMOD'24)
+
+USAGE:
+  mqce stats <graph>
+  mqce enumerate <graph> --gamma G --theta T [--algorithm A] [--branching B]
+                 [--max-round N] [--threads N] [--time-limit-secs S]
+                 [--print-sets] [--verify]
+  mqce topk <graph> --gamma G [--k K]
+  mqce query <graph> --gamma G --theta T --vertices V1,V2,...
+  mqce generate <kind> <output> [--n N] [--density D] [--seed S]
+                [--communities C] [--p-intra P] [--cave-size K] [--avg-degree A]
+  mqce convert <input> <output>
+  mqce help
+
+GRAPH FILES: format chosen by extension — .clq/.dimacs/.col (DIMACS),
+  .graph/.metis (METIS), anything else is a whitespace edge list.
+
+ALGORITHMS (--algorithm): dcfastqc (default), fastqc, bdcfastqc, quickplus,
+  quickplus-raw, naive.
+BRANCHING (--branching): hybrid (default), sym, se.
+GENERATOR KINDS: er, ba, community, caveman, powerlaw, grid, hub.
+";
+
+/// Entry point: parses `args` and writes the report to `out`.
+pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    if args.is_empty() {
+        writeln!(out, "{USAGE}").map_err(io_err)?;
+        return Ok(());
+    }
+    let parsed = parse(args)?;
+    let command = parsed.positional(0, "command")?.to_ascii_lowercase();
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        "stats" => cmd_stats(&parsed, out),
+        "enumerate" => cmd_enumerate(&parsed, out),
+        "topk" => cmd_topk(&parsed, out),
+        "query" => cmd_query(&parsed, out),
+        "generate" => cmd_generate(&parsed, out),
+        "convert" => cmd_convert(&parsed, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+/// Loads a graph, choosing the parser by file extension.
+pub fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    match ext.as_str() {
+        "clq" | "dimacs" | "col" => formats::load_dimacs(path)
+            .map_err(|e| CliError::Io(format!("cannot read DIMACS file {path}: {e}"))),
+        "graph" | "metis" => formats::load_metis(path)
+            .map_err(|e| CliError::Io(format!("cannot read METIS file {path}: {e}"))),
+        _ => mqce_graph::edge_list::load_edge_list(path)
+            .map(|loaded| loaded.graph)
+            .map_err(|e| CliError::Io(format!("cannot read edge list {path}: {e}"))),
+    }
+}
+
+/// Saves a graph, choosing the writer by file extension.
+pub fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let result = match ext.as_str() {
+        "clq" | "dimacs" | "col" => formats::save_dimacs(g, path),
+        "graph" | "metis" => formats::save_metis(g, path),
+        _ => mqce_graph::edge_list::save_edge_list(g, path),
+    };
+    result.map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))
+}
+
+fn parse_algorithm(raw: Option<&str>) -> Result<Algorithm, CliError> {
+    match raw.unwrap_or("dcfastqc").to_ascii_lowercase().as_str() {
+        "dcfastqc" | "dc" => Ok(Algorithm::DcFastQc),
+        "fastqc" => Ok(Algorithm::FastQc),
+        "bdcfastqc" | "basic-dc" => Ok(Algorithm::BasicDcFastQc),
+        "quickplus" | "quick+" => Ok(Algorithm::QuickPlus),
+        "quickplus-raw" | "quick+raw" => Ok(Algorithm::QuickPlusRaw),
+        "naive" => Ok(Algorithm::Naive),
+        other => Err(CliError::Params(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+fn parse_branching(raw: Option<&str>) -> Result<BranchingStrategy, CliError> {
+    match raw.unwrap_or("hybrid").to_ascii_lowercase().as_str() {
+        "hybrid" | "hybrid-se" => Ok(BranchingStrategy::HybridSe),
+        "sym" | "sym-se" => Ok(BranchingStrategy::SymSe),
+        "se" => Ok(BranchingStrategy::Se),
+        other => Err(CliError::Params(format!("unknown branching strategy {other:?}"))),
+    }
+}
+
+fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
+    let gamma = parsed.get_f64("gamma", 0.9)?;
+    let theta = parsed.get_usize("theta", 2)?;
+    let mut config = MqceConfig::new(gamma, theta)
+        .map_err(|e| CliError::Params(e.to_string()))?
+        .with_algorithm(parse_algorithm(parsed.get("algorithm"))?)
+        .with_branching(parse_branching(parsed.get("branching"))?)
+        .with_max_round(parsed.get_usize("max-round", 2)?);
+    let limit = parsed.get_u64("time-limit-secs", 0)?;
+    if limit > 0 {
+        config = config.with_time_limit(Duration::from_secs(limit));
+    }
+    Ok(config)
+}
+
+fn cmd_stats<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[])?;
+    parsed.no_extra_positionals(2)?;
+    let path = parsed.positional(1, "graph")?;
+    let g = load_graph(path)?;
+    let stats = GraphStats::compute(&g);
+    writeln!(out, "graph            {path}").map_err(io_err)?;
+    writeln!(out, "vertices         {}", stats.num_vertices).map_err(io_err)?;
+    writeln!(out, "edges            {}", stats.num_edges).map_err(io_err)?;
+    writeln!(out, "edge density     {:.3}", stats.edge_density).map_err(io_err)?;
+    writeln!(out, "max degree       {}", stats.max_degree).map_err(io_err)?;
+    writeln!(out, "degeneracy       {}", stats.degeneracy).map_err(io_err)?;
+    writeln!(out, "triangles        {}", mqce_graph::stats::triangle_count(&g)).map_err(io_err)?;
+    writeln!(
+        out,
+        "clustering coeff {:.4}",
+        mqce_graph::stats::global_clustering_coefficient(&g)
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[
+        "gamma",
+        "theta",
+        "algorithm",
+        "branching",
+        "max-round",
+        "threads",
+        "time-limit-secs",
+        "print-sets",
+        "verify",
+    ])?;
+    parsed.no_extra_positionals(2)?;
+    let path = parsed.positional(1, "graph")?;
+    let g = load_graph(path)?;
+    let config = build_config(parsed)?;
+    let threads = parsed.get_usize("threads", 1)?;
+    let result = if threads > 1 {
+        mqce_core::enumerate_mqcs_parallel(&g, &config, threads)
+    } else {
+        enumerate_mqcs(&g, &config)
+    };
+    writeln!(out, "algorithm        {}", config.algorithm.name()).map_err(io_err)?;
+    writeln!(
+        out,
+        "parameters       gamma={} theta={}",
+        config.params.gamma, config.params.theta
+    )
+    .map_err(io_err)?;
+    writeln!(out, "qcs (S1 output)  {}", result.qcs.len()).map_err(io_err)?;
+    writeln!(out, "maximal qcs      {}", result.mqcs.len()).map_err(io_err)?;
+    if let Some((min, max, avg)) = result.mqc_size_stats() {
+        writeln!(out, "mqc sizes        min={min} max={max} avg={avg:.2}").map_err(io_err)?;
+    }
+    writeln!(out, "branches         {}", result.stats.branches).map_err(io_err)?;
+    writeln!(
+        out,
+        "time             s1={:.3}s s2={:.3}s",
+        result.s1_time.as_secs_f64(),
+        result.s2_time.as_secs_f64()
+    )
+    .map_err(io_err)?;
+    if result.timed_out() {
+        writeln!(out, "WARNING          time limit hit; output may be incomplete").map_err(io_err)?;
+    }
+    if parsed.switch("verify") {
+        let report = verify_mqc_set(&g, &result.mqcs, config.params);
+        writeln!(out, "verification     {report}").map_err(io_err)?;
+        if !report.is_ok() {
+            return Err(CliError::Other(format!("verification failed: {report}")));
+        }
+    }
+    if parsed.switch("print-sets") {
+        for mqc in &result.mqcs {
+            let formatted: Vec<String> = mqc.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "{}", formatted.join(" ")).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_topk<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&["gamma", "k", "print-sets"])?;
+    parsed.no_extra_positionals(2)?;
+    let path = parsed.positional(1, "graph")?;
+    let g = load_graph(path)?;
+    let gamma = parsed.get_f64("gamma", 0.9)?;
+    let k = parsed.get_usize("k", 10)?;
+    let top = find_largest_mqcs(&g, gamma, k, None).map_err(|e| CliError::Params(e.to_string()))?;
+    writeln!(out, "requested k      {k}").map_err(io_err)?;
+    writeln!(out, "found            {}", top.mqcs.len()).map_err(io_err)?;
+    writeln!(out, "final theta      {}", top.final_theta).map_err(io_err)?;
+    writeln!(out, "rounds           {}", top.rounds).map_err(io_err)?;
+    for (i, mqc) in top.mqcs.iter().enumerate() {
+        if parsed.switch("print-sets") {
+            let formatted: Vec<String> = mqc.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "#{:<3} size={:<4} {}", i + 1, mqc.len(), formatted.join(" "))
+                .map_err(io_err)?;
+        } else {
+            writeln!(out, "#{:<3} size={}", i + 1, mqc.len()).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "time-limit-secs", "print-sets"])?;
+    parsed.no_extra_positionals(2)?;
+    let path = parsed.positional(1, "graph")?;
+    let g = load_graph(path)?;
+    let config = build_config(parsed)?;
+    let query = parsed.get_vertex_list("vertices")?;
+    if query.is_empty() {
+        return Err(CliError::Params("--vertices must list at least one vertex".to_string()));
+    }
+    let result =
+        find_mqcs_containing(&g, &query, &config).map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(out, "query vertices   {query:?}").map_err(io_err)?;
+    writeln!(out, "search universe  {} vertices", result.universe_size).map_err(io_err)?;
+    writeln!(out, "maximal qcs      {}", result.mqcs.len()).map_err(io_err)?;
+    writeln!(out, "time             {:.3}s", result.elapsed.as_secs_f64()).map_err(io_err)?;
+    if parsed.switch("print-sets") {
+        for mqc in &result.mqcs {
+            let formatted: Vec<String> = mqc.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "{}", formatted.join(" ")).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[
+        "n",
+        "density",
+        "seed",
+        "communities",
+        "p-intra",
+        "inter-degree",
+        "cave-size",
+        "p-rewire",
+        "avg-degree",
+        "beta",
+        "m-attach",
+        "rows",
+        "cols",
+        "hubs",
+        "hub-bias",
+        "edges",
+    ])?;
+    parsed.no_extra_positionals(3)?;
+    let kind = parsed.positional(1, "kind")?.to_ascii_lowercase();
+    let output = parsed.positional(2, "output")?;
+    let n = parsed.get_usize("n", 1000)?;
+    let seed = parsed.get_u64("seed", 1)?;
+    let g = match kind.as_str() {
+        "er" => generators::erdos_renyi_density(n, parsed.get_f64("density", 10.0)?, seed),
+        "ba" => generators::barabasi_albert(n, parsed.get_usize("m-attach", 3)?, seed),
+        "community" => generators::community_graph(
+            generators::CommunityGraphParams {
+                n,
+                num_communities: parsed.get_usize("communities", 10)?,
+                p_intra: parsed.get_f64("p-intra", 0.8)?,
+                inter_degree: parsed.get_f64("inter-degree", 1.0)?,
+            },
+            seed,
+        ),
+        "caveman" => generators::relaxed_caveman(
+            parsed.get_usize("communities", 10)?,
+            parsed.get_usize("cave-size", 10)?,
+            parsed.get_f64("p-rewire", 0.1)?,
+            seed,
+        ),
+        "powerlaw" => generators::chung_lu_power_law(
+            n,
+            parsed.get_f64("avg-degree", 8.0)?,
+            parsed.get_f64("beta", 2.5)?,
+            seed,
+        ),
+        "grid" => generators::grid(parsed.get_usize("rows", 100)?, parsed.get_usize("cols", 100)?),
+        "hub" => generators::hub_graph(
+            n,
+            parsed.get_usize("edges", 4 * n)?,
+            parsed.get_usize("hubs", 5)?,
+            parsed.get_f64("hub-bias", 0.5)?,
+            seed,
+        ),
+        other => return Err(CliError::Params(format!("unknown generator kind {other:?}"))),
+    };
+    save_graph(&g, output)?;
+    writeln!(
+        out,
+        "wrote {} ({} vertices, {} edges)",
+        output,
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_convert<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[])?;
+    parsed.no_extra_positionals(3)?;
+    let input = parsed.positional(1, "input")?;
+    let output = parsed.positional(2, "output")?;
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    writeln!(
+        out,
+        "converted {input} -> {output} ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_capture(parts: &[&str]) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        run(&argv(parts), &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mqce_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_paper_graph(name: &str) -> String {
+        let path = temp_path(name);
+        save_graph(&Graph::paper_figure1(), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_empty_args() {
+        assert!(run_capture(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_capture(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            run_capture(&["frobnicate"]).unwrap_err(),
+            CliError::UnknownCommand(_)
+        ));
+    }
+
+    #[test]
+    fn stats_reports_table1_columns() {
+        let path = write_paper_graph("stats.txt");
+        let output = run_capture(&["stats", &path]).unwrap();
+        assert!(output.contains("vertices         9"));
+        assert!(output.contains("degeneracy"));
+        assert!(output.contains("triangles"));
+    }
+
+    #[test]
+    fn enumerate_with_verification() {
+        let path = write_paper_graph("enumerate.txt");
+        let output = run_capture(&[
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--verify",
+            "--print-sets",
+        ])
+        .unwrap();
+        assert!(output.contains("algorithm        DCFastQC"));
+        assert!(output.contains("maximal qcs"));
+        assert!(output.contains("verification     ok"));
+    }
+
+    #[test]
+    fn enumerate_rejects_bad_parameters() {
+        let path = write_paper_graph("bad_params.txt");
+        assert!(run_capture(&["enumerate", &path, "--gamma", "0.2"]).is_err());
+        assert!(run_capture(&["enumerate", &path, "--algorithm", "alien"]).is_err());
+        assert!(run_capture(&["enumerate", &path, "--branching", "alien"]).is_err());
+        assert!(run_capture(&["enumerate", &path, "--bogus-flag", "1"]).is_err());
+        assert!(run_capture(&["enumerate"]).is_err());
+    }
+
+    #[test]
+    fn topk_and_query_commands() {
+        let path = write_paper_graph("topk.txt");
+        let topk = run_capture(&["topk", &path, "--gamma", "0.6", "--k", "2", "--print-sets"]).unwrap();
+        assert!(topk.contains("requested k      2"));
+        assert!(topk.contains("#1"));
+        let query =
+            run_capture(&["query", &path, "--gamma", "0.6", "--theta", "3", "--vertices", "0,2"])
+                .unwrap();
+        assert!(query.contains("query vertices"));
+        assert!(query.contains("maximal qcs"));
+        assert!(run_capture(&["query", &path, "--gamma", "0.6", "--theta", "3"]).is_err());
+    }
+
+    #[test]
+    fn generate_and_convert_roundtrip() {
+        let edge_path = temp_path("generated.txt");
+        let out = run_capture(&[
+            "generate", "er", &edge_path, "--n", "100", "--density", "3", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("100 vertices"));
+        let dimacs_path = temp_path("generated.clq");
+        let converted = run_capture(&["convert", &edge_path, &dimacs_path]).unwrap();
+        assert!(converted.contains("converted"));
+        let g_orig = load_graph(&edge_path).unwrap();
+        let g_conv = load_graph(&dimacs_path).unwrap();
+        assert_eq!(g_orig.num_edges(), g_conv.num_edges());
+        // METIS roundtrip too.
+        let metis_path = temp_path("generated.metis");
+        run_capture(&["convert", &edge_path, &metis_path]).unwrap();
+        assert_eq!(load_graph(&metis_path).unwrap().num_edges(), g_orig.num_edges());
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let path = temp_path("never_written.txt");
+        assert!(run_capture(&["generate", "mystery", &path]).is_err());
+    }
+
+    #[test]
+    fn all_generator_kinds_produce_graphs() {
+        for (kind, extra) in [
+            ("er", vec!["--n", "50", "--density", "2"]),
+            ("ba", vec!["--n", "50", "--m-attach", "2"]),
+            ("community", vec!["--n", "60", "--communities", "4"]),
+            ("caveman", vec!["--communities", "3", "--cave-size", "5"]),
+            ("powerlaw", vec!["--n", "80", "--avg-degree", "4"]),
+            ("grid", vec!["--rows", "5", "--cols", "6"]),
+            ("hub", vec!["--n", "50", "--edges", "100"]),
+        ] {
+            let path = temp_path(&format!("gen_{kind}.txt"));
+            let mut argv = vec!["generate", kind, path.as_str()];
+            argv.extend(extra.iter().copied());
+            let out = run_capture(&argv).unwrap();
+            assert!(out.contains("wrote"), "{kind}: {out}");
+            assert!(load_graph(&path).unwrap().num_vertices() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parallel_enumerate_matches_sequential_counts() {
+        let path = write_paper_graph("parallel.txt");
+        let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
+        let par = run_capture(&[
+            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "4",
+        ])
+        .unwrap();
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("maximal qcs"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count(&seq), count(&par));
+    }
+}

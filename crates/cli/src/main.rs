@@ -1,0 +1,15 @@
+//! `mqce` — command-line front-end for the maximal quasi-clique enumeration
+//! library. See `mqce help` for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mqce_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Degree-based upper/lower bounds on how many candidates can (or must) be
+//! added to a partial set — the bound-based pruning rules of Quick / Quick+.
+//!
+//! The paper treats the Quick+ pruning rules as a black box ("Type I" and
+//! "Type II", Section 3) and refers to Liu & Wong and Khalil et al. for the
+//! details. The strongest of those rules reason about the number `t` of
+//! candidate vertices that a quasi-clique under the branch `B = (S, C, D)`
+//! could still absorb:
+//!
+//! * For a vertex `v ∈ S` with `ind = δ(v, S)` neighbours inside `S` and
+//!   `ext = δ(v, C)` neighbours among the candidates, a quasi-clique
+//!   `H ⊇ S` with `|H| = |S| + t` gives `v` at most `ind + min(t, ext)`
+//!   neighbours, while Definition 1 demands `⌈γ·(|S|+t−1)⌉`. The feasible
+//!   values of `t` form a contiguous (possibly empty) interval; its maximum is
+//!   the **upper bound** `U_v`, its minimum the **lower bound** `L_v`.
+//! * `U_min = min_{v∈S} U_v` bounds the size of any QC under the branch by
+//!   `|S| + U_min` (Type II: prune when that is below θ), and `L_max =
+//!   max_{v∈S} L_v` must not exceed `U_min` (the vertices needed by the most
+//!   deficient member must fit under the tightest cap).
+//! * A candidate `u ∈ C` can only appear in a large QC under the branch if
+//!   *some* feasible `t` admits it ([`candidate_feasible`]); otherwise it can
+//!   be dropped from `C` (Type I).
+//!
+//! All routines work on exact integer comparisons via
+//! [`required_degree`](crate::quasiclique::required_degree), so the epsilon
+//! handling matches the rest of the crate.
+
+use crate::quasiclique::required_degree;
+
+/// Whether a vertex with `ind` neighbours in `S` and `ext` neighbours in `C`
+/// can satisfy the γ-degree requirement in a quasi-clique of size
+/// `s_size + t` (i.e. after `t` candidates joined `S`).
+#[inline]
+fn feasible(gamma: f64, s_size: usize, ind: usize, ext: usize, t: usize) -> bool {
+    ind + t.min(ext) >= required_degree(gamma, s_size + t)
+}
+
+/// The largest number of candidates `t ∈ 0..=cap` that can be added while the
+/// vertex (a member of `S`) still meets its degree requirement, or `None` if
+/// no value of `t` works (the branch holds no quasi-clique containing `S`).
+pub fn max_addable(gamma: f64, s_size: usize, ind: usize, ext: usize, cap: usize) -> Option<usize> {
+    // Feasibility is unimodal in t (the slack grows while t ≤ ext and then
+    // shrinks), so scanning downwards stops at the true maximum.
+    (0..=cap).rev().find(|&t| feasible(gamma, s_size, ind, ext, t))
+}
+
+/// The smallest number of candidates `t ∈ 0..=cap` that must be added before
+/// the vertex (a member of `S`) meets its degree requirement, or `None` if no
+/// value of `t` works.
+pub fn min_addable(gamma: f64, s_size: usize, ind: usize, ext: usize, cap: usize) -> Option<usize> {
+    (0..=cap).find(|&t| feasible(gamma, s_size, ind, ext, t))
+}
+
+/// Aggregated bounds over the whole partial set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchBounds {
+    /// `U_min`: no quasi-clique under the branch can contain more than
+    /// `|S| + upper` vertices.
+    pub upper: usize,
+    /// `L_max`: at least this many candidates must be added before every
+    /// member of `S` meets its degree requirement.
+    pub lower: usize,
+}
+
+/// Computes [`BranchBounds`] from per-member `(ind, ext)` degree pairs.
+/// Returns `None` when some member of `S` cannot be satisfied by any number
+/// of additions (the branch can be pruned outright). An empty `S` yields the
+/// trivial bounds `upper = cap`, `lower = 0`.
+pub fn branch_bounds<I>(gamma: f64, s_size: usize, members: I, cap: usize) -> Option<BranchBounds>
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    let mut upper = cap;
+    let mut lower = 0usize;
+    for (ind, ext) in members {
+        let u = max_addable(gamma, s_size, ind, ext, cap)?;
+        let l = min_addable(gamma, s_size, ind, ext, cap)?;
+        upper = upper.min(u);
+        lower = lower.max(l);
+    }
+    Some(BranchBounds { upper, lower })
+}
+
+/// Whether candidate `u` (with `ind_s = δ(u,S)` and `ext_c = δ(u, C∖{u})`)
+/// can appear in a quasi-clique of size at least `theta` under the branch,
+/// given that at most `t_max` candidates (including `u` itself) can join `S`.
+///
+/// The check looks for any admissible total number of additions
+/// `t ∈ 1..=t_max` with `|S| + t ≥ theta` for which `u` itself can meet the
+/// degree requirement; if none exists, `u` can be removed from `C`.
+pub fn candidate_feasible(
+    gamma: f64,
+    theta: usize,
+    s_size: usize,
+    ind_s: usize,
+    ext_c: usize,
+    t_max: usize,
+) -> bool {
+    let t_lo = theta.saturating_sub(s_size).max(1);
+    (t_lo..=t_max).any(|t| {
+        // After u and t−1 further candidates join, u has ind_s neighbours in
+        // the old S plus at most min(t−1, ext_c) among the other newcomers.
+        ind_s + (t - 1).min(ext_c) >= required_degree(gamma, s_size + t)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference for the feasibility interval.
+    fn feasible_set(gamma: f64, s_size: usize, ind: usize, ext: usize, cap: usize) -> Vec<usize> {
+        (0..=cap)
+            .filter(|&t| ind + t.min(ext) >= required_degree(gamma, s_size + t))
+            .collect()
+    }
+
+    #[test]
+    fn bounds_match_brute_force() {
+        for &gamma in &[0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0] {
+            for s_size in 1..8 {
+                for ind in 0..s_size {
+                    for ext in 0..8 {
+                        for cap in 0..10 {
+                            let set = feasible_set(gamma, s_size, ind, ext, cap);
+                            assert_eq!(
+                                max_addable(gamma, s_size, ind, ext, cap),
+                                set.last().copied(),
+                                "max gamma={gamma} s={s_size} ind={ind} ext={ext} cap={cap}"
+                            );
+                            assert_eq!(
+                                min_addable(gamma, s_size, ind, ext, cap),
+                                set.first().copied(),
+                                "min gamma={gamma} s={s_size} ind={ind} ext={ext} cap={cap}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_interval_is_contiguous() {
+        // The prune logic relies on the feasible t forming one interval.
+        for &gamma in &[0.5, 0.66, 0.75, 0.9, 1.0] {
+            for s_size in 1..8 {
+                for ind in 0..s_size {
+                    for ext in 0..8 {
+                        let set = feasible_set(gamma, s_size, ind, ext, 12);
+                        if let (Some(&first), Some(&last)) = (set.first(), set.last()) {
+                            assert_eq!(set.len(), last - first + 1, "gap in feasible set {set:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clique_member_bounds() {
+        // In a clique branch (every member adjacent to all of S and C), γ=1:
+        // the member allows exactly as many additions as it has candidate
+        // neighbours.
+        let b = branch_bounds(1.0, 4, vec![(3, 5), (3, 2)], 5).unwrap();
+        assert_eq!(b.upper, 2);
+        assert_eq!(b.lower, 0);
+    }
+
+    #[test]
+    fn deficient_member_forces_additions() {
+        // S has 4 vertices; one member only sees 1 of the other 3, so at
+        // γ = 0.6 it needs more neighbours: ⌈0.6·(4+t−1)⌉ ≤ 1 + t.
+        let l = min_addable(0.6, 4, 1, 5, 10).unwrap();
+        assert!(l >= 2, "lower bound {l}");
+        // And a member with no candidate neighbours at all caps the branch.
+        let b = branch_bounds(0.6, 4, vec![(1, 5), (3, 0)], 10).unwrap();
+        assert_eq!(b.upper, max_addable(0.6, 4, 3, 0, 10).unwrap());
+        assert!(b.lower >= 2);
+    }
+
+    #[test]
+    fn unsatisfiable_member_prunes_branch() {
+        // A member with 0 neighbours anywhere can never reach ⌈0.9·(…)⌉.
+        assert_eq!(branch_bounds(0.9, 3, vec![(0, 0)], 10), None);
+        assert_eq!(max_addable(0.9, 3, 0, 0, 10), None);
+        // Empty S gives the trivial bounds.
+        assert_eq!(
+            branch_bounds(0.9, 0, Vec::new(), 7),
+            Some(BranchBounds { upper: 7, lower: 0 })
+        );
+    }
+
+    #[test]
+    fn candidate_feasibility_examples() {
+        // A candidate adjacent to all of S and many other candidates is fine.
+        assert!(candidate_feasible(0.9, 4, 3, 3, 5, 5));
+        // A candidate with no neighbours in S and no candidate neighbours can
+        // never reach the requirement once |S| ≥ 2.
+        assert!(!candidate_feasible(0.9, 3, 2, 0, 0, 5));
+        // θ larger than what the branch can reach rules everything out.
+        assert!(!candidate_feasible(0.9, 20, 3, 3, 5, 5));
+        // At γ = 0.5 a candidate with one neighbour in S={a,b} can still sit
+        // in a QC of size 4 (needs ⌈0.5·3⌉ = 2 ≤ 1 + min(1, ext)).
+        assert!(candidate_feasible(0.5, 3, 2, 1, 3, 4));
+    }
+
+    #[test]
+    fn candidate_rule_subsumes_simple_degree_rule() {
+        // The old Type I rule removed u when δ(u, S∪C) < ⌈γ(θ−1)⌉; the
+        // bound-based rule must remove at least those vertices.
+        for &gamma in &[0.5, 0.7, 0.9] {
+            for theta in 2..6 {
+                for s_size in 0..4 {
+                    for ind in 0..=s_size {
+                        for ext in 0..5 {
+                            let total_deg = ind + ext;
+                            if total_deg < required_degree(gamma, theta) {
+                                assert!(
+                                    !candidate_feasible(gamma, theta, s_size, ind, ext, 10),
+                                    "gamma={gamma} theta={theta} s={s_size} ind={ind} ext={ext}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

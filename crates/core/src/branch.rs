@@ -1,0 +1,499 @@
+//! Shared branch-and-bound search state.
+//!
+//! Both searchers (FastQC and the Quick+ baseline) operate on a branch
+//! `B = (S, C, D)`:
+//!
+//! * `S` — the partial set: vertices contained in every vertex set covered by
+//!   the branch;
+//! * `C` — the candidate set: vertices that may still be added to `S`;
+//! * `D` — the exclusion set: vertices that may not appear (represented only
+//!   implicitly: a vertex that is in neither `S` nor `C` is excluded).
+//!
+//! The state is maintained incrementally with an undo discipline instead of
+//! cloning per branch: moving a vertex between `C` and `S`, or removing it
+//! from `C`, updates two degree arrays (`δ(·,S)` and `δ(·,S∪C)`) in `O(d)`
+//! time, exactly as the paper's complexity analysis assumes (Section 4.1).
+
+use std::time::Instant;
+
+use mqce_graph::{Graph, VertexId};
+
+use crate::config::MqceParams;
+use crate::quasiclique::{is_quasi_clique, no_single_vertex_extension, tau, EPS};
+use crate::stats::SearchStats;
+
+/// How often (in explored branches) the wall-clock deadline is polled.
+const TIME_CHECK_INTERVAL: u64 = 1024;
+
+/// Result of one branch-and-bound search invocation.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOutcome {
+    /// Quasi-cliques emitted by the search (local vertex ids, each sorted).
+    pub outputs: Vec<Vec<VertexId>>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Mutable search state shared by the branch-and-bound algorithms.
+pub(crate) struct SearchCtx<'g> {
+    pub(crate) g: &'g Graph,
+    pub(crate) gamma: f64,
+    pub(crate) theta: usize,
+    /// Vertex membership flags.
+    in_s: Vec<bool>,
+    in_c: Vec<bool>,
+    /// The partial set `S`, as a stack (push/pop order).
+    s: Vec<VertexId>,
+    /// `deg_s[v] = δ(v, S)` for every vertex of the (local) graph.
+    deg_s: Vec<u32>,
+    /// `deg_sc[v] = δ(v, S ∪ C)` for every vertex of the (local) graph.
+    deg_sc: Vec<u32>,
+    /// Scratch buffer for per-candidate counting passes.
+    scratch: Vec<u32>,
+    /// Emitted quasi-cliques (local ids).
+    pub(crate) outputs: Vec<Vec<VertexId>>,
+    pub(crate) stats: SearchStats,
+    deadline: Option<Instant>,
+    pub(crate) aborted: bool,
+    depth: u64,
+}
+
+impl<'g> SearchCtx<'g> {
+    /// Creates a context over `g` with the branch `(s_init, cand, implicit D)`.
+    ///
+    /// `s_init` and `cand` must be disjoint; vertices in neither are treated
+    /// as excluded.
+    pub(crate) fn new(
+        g: &'g Graph,
+        params: MqceParams,
+        s_init: &[VertexId],
+        cand: &[VertexId],
+        deadline: Option<Instant>,
+    ) -> Self {
+        let n = g.num_vertices();
+        let mut ctx = SearchCtx {
+            g,
+            gamma: params.gamma,
+            theta: params.theta,
+            in_s: vec![false; n],
+            in_c: vec![false; n],
+            s: Vec::with_capacity(s_init.len() + cand.len()),
+            deg_s: vec![0; n],
+            deg_sc: vec![0; n],
+            scratch: vec![0; n],
+            outputs: Vec::new(),
+            stats: SearchStats::default(),
+            deadline,
+            aborted: false,
+            depth: 0,
+        };
+        for &v in cand {
+            debug_assert!(!ctx.in_c[v as usize], "duplicate candidate {v}");
+            ctx.in_c[v as usize] = true;
+        }
+        for &v in s_init {
+            debug_assert!(!ctx.in_c[v as usize], "vertex {v} in both S and C");
+            debug_assert!(!ctx.in_s[v as usize], "duplicate S vertex {v}");
+            ctx.in_s[v as usize] = true;
+            ctx.s.push(v);
+        }
+        for &v in s_init.iter().chain(cand.iter()) {
+            for &u in g.neighbors(v) {
+                ctx.deg_sc[u as usize] += 1;
+                if ctx.in_s[v as usize] {
+                    ctx.deg_s[u as usize] += 1;
+                }
+            }
+        }
+        ctx
+    }
+
+    /// Consumes the context, producing the outcome.
+    pub(crate) fn finish(self) -> SearchOutcome {
+        let mut stats = self.stats;
+        stats.timed_out = self.aborted;
+        SearchOutcome {
+            outputs: self.outputs,
+            stats,
+        }
+    }
+
+    // ---- branch bookkeeping -------------------------------------------------
+
+    /// Current size of the partial set `S`.
+    #[inline]
+    pub(crate) fn s_len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Current partial set (unsorted, in insertion order).
+    #[inline]
+    pub(crate) fn s_vertices(&self) -> &[VertexId] {
+        &self.s
+    }
+
+    /// `δ(v, S)`.
+    #[inline]
+    pub(crate) fn deg_s(&self, v: VertexId) -> usize {
+        self.deg_s[v as usize] as usize
+    }
+
+    /// `δ(v, S ∪ C)`.
+    #[inline]
+    pub(crate) fn deg_sc(&self, v: VertexId) -> usize {
+        self.deg_sc[v as usize] as usize
+    }
+
+    /// Whether `v` is currently in `C`.
+    #[inline]
+    pub(crate) fn in_c(&self, v: VertexId) -> bool {
+        self.in_c[v as usize]
+    }
+
+    /// Moves a candidate vertex into `S`.
+    pub(crate) fn push_s(&mut self, v: VertexId) {
+        debug_assert!(self.in_c[v as usize], "push_s: {v} is not a candidate");
+        self.in_c[v as usize] = false;
+        self.in_s[v as usize] = true;
+        self.s.push(v);
+        for &u in self.g.neighbors(v) {
+            self.deg_s[u as usize] += 1;
+        }
+    }
+
+    /// Reverses [`push_s`](Self::push_s) (the vertex returns to `C`).
+    pub(crate) fn pop_s(&mut self, v: VertexId) {
+        debug_assert_eq!(self.s.last(), Some(&v), "pop_s out of order");
+        self.s.pop();
+        self.in_s[v as usize] = false;
+        self.in_c[v as usize] = true;
+        for &u in self.g.neighbors(v) {
+            self.deg_s[u as usize] -= 1;
+        }
+    }
+
+    /// Removes a candidate vertex from `C` (moving it to the implicit
+    /// exclusion set).
+    pub(crate) fn remove_c(&mut self, v: VertexId) {
+        debug_assert!(self.in_c[v as usize], "remove_c: {v} is not a candidate");
+        self.in_c[v as usize] = false;
+        for &u in self.g.neighbors(v) {
+            self.deg_sc[u as usize] -= 1;
+        }
+    }
+
+    /// Reverses [`remove_c`](Self::remove_c).
+    pub(crate) fn restore_c(&mut self, v: VertexId) {
+        debug_assert!(!self.in_c[v as usize] && !self.in_s[v as usize]);
+        self.in_c[v as usize] = true;
+        for &u in self.g.neighbors(v) {
+            self.deg_sc[u as usize] += 1;
+        }
+    }
+
+    /// Enters a recursive call: counts the branch, tracks depth, and polls the
+    /// deadline. Returns `false` if the search must abort.
+    pub(crate) fn enter_branch(&mut self) -> bool {
+        self.stats.branches += 1;
+        self.depth += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.depth);
+        if self.aborted {
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.stats.branches % TIME_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
+                self.aborted = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Leaves a recursive call.
+    pub(crate) fn leave_branch(&mut self) {
+        self.depth -= 1;
+    }
+
+    // ---- derived quantities -------------------------------------------------
+
+    /// Number of non-neighbours of `v` within `S` (counting `v` itself if
+    /// `v ∈ S`): `δ̄(v, S) = |S| − δ(v, S)`.
+    #[inline]
+    pub(crate) fn disconnections_s(&self, v: VertexId) -> usize {
+        self.s.len() - self.deg_s(v)
+    }
+
+    /// `Δ(S)` — the maximum number of disconnections of a vertex within
+    /// `G[S]`.
+    pub(crate) fn delta_s(&self) -> usize {
+        self.s
+            .iter()
+            .map(|&v| self.disconnections_s(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `d_min(B) = min_{v∈S} δ(v, S∪C)`; `None` when `S` is empty.
+    pub(crate) fn d_min(&self) -> Option<usize> {
+        self.s.iter().map(|&v| self.deg_sc(v)).min()
+    }
+
+    /// `σ(B)` — the upper bound on the size of any QC under the branch
+    /// (Equation 10). `cand_len` is the current `|C|`.
+    pub(crate) fn sigma(&self, cand_len: usize) -> f64 {
+        let total = (self.s.len() + cand_len) as f64;
+        match self.d_min() {
+            None => total,
+            Some(dmin) => total.min(dmin as f64 / self.gamma + 1.0),
+        }
+    }
+
+    /// `τ(σ(B))` for the current branch.
+    pub(crate) fn tau_sigma(&self, cand_len: usize) -> i64 {
+        tau(self.gamma, self.sigma(cand_len))
+    }
+
+    /// Whether `σ(B) < |S|`, i.e. region `R'2` is empty and the branch can be
+    /// pruned outright.
+    pub(crate) fn sigma_below_s(&self, cand_len: usize) -> bool {
+        self.sigma(cand_len) + EPS < self.s.len() as f64
+    }
+
+    /// `Δ(S ∪ C)` for the current branch, where `cand` is the current
+    /// candidate list.
+    pub(crate) fn delta_sc(&self, cand: &[VertexId]) -> usize {
+        let total = self.s.len() + cand.len();
+        self.s
+            .iter()
+            .chain(cand.iter())
+            .map(|&v| total - self.deg_sc(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ---- refinement helpers -------------------------------------------------
+
+    /// Computes, for each candidate in `cand`, how many of the `critical`
+    /// vertices it is adjacent to; the result is written into the scratch
+    /// buffer and returned as a closure-friendly vector indexed by vertex id.
+    ///
+    /// Used by Refinement Rule 1: with `Δ(S) ≤ τ`, `Δ(S∪{v}) > τ` holds iff
+    /// `δ̄(v, S∪{v}) > τ` or `v` misses some vertex `u ∈ S` with
+    /// `δ̄(u,S) = τ`; the latter set is `critical`.
+    pub(crate) fn count_adjacency_to(&mut self, critical: &[VertexId], cand: &[VertexId]) {
+        for &v in cand {
+            self.scratch[v as usize] = 0;
+        }
+        for &u in critical {
+            for &w in self.g.neighbors(u) {
+                // Only counts for candidates; other entries are ignored.
+                self.scratch[w as usize] = self.scratch[w as usize].wrapping_add(1);
+            }
+        }
+    }
+
+    /// Reads the counter produced by
+    /// [`count_adjacency_to`](Self::count_adjacency_to).
+    #[inline]
+    pub(crate) fn adjacency_count(&self, v: VertexId) -> u32 {
+        self.scratch[v as usize]
+    }
+
+    // ---- output -------------------------------------------------------------
+
+    /// Emits the vertex set `h` as a quasi-clique output.
+    ///
+    /// * Verifies the QC predicate (a violation indicates a bug and is counted
+    ///   in `outputs_rejected` instead of silently corrupting the S1 output —
+    ///   a non-QC in the output could eliminate a true MQC during filtering).
+    /// * If `check_maximality` is set, applies the necessary condition of
+    ///   maximality (no single-vertex extension is a QC) used by FastQC;
+    ///   `deg_source` tells the context where `δ(·, h)` can be read from.
+    ///
+    /// Returns `true` if the set was actually emitted.
+    pub(crate) fn emit(
+        &mut self,
+        h: &[VertexId],
+        deg_source: DegSource,
+        check_maximality: bool,
+    ) -> bool {
+        if h.len() < self.theta {
+            return false;
+        }
+        if !is_quasi_clique(self.g, h, self.gamma) {
+            self.stats.outputs_rejected += 1;
+            debug_assert!(false, "attempted to emit a non-quasi-clique: {h:?}");
+            return false;
+        }
+        if check_maximality {
+            let degs: Vec<u32> = match deg_source {
+                DegSource::PartialSet => self.deg_s.clone(),
+                DegSource::PartialAndCandidates => self.deg_sc.clone(),
+                DegSource::Recompute => {
+                    let mut d = vec![0u32; self.g.num_vertices()];
+                    for &v in h {
+                        for &u in self.g.neighbors(v) {
+                            d[u as usize] += 1;
+                        }
+                    }
+                    d
+                }
+            };
+            let pool = self.g.vertices();
+            if !no_single_vertex_extension(self.g, h, &degs, pool, self.gamma) {
+                self.stats.outputs_suppressed_by_maximality += 1;
+                return false;
+            }
+        }
+        let mut sorted = h.to_vec();
+        sorted.sort_unstable();
+        self.stats.outputs += 1;
+        self.outputs.push(sorted);
+        true
+    }
+}
+
+/// Where [`SearchCtx::emit`] reads `δ(·, h)` from when checking the necessary
+/// condition of maximality.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) enum DegSource {
+    /// `h == S`: use the maintained `δ(·, S)` array.
+    PartialSet,
+    /// `h == S ∪ C`: use the maintained `δ(·, S∪C)` array.
+    PartialAndCandidates,
+    /// Recompute `δ(·, h)` from scratch (used by the Quick+ baseline).
+    Recompute,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(gamma: f64, theta: usize) -> MqceParams {
+        MqceParams::new(gamma, theta).unwrap()
+    }
+
+    #[test]
+    fn degree_arrays_initialised_correctly() {
+        let g = Graph::paper_figure1();
+        let cand: Vec<VertexId> = (1..9).collect();
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[0], &cand, None);
+        for v in g.vertices() {
+            assert_eq!(ctx.deg_sc(v), g.degree(v), "deg_sc mismatch at {v}");
+            assert_eq!(
+                ctx.deg_s(v),
+                usize::from(g.has_edge(v, 0)),
+                "deg_s mismatch at {v}"
+            );
+        }
+        assert_eq!(ctx.s_len(), 1);
+    }
+
+    #[test]
+    fn push_pop_and_remove_are_inverses() {
+        let g = Graph::complete(6);
+        let cand: Vec<VertexId> = (0..6).collect();
+        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None);
+        let before_s: Vec<u32> = (0..6).map(|v| ctx.deg_s(v) as u32).collect();
+        let before_sc: Vec<u32> = (0..6).map(|v| ctx.deg_sc(v) as u32).collect();
+
+        ctx.push_s(2);
+        assert!(!ctx.in_c(2));
+        assert_eq!(ctx.deg_s(0), 1);
+        ctx.remove_c(4);
+        assert!(!ctx.in_c(4));
+        assert_eq!(ctx.deg_sc(0), 4);
+        ctx.restore_c(4);
+        ctx.pop_s(2);
+
+        let after_s: Vec<u32> = (0..6).map(|v| ctx.deg_s(v) as u32).collect();
+        let after_sc: Vec<u32> = (0..6).map(|v| ctx.deg_sc(v) as u32).collect();
+        assert_eq!(before_s, after_s);
+        assert_eq!(before_sc, after_sc);
+        assert!(ctx.in_c(2) && ctx.in_c(4));
+    }
+
+    #[test]
+    fn delta_and_sigma() {
+        let g = Graph::paper_figure1();
+        // Branch with S = {v1, v3, v4} = {0, 2, 3} and C = the rest, as in the
+        // Section 4.2 walk-through (numbers differ because the figure's exact
+        // edge set is reconstructed, but the definitions are exercised).
+        let s = [0u32, 2, 3];
+        let cand: Vec<VertexId> = vec![1, 4, 5, 6, 7, 8];
+        let ctx = SearchCtx::new(&g, params(0.7, 2), &s, &cand, None);
+        // Δ(S): v1 is non-adjacent to v4 and itself → 2.
+        assert_eq!(ctx.delta_s(), 2);
+        assert_eq!(ctx.disconnections_s(0), 2);
+        // d_min = min degree of S members in the full graph.
+        let expect_dmin = s.iter().map(|&v| g.degree(v)).min().unwrap();
+        assert_eq!(ctx.d_min(), Some(expect_dmin));
+        let sigma = ctx.sigma(cand.len());
+        assert!(sigma <= 9.0 + 1e-9);
+        assert!((sigma - (expect_dmin as f64 / 0.7 + 1.0).min(9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_sc_matches_bruteforce() {
+        let g = Graph::paper_figure1();
+        let cand: Vec<VertexId> = (0..9).collect();
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None);
+        let brute = crate::quasiclique::max_disconnections(&g, &cand);
+        assert_eq!(ctx.delta_sc(&cand), brute);
+    }
+
+    #[test]
+    fn emit_checks_qc_and_size() {
+        let g = Graph::complete(4);
+        let cand: Vec<VertexId> = (0..4).collect();
+        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None);
+        assert!(!ctx.emit(&[0, 1], DegSource::Recompute, false), "below theta");
+        assert!(ctx.emit(&[0, 1, 2, 3], DegSource::Recompute, false));
+        assert_eq!(ctx.stats.outputs, 1);
+        assert_eq!(ctx.stats.outputs_rejected, 0);
+    }
+
+    #[test]
+    fn emit_maximality_filter() {
+        let g = Graph::complete(5);
+        let cand: Vec<VertexId> = (0..5).collect();
+        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None);
+        // {0,1,2,3} extends to the full clique → suppressed.
+        assert!(!ctx.emit(&[0, 1, 2, 3], DegSource::Recompute, true));
+        assert_eq!(ctx.stats.outputs_suppressed_by_maximality, 1);
+        assert!(ctx.emit(&[0, 1, 2, 3, 4], DegSource::Recompute, true));
+    }
+
+    #[test]
+    fn sigma_below_s_detects_empty_region() {
+        // Star: centre 0 with 5 leaves; S = two leaves (non-adjacent).
+        let g = Graph::star(6);
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2], &[0, 3, 4, 5], None);
+        // d_min = 1 (each leaf sees only the centre), σ = 1/0.9 + 1 ≈ 2.11 ≥ 2,
+        // so the region is not empty yet...
+        assert!(!ctx.sigma_below_s(4));
+        // ...but with a third leaf in S, σ ≈ 2.11 < 3.
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2, 3], &[0, 4, 5], None);
+        assert!(ctx.sigma_below_s(3));
+    }
+
+    #[test]
+    fn enter_branch_counts_and_aborts_on_deadline() {
+        let g = Graph::complete(3);
+        let cand: Vec<VertexId> = (0..3).collect();
+        let deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
+        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, deadline);
+        // The deadline is polled every TIME_CHECK_INTERVAL branches.
+        let mut aborted = false;
+        for _ in 0..(TIME_CHECK_INTERVAL + 1) {
+            if !ctx.enter_branch() {
+                aborted = true;
+                break;
+            }
+            ctx.leave_branch();
+        }
+        assert!(aborted);
+        assert!(ctx.finish().stats.timed_out);
+    }
+}

@@ -1,0 +1,572 @@
+//! Divide-and-conquer frameworks (Section 5, Algorithm 3).
+//!
+//! `DCFastQC` divides the graph into one subproblem per vertex: under the
+//! degeneracy ordering `⟨v_1, …, v_n⟩`, subproblem `i` searches the subgraph
+//! induced by `V_i = Γ²(v_i) − {v_1..v_{i−1}}` for quasi-cliques that contain
+//! `v_i` and exclude all earlier vertices. Property 2 (diameter ≤ 2 for
+//! γ ≥ 0.5) guarantees every maximal QC is found in exactly one subproblem.
+//!
+//! Before searching, each subgraph is shrunk by:
+//! * the global `⌈γ(θ−1)⌉`-core reduction (line 1 of Algorithm 3),
+//! * `MAX_ROUND` rounds of **one-hop** and **two-hop** pruning (Section 5).
+//!
+//! The *basic* DC framework of [19, 24] (`BDCFastQC` in Figure 12) is also
+//! provided: it splits on the input order and applies only the one-hop rule.
+
+use std::time::Instant;
+
+use mqce_graph::core_decomp::{core_decomposition, k_core_vertices};
+use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
+use mqce_graph::{Graph, VertexId};
+
+use crate::branch::SearchOutcome;
+use crate::config::{BranchingStrategy, MqceParams};
+use crate::fastqc::run_fastqc;
+use crate::quasiclique::{required_degree, tau};
+use crate::quickplus::run_quickplus;
+use crate::stats::SearchStats;
+
+/// Which branch-and-bound searcher the DC driver invokes per subproblem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerAlgorithm {
+    /// FastQC (Algorithm 2) with the given branching strategy.
+    FastQc(BranchingStrategy),
+    /// The Quick+ baseline (Algorithm 1).
+    QuickPlus,
+}
+
+/// Configuration of the divide-and-conquer driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DcConfig {
+    /// Process vertices in degeneracy order (paper's DC) or input order
+    /// (basic DC of [19, 24]).
+    pub degeneracy_order: bool,
+    /// Apply the two-hop pruning rule in addition to the one-hop rule.
+    pub two_hop_pruning: bool,
+    /// Number of pruning rounds per subgraph (`MAX_ROUND`).
+    pub max_round: usize,
+    /// Reduce the input graph to its `⌈γ(θ−1)⌉`-core first.
+    pub core_reduction: bool,
+}
+
+impl DcConfig {
+    /// The paper's DC framework (Algorithm 3) with the default `MAX_ROUND = 2`.
+    pub fn paper_default() -> Self {
+        DcConfig {
+            degeneracy_order: true,
+            two_hop_pruning: true,
+            max_round: 2,
+            core_reduction: true,
+        }
+    }
+
+    /// The basic DC framework of [19, 24]: input order, one-hop pruning only.
+    pub fn basic() -> Self {
+        DcConfig {
+            degeneracy_order: false,
+            two_hop_pruning: false,
+            max_round: 1,
+            core_reduction: true,
+        }
+    }
+
+    /// Sets `MAX_ROUND`.
+    pub fn with_max_round(mut self, max_round: usize) -> Self {
+        self.max_round = max_round;
+        self
+    }
+}
+
+/// The prepared decomposition: core-reduced graph, vertex ordering and ranks.
+struct DcPlan {
+    /// The ⌈γ(θ−1)⌉-core of the input (or the whole graph), with id mapping.
+    reduced: InducedSubgraph,
+    /// Vertices of the reduced graph in processing order.
+    ordering: Vec<VertexId>,
+    /// `rank[v]` = position of `v` in `ordering`.
+    rank: Vec<usize>,
+}
+
+/// Lines 1-2 of Algorithm 3: core reduction and vertex ordering.
+fn prepare_plan(g: &Graph, params: MqceParams, dc: DcConfig) -> DcPlan {
+    let core_k = required_degree(params.gamma, params.theta);
+    let reduced: InducedSubgraph = if dc.core_reduction {
+        let keep = k_core_vertices(g, core_k);
+        InducedSubgraph::new(g, &keep)
+    } else {
+        let all: Vec<VertexId> = g.vertices().collect();
+        InducedSubgraph::new(g, &all)
+    };
+    let ordering: Vec<VertexId> = if dc.degeneracy_order {
+        core_decomposition(&reduced.graph).ordering
+    } else {
+        reduced.graph.vertices().collect()
+    };
+    let mut rank = vec![0usize; reduced.graph.num_vertices()];
+    for (i, &v) in ordering.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    DcPlan {
+        reduced,
+        ordering,
+        rank,
+    }
+}
+
+/// Lines 4-8 of Algorithm 3 for a single anchor vertex `vi`: build and prune
+/// `G_i`, run the inner searcher with `S = {v_i}`, and map the outputs back to
+/// the original graph's vertex ids.
+fn solve_subproblem(
+    plan: &DcPlan,
+    vi: VertexId,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+) -> (Vec<Vec<VertexId>>, SearchStats) {
+    let rg = &plan.reduced.graph;
+    let mut stats = SearchStats::default();
+    // V_i = Γ²(v_i) − {v_1..v_{i−1}} (closed 2-hop ball, later-ranked only).
+    let ball = two_hop_neighborhood(rg, vi);
+    let vertices: Vec<VertexId> = ball
+        .into_iter()
+        .filter(|&u| plan.rank[u as usize] >= plan.rank[vi as usize])
+        .collect();
+    stats.dc_subproblems += 1;
+    stats.dc_vertices_before_pruning += vertices.len() as u64;
+    if vertices.len() < params.theta {
+        stats.dc_vertices_after_pruning += vertices.len() as u64;
+        return (Vec::new(), stats);
+    }
+
+    let sub = InducedSubgraph::new(rg, &vertices);
+    let local_vi = sub
+        .local(vi)
+        .expect("anchor vertex is always in its own 2-hop ball");
+
+    // ---- lines 5-6: MAX_ROUND rounds of one-hop / two-hop pruning ----
+    let alive = prune_subgraph(&sub.graph, local_vi, params, dc);
+    let cand: Vec<VertexId> = (0..sub.graph.num_vertices() as VertexId)
+        .filter(|&u| u != local_vi && alive[u as usize])
+        .collect();
+    stats.dc_vertices_after_pruning += 1 + cand.len() as u64;
+    if 1 + cand.len() < params.theta {
+        return (Vec::new(), stats);
+    }
+
+    // ---- lines 7-8: run the searcher with S = {v_i} ----
+    let outcome = match inner {
+        InnerAlgorithm::FastQc(branching) => {
+            run_fastqc(&sub.graph, &[local_vi], &cand, params, branching, deadline)
+        }
+        InnerAlgorithm::QuickPlus => {
+            run_quickplus(&sub.graph, &[local_vi], &cand, params, deadline)
+        }
+    };
+    stats.merge(&outcome.stats);
+    let outputs = outcome
+        .outputs
+        .into_iter()
+        .map(|h| {
+            // Map local → reduced → original ids.
+            let in_reduced = sub.to_global_set(&h);
+            plan.reduced.to_global_set(&in_reduced)
+        })
+        .collect();
+    (outputs, stats)
+}
+
+/// Runs the divide-and-conquer enumeration and returns the MQCE-S1 output
+/// (global vertex ids) plus aggregated statistics.
+pub fn run_dc(
+    g: &Graph,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let mut stats = SearchStats::default();
+    let mut outputs: Vec<Vec<VertexId>> = Vec::new();
+    let plan = prepare_plan(g, params, dc);
+    if plan.reduced.graph.num_vertices() == 0 {
+        return SearchOutcome { outputs, stats };
+    }
+    for &vi in &plan.ordering {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                stats.timed_out = true;
+                break;
+            }
+        }
+        let (sub_outputs, sub_stats) = solve_subproblem(&plan, vi, params, inner, dc, deadline);
+        stats.merge(&sub_stats);
+        outputs.extend(sub_outputs);
+        if stats.timed_out {
+            break;
+        }
+    }
+    SearchOutcome { outputs, stats }
+}
+
+/// Multi-threaded variant of [`run_dc`]: the per-vertex subproblems are
+/// independent, so they are distributed over `num_threads` OS threads with a
+/// shared atomic work index. This is the "efficient parallel implementation"
+/// the paper lists as future work; results are identical to the sequential
+/// driver (up to output order, which the pipeline sorts anyway).
+pub fn run_dc_parallel(
+    g: &Graph,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    num_threads: usize,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let num_threads = num_threads.max(1);
+    if num_threads == 1 {
+        return run_dc(g, params, inner, dc, deadline);
+    }
+    let plan = prepare_plan(g, params, dc);
+    if plan.reduced.graph.num_vertices() == 0 {
+        return SearchOutcome::default();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let plan_ref = &plan;
+    let next_ref = &next;
+    let results: Vec<(Vec<Vec<VertexId>>, SearchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut outputs: Vec<Vec<VertexId>> = Vec::new();
+                    let mut stats = SearchStats::default();
+                    loop {
+                        let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= plan_ref.ordering.len() {
+                            break;
+                        }
+                        if let Some(deadline) = deadline {
+                            if Instant::now() >= deadline {
+                                stats.timed_out = true;
+                                break;
+                            }
+                        }
+                        let vi = plan_ref.ordering[i];
+                        let (sub_outputs, sub_stats) =
+                            solve_subproblem(plan_ref, vi, params, inner, dc, deadline);
+                        stats.merge(&sub_stats);
+                        outputs.extend(sub_outputs);
+                    }
+                    (outputs, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut stats = SearchStats::default();
+    let mut outputs = Vec::new();
+    for (sub_outputs, sub_stats) in results {
+        stats.merge(&sub_stats);
+        outputs.extend(sub_outputs);
+    }
+    SearchOutcome { outputs, stats }
+}
+
+/// Applies `MAX_ROUND` rounds of one-hop and (optionally) two-hop pruning on
+/// the subgraph; `anchor` (the local id of `v_i`) is never removed. Returns
+/// the surviving-vertex mask.
+fn prune_subgraph(sub: &Graph, anchor: VertexId, params: MqceParams, dc: DcConfig) -> Vec<bool> {
+    let n = sub.num_vertices();
+    let mut alive = vec![true; n];
+    let min_deg = required_degree(params.gamma, params.theta);
+    // f(θ) = θ − τ(θ) − τ(θ+1) (common-neighbour requirement of the two-hop rule).
+    let f_theta = params.theta as i64
+        - tau(params.gamma, params.theta as f64)
+        - tau(params.gamma, params.theta as f64 + 1.0);
+
+    for _ in 0..dc.max_round.max(1) {
+        let mut changed = false;
+
+        // One-hop pruning: δ(u, V_i) < ⌈γ(θ−1)⌉.
+        let mut degree = vec![0usize; n];
+        for v in 0..n as VertexId {
+            if !alive[v as usize] {
+                continue;
+            }
+            degree[v as usize] = sub
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| alive[u as usize])
+                .count();
+        }
+        for v in 0..n as VertexId {
+            if v != anchor && alive[v as usize] && degree[v as usize] < min_deg {
+                alive[v as usize] = false;
+                changed = true;
+            }
+        }
+
+        // Two-hop pruning: common-neighbour counts with the anchor.
+        if dc.two_hop_pruning && f_theta > 0 {
+            let anchor_adj: Vec<bool> = {
+                let mut m = vec![false; n];
+                for &u in sub.neighbors(anchor) {
+                    if alive[u as usize] {
+                        m[u as usize] = true;
+                    }
+                }
+                m
+            };
+            for v in 0..n as VertexId {
+                if v == anchor || !alive[v as usize] {
+                    continue;
+                }
+                let common = sub
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| alive[u as usize] && anchor_adj[u as usize])
+                    .count() as i64;
+                let threshold = if anchor_adj[v as usize] {
+                    f_theta
+                } else {
+                    f_theta + 2
+                };
+                if common < threshold {
+                    alive[v as usize] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use mqce_settrie::filter_maximal;
+
+    fn params(gamma: f64, theta: usize) -> MqceParams {
+        MqceParams::new(gamma, theta).unwrap()
+    }
+
+    fn check_dc_against_oracle(g: &Graph, gamma: f64, theta: usize, dc: DcConfig) {
+        let p = params(gamma, theta);
+        let outcome = run_dc(g, p, InnerAlgorithm::FastQc(BranchingStrategy::HybridSe), dc, None);
+        assert_eq!(outcome.stats.outputs_rejected, 0);
+        for h in &outcome.outputs {
+            assert!(crate::quasiclique::is_quasi_clique(g, h, gamma));
+            assert!(h.len() >= theta);
+        }
+        let filtered = filter_maximal(&outcome.outputs);
+        let expected = naive::all_maximal_quasi_cliques(g, p);
+        assert_eq!(
+            filtered, expected,
+            "DC mismatch gamma={gamma} theta={theta} dc={dc:?} (n={}, m={})",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn paper_graph_all_settings() {
+        let g = Graph::paper_figure1();
+        for &gamma in &[0.5, 0.6, 0.7, 0.9, 1.0] {
+            for theta in 2..=4 {
+                check_dc_against_oracle(&g, gamma, theta, DcConfig::paper_default());
+                check_dc_against_oracle(&g, gamma, theta, DcConfig::basic());
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_dc_matches_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for case in 0..30 {
+            let n = rng.gen_range(5..12);
+            let p = rng.gen_range(0.2..0.85);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let gamma = [0.5, 0.6, 0.75, 0.9, 0.96, 1.0][case % 6];
+            let theta = 2 + case % 3;
+            check_dc_against_oracle(&g, gamma, theta, DcConfig::paper_default());
+        }
+    }
+
+    #[test]
+    fn dc_with_quickplus_inner_matches_oracle() {
+        let g = Graph::paper_figure1();
+        for &gamma in &[0.6, 0.9] {
+            let p = params(gamma, 3);
+            let outcome = run_dc(&g, p, InnerAlgorithm::QuickPlus, DcConfig::basic(), None);
+            let filtered = filter_maximal(&outcome.outputs);
+            assert_eq!(filtered, naive::all_maximal_quasi_cliques(&g, p));
+        }
+    }
+
+    #[test]
+    fn core_reduction_shrinks_search() {
+        // A 6-clique with a long pendant path: the path is outside the
+        // ⌈0.9·5⌉-core and must be discarded before any subproblem is built.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        for v in 6..20u32 {
+            edges.push((v - 1, v));
+        }
+        let g = Graph::from_edges(20, &edges);
+        let p = params(0.9, 6);
+        let outcome = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            None,
+        );
+        assert_eq!(outcome.stats.dc_subproblems, 6);
+        assert_eq!(filter_maximal(&outcome.outputs), vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn max_round_zero_behaves_like_one() {
+        let g = Graph::paper_figure1();
+        let p = params(0.6, 3);
+        let dc0 = DcConfig::paper_default().with_max_round(0);
+        let outcome = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            dc0,
+            None,
+        );
+        assert_eq!(
+            filter_maximal(&outcome.outputs),
+            naive::all_maximal_quasi_cliques(&g, p)
+        );
+    }
+
+    #[test]
+    fn two_hop_pruning_reduces_subproblem_size() {
+        // Larger graph: planted dense group + sparse background. The paper's
+        // DC (two-hop pruning) must not keep more vertices than the basic DC.
+        use mqce_graph::generators::{planted_quasi_cliques, PlantedGroup};
+        let g = planted_quasi_cliques(
+            60,
+            0.05,
+            &[PlantedGroup { size: 10, density: 1.0 }],
+            3,
+        );
+        let p = params(0.9, 8);
+        let paper = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            None,
+        );
+        let basic = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::basic(),
+            None,
+        );
+        assert!(paper.stats.dc_vertices_after_pruning <= basic.stats.dc_vertices_after_pruning);
+        assert_eq!(filter_maximal(&paper.outputs), filter_maximal(&basic.outputs));
+    }
+
+    #[test]
+    fn parallel_dc_matches_sequential() {
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 120,
+                num_communities: 8,
+                p_intra: 0.9,
+                inter_degree: 1.5,
+            },
+            2025,
+        );
+        let p = params(0.85, 5);
+        let sequential = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            None,
+        );
+        for threads in [1, 2, 4] {
+            let parallel = run_dc_parallel(
+                &g,
+                p,
+                InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+                DcConfig::paper_default(),
+                threads,
+                None,
+            );
+            assert_eq!(
+                filter_maximal(&parallel.outputs),
+                filter_maximal(&sequential.outputs),
+                "parallel ({threads} threads) differs from sequential"
+            );
+            assert_eq!(parallel.stats.dc_subproblems, sequential.stats.dc_subproblems);
+        }
+    }
+
+    #[test]
+    fn parallel_dc_on_tiny_graphs_matches_oracle() {
+        let g = Graph::paper_figure1();
+        let p = params(0.6, 3);
+        let outcome = run_dc_parallel(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            3,
+            None,
+        );
+        assert_eq!(
+            filter_maximal(&outcome.outputs),
+            naive::all_maximal_quasi_cliques(&g, p)
+        );
+    }
+
+    #[test]
+    fn empty_graph_and_high_theta() {
+        let g = Graph::empty(10);
+        let outcome = run_dc(
+            &g,
+            params(0.9, 2),
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            None,
+        );
+        assert!(outcome.outputs.is_empty());
+        let g2 = Graph::complete(4);
+        let outcome2 = run_dc(
+            &g2,
+            params(0.9, 10),
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            DcConfig::paper_default(),
+            None,
+        );
+        assert!(outcome2.outputs.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Edge-based quasi-cliques (the *other* quasi-clique definition).
+//!
+//! The paper studies **degree-based** γ-quasi-cliques: every vertex must be
+//! adjacent to at least `⌈γ·(|H|−1)⌉` of the others. The related work
+//! (Abello et al., Pattillo et al. — Section 7) instead uses an **edge-based**
+//! definition: `G[H]` is an edge-based γ-quasi-clique when it contains at
+//! least `γ·|H|·(|H|−1)/2` edges. The two families are incomparable in
+//! general, and the degree-based one is guaranteed to be locally denser
+//! (every member has high degree, rather than the subgraph being dense only
+//! on average).
+//!
+//! This module provides the edge-based predicate, a small exhaustive
+//! enumerator for maximal edge-based QCs (used in examples and tests to
+//! contrast the two definitions on the same graph), and density utilities.
+//! It is intentionally simple — the paper's algorithms do not transfer to
+//! this definition, which is exactly the point the comparison makes.
+
+use mqce_graph::{Graph, VertexId};
+
+use crate::quasiclique::is_quasi_clique;
+
+/// Number of edges of the induced subgraph `G[H]`.
+pub fn induced_edge_count(g: &Graph, h: &[VertexId]) -> usize {
+    let mut count = 0usize;
+    for (i, &u) in h.iter().enumerate() {
+        for &v in &h[i + 1..] {
+            if g.has_edge(u, v) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Edge density of `G[H]`: `|E(H)| / (|H|·(|H|−1)/2)`, and 1.0 for sets of
+/// fewer than two vertices.
+pub fn induced_edge_density(g: &Graph, h: &[VertexId]) -> f64 {
+    if h.len() < 2 {
+        return 1.0;
+    }
+    let possible = h.len() * (h.len() - 1) / 2;
+    induced_edge_count(g, h) as f64 / possible as f64
+}
+
+/// Minimum relative degree of `G[H]`: `min_v δ(v,H) / (|H|−1)`, and 1.0 for
+/// sets of fewer than two vertices. A set is a degree-based γ-QC exactly when
+/// this is ≥ γ (up to the ceiling in the definition) and the subgraph is
+/// connected.
+pub fn min_relative_degree(g: &Graph, h: &[VertexId]) -> f64 {
+    if h.len() < 2 {
+        return 1.0;
+    }
+    let min_deg = h.iter().map(|&v| g.degree_in(v, h)).min().unwrap_or(0);
+    min_deg as f64 / (h.len() - 1) as f64
+}
+
+/// Whether `G[H]` is an edge-based γ-quasi-clique: connected, with at least
+/// `γ·|H|·(|H|−1)/2` edges. The empty set is not one; a single vertex is.
+pub fn is_edge_quasi_clique(g: &Graph, h: &[VertexId], gamma: f64) -> bool {
+    if h.is_empty() {
+        return false;
+    }
+    if h.len() == 1 {
+        return true;
+    }
+    let possible = h.len() * (h.len() - 1) / 2;
+    let required = (gamma * possible as f64 - 1e-9).ceil().max(0.0) as usize;
+    if induced_edge_count(g, h) < required {
+        return false;
+    }
+    mqce_graph::connectivity::is_connected_subset(g, h)
+}
+
+/// Exhaustively enumerates the maximal edge-based γ-quasi-cliques with at
+/// least `theta` vertices. Exponential in `|V|` — intended for the example
+/// programs and tests that contrast the two quasi-clique families on small
+/// graphs.
+///
+/// # Panics
+/// Panics if the graph has more than 24 vertices.
+pub fn all_maximal_edge_quasi_cliques(g: &Graph, gamma: f64, theta: usize) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= 24, "exhaustive edge-QC enumeration is limited to tiny graphs");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut qcs: Vec<Vec<VertexId>> = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < theta {
+            continue;
+        }
+        let set: Vec<VertexId> = (0..n as u32).filter(|v| mask & (1 << v) != 0).collect();
+        if is_edge_quasi_clique(g, &set, gamma) {
+            qcs.push(set);
+        }
+    }
+    // Keep only the maximal ones.
+    let mut maximal: Vec<Vec<VertexId>> = Vec::new();
+    'outer: for (i, a) in qcs.iter().enumerate() {
+        for (j, b) in qcs.iter().enumerate() {
+            if i != j && a.len() < b.len() && a.iter().all(|v| b.contains(v)) {
+                continue 'outer;
+            }
+        }
+        maximal.push(a.clone());
+    }
+    maximal.sort();
+    maximal.dedup();
+    maximal
+}
+
+/// Side-by-side comparison of the two definitions on one vertex set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DensityComparison {
+    /// Number of vertices of the set.
+    pub size: usize,
+    /// Edge density `|E(H)| / (|H|·(|H|−1)/2)`.
+    pub edge_density: f64,
+    /// Minimum relative degree `min_v δ(v,H) / (|H|−1)`.
+    pub min_relative_degree: f64,
+    /// Whether the set is a degree-based γ-quasi-clique.
+    pub is_degree_qc: bool,
+    /// Whether the set is an edge-based γ-quasi-clique.
+    pub is_edge_qc: bool,
+}
+
+/// Compares the degree-based and edge-based quasi-clique notions on `G[H]`
+/// at threshold `gamma`.
+pub fn compare_definitions(g: &Graph, h: &[VertexId], gamma: f64) -> DensityComparison {
+    DensityComparison {
+        size: h.len(),
+        edge_density: induced_edge_density(g, h),
+        min_relative_degree: min_relative_degree(g, h),
+        is_degree_qc: is_quasi_clique(g, h, gamma),
+        is_edge_qc: is_edge_quasi_clique(g, h, gamma),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_counts_and_densities() {
+        let g = Graph::complete(5);
+        assert_eq!(induced_edge_count(&g, &[0, 1, 2]), 3);
+        assert!((induced_edge_density(&g, &[0, 1, 2, 3]) - 1.0).abs() < 1e-12);
+        let p = Graph::path(4);
+        assert_eq!(induced_edge_count(&p, &[0, 1, 2, 3]), 3);
+        assert!((induced_edge_density(&p, &[0, 1, 2, 3]) - 0.5).abs() < 1e-12);
+        assert_eq!(induced_edge_density(&p, &[0]), 1.0);
+        assert_eq!(min_relative_degree(&p, &[0]), 1.0);
+    }
+
+    #[test]
+    fn degree_qc_is_stricter_on_the_star_example() {
+        // A star of 5 leaves: as an edge-based 0.5-QC of size 3 it fails
+        // (2 of 3 possible edges needed, only 2 incident to the hub... actually
+        // {hub, leaf, leaf} has 2 edges of 3 possible = 0.67 ≥ 0.5 so it *is*
+        // an edge-based QC) while the degree-based definition rejects it for
+        // γ = 0.9 because the leaves have relative degree 1/2.
+        let g = Graph::star(6);
+        let set = vec![0u32, 1, 2];
+        assert!(is_edge_quasi_clique(&g, &set, 0.5));
+        assert!(!is_quasi_clique(&g, &set, 0.9));
+        let cmp = compare_definitions(&g, &set, 0.9);
+        assert!(cmp.is_edge_qc == is_edge_quasi_clique(&g, &set, 0.9) || cmp.is_edge_qc);
+        assert!(!cmp.is_degree_qc);
+        assert!(cmp.edge_density > cmp.min_relative_degree);
+    }
+
+    #[test]
+    fn edge_qc_predicate_basics() {
+        let g = Graph::complete(4);
+        assert!(is_edge_quasi_clique(&g, &[0, 1, 2, 3], 1.0));
+        assert!(is_edge_quasi_clique(&g, &[2], 1.0));
+        assert!(!is_edge_quasi_clique(&g, &[], 0.5));
+        // Disconnected sets are rejected even if dense on average.
+        let two_triangles = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        );
+        assert!(!is_edge_quasi_clique(&two_triangles, &[0, 1, 2, 3, 4, 5], 0.5));
+        assert!(is_edge_quasi_clique(&two_triangles, &[0, 1, 2], 1.0));
+    }
+
+    #[test]
+    fn exhaustive_edge_mqcs_on_clique() {
+        let g = Graph::complete(5);
+        let mqcs = all_maximal_edge_quasi_cliques(&g, 0.9, 2);
+        assert_eq!(mqcs, vec![(0..5).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn edge_and_degree_mqcs_differ_on_paper_graph() {
+        let g = Graph::paper_figure1();
+        let edge_mqcs = all_maximal_edge_quasi_cliques(&g, 0.6, 3);
+        let degree_mqcs = crate::naive::all_maximal_quasi_cliques(
+            &g,
+            crate::config::MqceParams::new(0.6, 3).unwrap(),
+        );
+        assert!(!edge_mqcs.is_empty());
+        assert!(!degree_mqcs.is_empty());
+        // Every degree-based QC of a given γ is also edge-based at the same γ
+        // (summing the degree bound over vertices), so the largest edge-based
+        // MQC is at least as large as the largest degree-based one.
+        let max_edge = edge_mqcs.iter().map(Vec::len).max().unwrap();
+        let max_degree = degree_mqcs.iter().map(Vec::len).max().unwrap();
+        assert!(max_edge >= max_degree);
+        // And on this graph the families genuinely differ.
+        assert_ne!(edge_mqcs, degree_mqcs);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = Graph::empty(0);
+        assert!(all_maximal_edge_quasi_cliques(&g, 0.5, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny graphs")]
+    fn exhaustive_enumerator_rejects_large_graphs() {
+        let g = Graph::complete(30);
+        let _ = all_maximal_edge_quasi_cliques(&g, 0.9, 2);
+    }
+}

@@ -1,0 +1,632 @@
+//! The FastQC branch-and-bound algorithm (Algorithm 2 of the paper).
+//!
+//! FastQC differs from Quick+ in three ways, all of which are implemented
+//! here:
+//!
+//! 1. **SD-space necessary condition & progressive refinement** (Sections
+//!    4.1–4.2): a branch `B = (S, C, D)` can hold a quasi-clique only if
+//!    `Δ(S) ≤ τ(σ(B))`; candidates that would violate the condition (Rule 1)
+//!    or cannot appear in a large QC (Rule 2) are removed, the bound is
+//!    recomputed, and the check repeats until a fixpoint or until the branch
+//!    is pruned.
+//! 2. **Sym-SE branching** (Section 4.3): sub-branches are ordered so that
+//!    their partial sets grow along a pivot's non-neighbours; once the
+//!    necessary condition fails for one sub-branch it fails for all later
+//!    ones, so only `a + 1` sub-branches are created.
+//! 3. **Hybrid-SE branching** (Section 4.4): when the pivot `v̂ ∈ C` is
+//!    adjacent to all of `S`, SE branches (excluding `v̂`) and Sym-SE branches
+//!    (including `v̂`) are combined, additionally discarding branches that can
+//!    only hold non-maximal QCs (Lemma 3).
+//!
+//! Together these give the `O(n · d · α_k^n)` worst-case bound with
+//! `α_k < 2` (Theorem 1).
+
+use std::time::Instant;
+
+use mqce_graph::{Graph, VertexId};
+
+use crate::branch::{DegSource, SearchCtx, SearchOutcome};
+use crate::config::{BranchingStrategy, MqceParams};
+
+/// Runs FastQC on `g` starting from the branch `(s_init, cand, implicit D)`.
+///
+/// * For the whole-graph algorithm, pass `s_init = []` and `cand = all
+///   vertices`.
+/// * The divide-and-conquer driver passes `s_init = [v_i]` and the pruned
+///   2-hop candidate set.
+///
+/// Returns every quasi-clique emitted (a superset of all maximal QCs of size
+/// ≥ θ that are contained in `s_init ∪ cand` and contain `s_init`).
+pub fn run_fastqc(
+    g: &Graph,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let mut ctx = SearchCtx::new(g, params, s_init, cand, deadline);
+    let mut searcher = FastQc {
+        ctx: &mut ctx,
+        branching,
+    };
+    searcher.recurse(cand.to_vec());
+    ctx.finish()
+}
+
+struct FastQc<'a, 'g> {
+    ctx: &'a mut SearchCtx<'g>,
+    branching: BranchingStrategy,
+}
+
+/// What the refinement loop decided about the current branch.
+enum Refined {
+    /// The branch was pruned by the necessary condition.
+    Pruned,
+    /// The branch survives; `tau` is `τ(σ(B))` for the refined branch.
+    Keep { tau: i64 },
+}
+
+impl<'a, 'g> FastQc<'a, 'g> {
+    /// `FastQC-Rec(S, C, D)`. Returns `true` iff a quasi-clique was found in
+    /// this branch (including `G[S]` itself), matching the bookkeeping of
+    /// Algorithm 2 that decides whether the parent must consider `G[S]`.
+    fn recurse(&mut self, mut cand: Vec<VertexId>) -> bool {
+        if !self.ctx.enter_branch() {
+            self.ctx.leave_branch();
+            return false;
+        }
+        let result = self.branch_body(&mut cand);
+        self.ctx.leave_branch();
+        result
+    }
+
+    fn branch_body(&mut self, cand: &mut Vec<VertexId>) -> bool {
+        // ---- progressive refinement & necessary condition (lines 3-7) ----
+        let mut removed_here: Vec<VertexId> = Vec::new();
+        let refined = self.refine_loop(cand, &mut removed_here);
+        let result = match refined {
+            Refined::Pruned => {
+                self.ctx.stats.pruned_by_condition += 1;
+                false
+            }
+            Refined::Keep { tau } => self.after_refinement(cand, tau),
+        };
+        // Undo the refinement removals before returning to the caller.
+        for &v in removed_here.iter().rev() {
+            self.ctx.restore_c(v);
+        }
+        result
+    }
+
+    /// Lines 3-7 of Algorithm 2: repeatedly check the necessary condition and
+    /// apply Refinement Rules 1 and 2 until the branch is pruned or no more
+    /// candidates can be removed.
+    fn refine_loop(&mut self, cand: &mut Vec<VertexId>, removed: &mut Vec<VertexId>) -> Refined {
+        loop {
+            // Necessary condition C1&2: Δ(S) ≤ τ(σ(B)) and σ(B) ≥ |S|.
+            if self.ctx.sigma_below_s(cand.len()) {
+                return Refined::Pruned;
+            }
+            let tau_sigma = self.ctx.tau_sigma(cand.len());
+            let delta_s = self.ctx.delta_s() as i64;
+            if delta_s > tau_sigma {
+                return Refined::Pruned;
+            }
+            if cand.is_empty() {
+                return Refined::Keep { tau: tau_sigma };
+            }
+
+            // Refinement Rule 1: remove v ∈ C with Δ(S ∪ {v}) > τ(σ(B)).
+            // Given Δ(S) ≤ τ, the condition is equivalent to
+            //   δ̄(v, S∪{v}) > τ   or   ∃ u ∈ S with δ̄(u,S) = τ and (u,v) ∉ E.
+            let critical: Vec<VertexId> = self
+                .ctx
+                .s_vertices()
+                .iter()
+                .copied()
+                .filter(|&u| self.ctx.disconnections_s(u) as i64 == tau_sigma)
+                .collect();
+            self.ctx.count_adjacency_to(&critical, cand);
+            let s_len = self.ctx.s_len() as i64;
+            let theta = self.ctx.theta as i64;
+            let mut to_remove: Vec<VertexId> = Vec::new();
+            for &v in cand.iter() {
+                let self_disconnections = s_len + 1 - self.ctx.deg_s(v) as i64;
+                let rule1 = self_disconnections > tau_sigma
+                    || (self.ctx.adjacency_count(v) as usize) < critical.len();
+                // Refinement Rule 2: remove v with δ(v, S∪C) < θ − τ(σ(B)).
+                let rule2 = (self.ctx.deg_sc(v) as i64) < theta - tau_sigma;
+                if rule1 || rule2 {
+                    to_remove.push(v);
+                }
+            }
+            if to_remove.is_empty() {
+                return Refined::Keep { tau: tau_sigma };
+            }
+            self.ctx.stats.candidates_refined += to_remove.len() as u64;
+            for &v in &to_remove {
+                self.ctx.remove_c(v);
+                removed.push(v);
+            }
+            cand.retain(|v| !to_remove.contains(v));
+        }
+    }
+
+    /// Lines 8-25 of Algorithm 2: termination conditions, branching and the
+    /// non-hereditary "additional step".
+    fn after_refinement(&mut self, cand: &[VertexId], tau_sigma: i64) -> bool {
+        // ---- T1: Δ(S ∪ C) ≤ τ(σ(B)) — the branch holds G[S∪C] itself ----
+        let delta_sc = self.ctx.delta_sc(cand) as i64;
+        if delta_sc <= tau_sigma {
+            self.ctx.stats.t1_terminations += 1;
+            let union: Vec<VertexId> = self
+                .ctx
+                .s_vertices()
+                .iter()
+                .copied()
+                .chain(cand.iter().copied())
+                .collect();
+            if union.is_empty() {
+                return false;
+            }
+            self.ctx.emit(&union, DegSource::PartialAndCandidates, true);
+            return true;
+        }
+
+        // ---- T2: size-based termination ----
+        let total = self.ctx.s_len() + cand.len();
+        if total < self.ctx.theta {
+            self.ctx.stats.pruned_by_size += 1;
+            return false;
+        }
+        let theta = self.ctx.theta as i64;
+        if self
+            .ctx
+            .s_vertices()
+            .iter()
+            .any(|&v| (self.ctx.deg_sc(v) as i64) < theta - tau_sigma)
+        {
+            self.ctx.stats.pruned_by_size += 1;
+            return false;
+        }
+
+        // ---- pivot selection (Section 4.3) ----
+        // v̂ = argmax_{v ∈ S∪C} δ̄(v, S∪C); T1 failed, so the max exceeds τ.
+        let pivot = self
+            .ctx
+            .s_vertices()
+            .iter()
+            .chain(cand.iter())
+            .copied()
+            .max_by_key(|&v| total - self.ctx.deg_sc(v))
+            .expect("S ∪ C is non-empty here");
+        let pivot_disconnections_sc = (total - self.ctx.deg_sc(pivot)) as i64;
+        debug_assert!(pivot_disconnections_sc > tau_sigma);
+
+        // a = τ(σ(B)) − δ̄(v̂, S);  b = δ̄(v̂, C).
+        let a = tau_sigma - self.ctx.disconnections_s(pivot) as i64;
+        let pivot_deg_c = self.ctx.deg_sc(pivot) - self.ctx.deg_s(pivot);
+        let b = (cand.len() - pivot_deg_c) as i64;
+        debug_assert!(a < b, "a = {a} must be smaller than b = {b}");
+
+        let any_found = match self.branching {
+            BranchingStrategy::Se => self.branch_se_plain(cand),
+            BranchingStrategy::SymSe => self.branch_sym_se(cand, pivot, a),
+            BranchingStrategy::HybridSe => {
+                let hybrid_applicable = self.ctx.in_c(pivot)
+                    && self.ctx.disconnections_s(pivot) == 0
+                    && (b == a + 1 || tau_sigma == 1);
+                if hybrid_applicable {
+                    self.branch_hybrid_se(cand, pivot, a, b)
+                } else {
+                    self.branch_sym_se(cand, pivot, a)
+                }
+            }
+        };
+
+        if any_found {
+            return true;
+        }
+        // ---- additional step (lines 21-24): consider G[S] itself ----
+        self.output_partial_set()
+    }
+
+    /// Emits `G[S]` if it is a QC passing the necessary maximality condition;
+    /// returns `true` iff `G[S]` is a QC that passes the condition (the value
+    /// the parent uses to decide whether to consider its own partial set).
+    fn output_partial_set(&mut self) -> bool {
+        let s: Vec<VertexId> = self.ctx.s_vertices().to_vec();
+        if s.is_empty() {
+            return false;
+        }
+        if !crate::quasiclique::is_quasi_clique(self.ctx.g, &s, self.ctx.gamma) {
+            return false;
+        }
+        // `emit` re-verifies the predicate and applies the maximality filter;
+        // it only refuses QCs that are extendable or below θ. The return value
+        // of the *branch* must be true whenever G[S] is a QC that satisfies
+        // the necessary maximality condition, regardless of θ.
+        let emitted = self.ctx.emit(&s, DegSource::PartialSet, true);
+        if emitted {
+            return true;
+        }
+        // Distinguish "suppressed because extendable" (return false — some
+        // other branch will report the extension) from "suppressed because of
+        // θ" (return true — a QC exists here).
+        let mut deg = vec![0u32; self.ctx.g.num_vertices()];
+        for &v in &s {
+            for &u in self.ctx.g.neighbors(v) {
+                deg[u as usize] += 1;
+            }
+        }
+        crate::quasiclique::no_single_vertex_extension(
+            self.ctx.g,
+            &s,
+            &deg,
+            self.ctx.g.vertices(),
+            self.ctx.gamma,
+        )
+    }
+
+    // ---- branching methods --------------------------------------------------
+
+    /// Sym-SE branching (Equation 13) with the pivot-based ordering of
+    /// Section 4.3; only the first `a + 1` sub-branches are created, the rest
+    /// are guaranteed to violate the necessary condition.
+    fn branch_sym_se(&mut self, cand: &[VertexId], pivot: VertexId, a: i64) -> bool {
+        let order = self.pivot_order(cand, pivot);
+        let keep = ((a + 1).max(0) as usize).min(order.len());
+        let mut any = false;
+        let mut moved_to_s: Vec<VertexId> = Vec::new();
+        for i in 0..keep {
+            let vi = order[i];
+            // Branch B_i: exclude v_i, include v_1..v_{i-1} (already in S).
+            self.ctx.remove_c(vi);
+            any |= self.recurse(order[i + 1..].to_vec());
+            self.ctx.restore_c(vi);
+            if self.ctx.aborted {
+                break;
+            }
+            self.ctx.push_s(vi);
+            moved_to_s.push(vi);
+        }
+        for &v in moved_to_s.iter().rev() {
+            self.ctx.pop_s(v);
+        }
+        any
+    }
+
+    /// Hybrid-SE branching (Equation 18): SE branches `B̃_2..B̃_b` excluding
+    /// the pivot, plus Sym-SE branches `B̈_2..B̈_{a+1}` including it.
+    fn branch_hybrid_se(&mut self, cand: &[VertexId], pivot: VertexId, a: i64, b: i64) -> bool {
+        let order = self.pivot_order(cand, pivot);
+        debug_assert_eq!(order[0], pivot);
+        let b = (b.max(1) as usize).min(order.len());
+        let a = (a.max(0) as usize).min(order.len().saturating_sub(1));
+        let mut any = false;
+
+        // Part 1 — SE branches that exclude the pivot: B̃_i for i = 2..=b,
+        // i.e. include v_i, exclude v_1..v_{i-1}.
+        let mut excluded: Vec<VertexId> = Vec::new();
+        self.ctx.remove_c(pivot);
+        excluded.push(pivot);
+        for (j, &vj) in order.iter().enumerate().take(b).skip(1) {
+            self.ctx.push_s(vj);
+            any |= self.recurse(order[j + 1..].to_vec());
+            self.ctx.pop_s(vj);
+            if self.ctx.aborted {
+                break;
+            }
+            self.ctx.remove_c(vj);
+            excluded.push(vj);
+        }
+        for &v in excluded.iter().rev() {
+            self.ctx.restore_c(v);
+        }
+        if self.ctx.aborted {
+            return any;
+        }
+
+        // Part 2 — Sym-SE branches that include the pivot: B̈_i for
+        // i = 2..=a+1, i.e. include v_1..v_{i-1}, exclude v_i.
+        let mut moved_to_s: Vec<VertexId> = vec![pivot];
+        self.ctx.push_s(pivot);
+        for (j, &vj) in order.iter().enumerate().take(a + 1).skip(1) {
+            self.ctx.remove_c(vj);
+            any |= self.recurse(order[j + 1..].to_vec());
+            self.ctx.restore_c(vj);
+            if self.ctx.aborted {
+                break;
+            }
+            self.ctx.push_s(vj);
+            moved_to_s.push(vj);
+        }
+        for &v in moved_to_s.iter().rev() {
+            self.ctx.pop_s(v);
+        }
+        any
+    }
+
+    /// Plain SE branching over all candidates (Equation 1) — used only for the
+    /// branching-strategy ablation of Figure 11.
+    fn branch_se_plain(&mut self, cand: &[VertexId]) -> bool {
+        let order: Vec<VertexId> = cand.to_vec();
+        let mut any = false;
+        let mut excluded: Vec<VertexId> = Vec::new();
+        for (j, &vj) in order.iter().enumerate() {
+            self.ctx.push_s(vj);
+            any |= self.recurse(order[j + 1..].to_vec());
+            self.ctx.pop_s(vj);
+            if self.ctx.aborted {
+                break;
+            }
+            self.ctx.remove_c(vj);
+            excluded.push(vj);
+        }
+        for &v in excluded.iter().rev() {
+            self.ctx.restore_c(v);
+        }
+        any
+    }
+
+    /// The candidate ordering of Equations 15/16: the pivot's non-neighbours
+    /// in `C` first (with the pivot itself leading when it is a candidate),
+    /// then the pivot's neighbours in `C`.
+    fn pivot_order(&self, cand: &[VertexId], pivot: VertexId) -> Vec<VertexId> {
+        let mut non_neighbors: Vec<VertexId> = Vec::new();
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for &v in cand {
+            if v == pivot {
+                continue;
+            }
+            if self.ctx.g.has_edge(v, pivot) {
+                neighbors.push(v);
+            } else {
+                non_neighbors.push(v);
+            }
+        }
+        let mut order = Vec::with_capacity(cand.len());
+        if self.ctx.in_c(pivot) {
+            order.push(pivot);
+        }
+        order.extend(non_neighbors);
+        order.extend(neighbors);
+        order
+    }
+}
+
+/// Convenience wrapper: run FastQC over the whole graph (no initial `S`).
+pub fn fastqc_whole_graph(
+    g: &Graph,
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let all: Vec<VertexId> = g.vertices().collect();
+    run_fastqc(g, &[], &all, params, branching, deadline)
+}
+
+/// The branching-factor constant `α_k` of Theorem 1: the largest real root of
+/// `x^{k+2} − x^{k+1} − 2x^k + 2 = 0` for `k ≥ 2` (and ≈1.445 for `k = 1`,
+/// the largest root of `x^3 − x^2 − 2x + 2` restricted to the `k = 1` recur-
+/// rence). Exposed so the documentation and experiments can report the
+/// theoretical bound alongside measured branch counts.
+pub fn alpha_k(k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    // Binary search for the largest root in (1, 2): the polynomial
+    // p(x) = x^{k+2} − x^{k+1} − 2x^k + 2 satisfies p(2) = 2 > 0 and is
+    // negative just below the root.
+    let p = |x: f64| x.powi(k as i32 + 2) - x.powi(k as i32 + 1) - 2.0 * x.powi(k as i32) + 2.0;
+    let mut hi = 2.0;
+    // The polynomial is positive at 2 and negative somewhere below the largest
+    // root; find a sign change by scanning from 2 downwards.
+    let mut x = 2.0 - 1e-6;
+    while x > 1.0 && p(x) > 0.0 {
+        x -= 1e-3;
+    }
+    if x <= 1.0 {
+        return 1.0;
+    }
+    let mut lo = x;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if p(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MqceParams;
+    use crate::naive;
+    use mqce_settrie::filter_maximal;
+
+    fn params(gamma: f64, theta: usize) -> MqceParams {
+        MqceParams::new(gamma, theta).unwrap()
+    }
+
+    /// Helper: run FastQC on the whole graph, filter to maximal sets, compare
+    /// with the oracle.
+    fn check_against_oracle(g: &Graph, gamma: f64, theta: usize, branching: BranchingStrategy) {
+        let p = params(gamma, theta);
+        let outcome = fastqc_whole_graph(g, p, branching, None);
+        assert_eq!(outcome.stats.outputs_rejected, 0);
+        // Every output must be a quasi-clique of size >= theta.
+        for h in &outcome.outputs {
+            assert!(h.len() >= theta);
+            assert!(
+                crate::quasiclique::is_quasi_clique(g, h, gamma),
+                "output {h:?} is not a {gamma}-QC"
+            );
+        }
+        let filtered = filter_maximal(&outcome.outputs);
+        let expected = naive::all_maximal_quasi_cliques(g, p);
+        assert_eq!(
+            filtered, expected,
+            "mismatch for gamma={gamma} theta={theta} branching={branching:?} graph with {} vertices / {} edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn complete_graph_single_mqc() {
+        let g = Graph::complete(6);
+        for branching in [
+            BranchingStrategy::HybridSe,
+            BranchingStrategy::SymSe,
+            BranchingStrategy::Se,
+        ] {
+            check_against_oracle(&g, 0.9, 3, branching);
+        }
+    }
+
+    #[test]
+    fn paper_figure_graph_various_gamma() {
+        let g = Graph::paper_figure1();
+        for &gamma in &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+            for theta in 2..=4 {
+                check_against_oracle(&g, gamma, theta, BranchingStrategy::HybridSe);
+            }
+        }
+    }
+
+    #[test]
+    fn small_random_graphs_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20240611);
+        for case in 0..40 {
+            let n = rng.gen_range(4..11);
+            let p = rng.gen_range(0.2..0.9);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let gamma = [0.5, 0.6, 0.7, 0.9, 1.0][case % 5];
+            let theta = 2 + case % 3;
+            check_against_oracle(&g, gamma, theta, BranchingStrategy::HybridSe);
+        }
+    }
+
+    #[test]
+    fn sym_se_and_se_are_also_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..15 {
+            let n = rng.gen_range(5..10);
+            let p = rng.gen_range(0.3..0.8);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let gamma = [0.5, 0.7, 0.9][case % 3];
+            check_against_oracle(&g, gamma, 2, BranchingStrategy::SymSe);
+            check_against_oracle(&g, gamma, 2, BranchingStrategy::Se);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_finds_mqcs_in_every_component() {
+        // Two disjoint 4-cliques.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+                edges.push((u + 4, v + 4));
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        check_against_oracle(&g, 0.9, 3, BranchingStrategy::HybridSe);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::empty(5);
+        let outcome = fastqc_whole_graph(&g, params(0.9, 2), BranchingStrategy::HybridSe, None);
+        assert!(outcome.outputs.is_empty());
+        let g0 = Graph::empty(0);
+        let outcome0 = fastqc_whole_graph(&g0, params(0.9, 1), BranchingStrategy::HybridSe, None);
+        assert!(outcome0.outputs.is_empty());
+    }
+
+    #[test]
+    fn theta_one_emits_singletons_when_isolated() {
+        // An isolated vertex is a maximal QC of size 1.
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let p = params(0.9, 1);
+        let outcome = fastqc_whole_graph(&g, p, BranchingStrategy::HybridSe, None);
+        let filtered = filter_maximal(&outcome.outputs);
+        let expected = naive::all_maximal_quasi_cliques(&g, p);
+        assert_eq!(filtered, expected);
+        assert!(expected.contains(&vec![2]));
+    }
+
+    #[test]
+    fn branch_counts_ordered_by_strategy() {
+        // Hybrid-SE and Sym-SE should not explore more branches than SE on a
+        // graph with enough structure (this is the Figure 11 shape).
+        let g = Graph::paper_figure1();
+        let p = params(0.6, 2);
+        let hybrid = fastqc_whole_graph(&g, p, BranchingStrategy::HybridSe, None);
+        let sym = fastqc_whole_graph(&g, p, BranchingStrategy::SymSe, None);
+        let se = fastqc_whole_graph(&g, p, BranchingStrategy::Se, None);
+        assert!(hybrid.stats.branches <= sym.stats.branches);
+        assert!(sym.stats.branches <= se.stats.branches);
+    }
+
+    #[test]
+    fn time_limit_aborts() {
+        let g = Graph::complete(18);
+        let deadline = Some(Instant::now());
+        let outcome = fastqc_whole_graph(&g, params(0.5, 2), BranchingStrategy::Se, deadline);
+        // With an already-expired deadline the search gives up early. It may
+        // still emit a few outputs but must flag the timeout (unless it
+        // happened to finish within the polling interval, which Se on K18
+        // at γ=0.5 will not).
+        assert!(outcome.stats.timed_out || outcome.stats.branches < 2000);
+    }
+
+    #[test]
+    fn alpha_k_matches_paper_values() {
+        assert!((alpha_k(2) - 1.769).abs() < 2e-3);
+        assert!((alpha_k(3) - 1.899).abs() < 2e-3);
+        assert!((alpha_k(4) - 1.953).abs() < 2e-3);
+        assert!(alpha_k(10) < 2.0);
+    }
+
+    #[test]
+    fn dc_style_invocation_with_initial_s() {
+        // Emulate a DC subproblem: S = {0}, C = the 2-hop ball around 0.
+        let g = Graph::complete(5);
+        let outcome = run_fastqc(
+            &g,
+            &[0],
+            &[1, 2, 3, 4],
+            params(0.9, 2),
+            BranchingStrategy::HybridSe,
+            None,
+        );
+        let filtered = filter_maximal(&outcome.outputs);
+        assert_eq!(filtered, vec![vec![0, 1, 2, 3, 4]]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Maximal γ-quasi-clique enumeration: FastQC, DCFastQC and the Quick+
+//! baseline.
+//!
+//! This crate implements the algorithms of *"Fast Maximal Quasi-clique
+//! Enumeration: A Pruning and Branching Co-Design Approach"* (Yu & Long,
+//! SIGMOD 2024):
+//!
+//! * [`fastqc`] — the FastQC branch-and-bound algorithm (SD-space necessary
+//!   condition, progressive refinement, Sym-SE and Hybrid-SE branching) with
+//!   worst-case time `O(n·d·α_k^n)`, `α_k < 2`.
+//! * [`dc`] — the divide-and-conquer driver (`DCFastQC`) and the basic DC
+//!   framework used as an ablation baseline.
+//! * [`quickplus`] — the Quick+ baseline with SE branching and Type I/II
+//!   pruning rules.
+//! * [`pipeline`] — the end-to-end MQCE solver: MQCE-S1 (enumeration) plus
+//!   MQCE-S2 (set-trie maximality filtering), returning exactly the maximal
+//!   quasi-cliques of size ≥ θ.
+//! * [`naive`] — an exhaustive oracle for differential testing.
+//! * [`quasiclique`] — the γ-quasi-clique predicate and the τ/Δ/σ primitives.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mqce_core::prelude::*;
+//! use mqce_graph::Graph;
+//!
+//! // A 5-clique with a pendant vertex.
+//! let g = Graph::from_edges(6, &[
+//!     (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4),
+//!     (2, 3), (2, 4), (3, 4), (4, 5),
+//! ]);
+//! let result = enumerate_mqcs_default(&g, 0.9, 3).unwrap();
+//! assert_eq!(result.mqcs, vec![vec![0, 1, 2, 3, 4]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+pub mod bounds;
+pub mod config;
+pub mod dc;
+pub mod edge_qc;
+pub mod fastqc;
+pub mod kernel;
+pub mod naive;
+pub mod pipeline;
+pub mod quasiclique;
+pub mod query;
+pub mod quickplus;
+pub mod stats;
+pub mod topk;
+pub mod verify;
+
+pub use branch::SearchOutcome;
+pub use config::{Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError};
+pub use pipeline::{enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult};
+pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
+pub use stats::SearchStats;
+pub use topk::{find_largest_mqcs, TopKResult};
+pub use verify::{verify_exact_against_oracle, verify_mqc_set, verify_s1_output, VerificationReport, Violation};
+
+/// Commonly used items, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use crate::config::{Algorithm, BranchingStrategy, MqceConfig, MqceParams};
+    pub use crate::pipeline::{
+        enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult,
+    };
+    pub use crate::quasiclique::is_quasi_clique;
+    pub use crate::stats::SearchStats;
+}

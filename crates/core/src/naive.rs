@@ -1,0 +1,159 @@
+//! Exhaustive enumeration oracle for differential testing.
+//!
+//! Enumerates every vertex subset of the graph, keeps the γ-quasi-cliques of
+//! size ≥ θ, and filters them down to the maximal ones. Exponential in the
+//! number of vertices — only usable on tiny graphs (the implementation caps
+//! the graph size to keep accidental misuse from hanging the test suite).
+
+use mqce_graph::{Graph, VertexId};
+
+use crate::config::MqceParams;
+use crate::quasiclique::is_quasi_clique;
+
+/// Maximum graph size the oracle accepts.
+pub const NAIVE_MAX_VERTICES: usize = 22;
+
+/// Enumerates **all** γ-quasi-cliques with at least θ vertices (not only the
+/// maximal ones), as sorted vertex sets in ascending lexicographic order.
+///
+/// # Panics
+/// Panics if the graph has more than [`NAIVE_MAX_VERTICES`] vertices.
+pub fn all_quasi_cliques(g: &Graph, params: MqceParams) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(
+        n <= NAIVE_MAX_VERTICES,
+        "naive enumeration is limited to {NAIVE_MAX_VERTICES} vertices, got {n}"
+    );
+    let mut result = Vec::new();
+    let mut subset = Vec::new();
+    for mask in 1u64..(1u64 << n) {
+        if (mask.count_ones() as usize) < params.theta {
+            continue;
+        }
+        subset.clear();
+        for v in 0..n {
+            if mask & (1 << v) != 0 {
+                subset.push(v as VertexId);
+            }
+        }
+        if is_quasi_clique(g, &subset, params.gamma) {
+            result.push(subset.clone());
+        }
+    }
+    result.sort();
+    result
+}
+
+/// Enumerates all **maximal** γ-quasi-cliques with at least θ vertices — the
+/// ground-truth answer to the MQCE problem on tiny graphs.
+///
+/// Maximality is decided against *all* quasi-cliques of the graph (not only
+/// the large ones), matching Definition 2 of the paper.
+pub fn all_maximal_quasi_cliques(g: &Graph, params: MqceParams) -> Vec<Vec<VertexId>> {
+    // Collect every QC regardless of size so that maximality is judged
+    // against the full set, then keep the large maximal ones.
+    let all = all_quasi_cliques(
+        g,
+        MqceParams {
+            gamma: params.gamma,
+            theta: 1,
+        },
+    );
+    let is_subset = |a: &[VertexId], b: &[VertexId]| -> bool {
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    };
+    let mut result: Vec<Vec<VertexId>> = Vec::new();
+    for (i, h) in all.iter().enumerate() {
+        if h.len() < params.theta {
+            continue;
+        }
+        let dominated = all
+            .iter()
+            .enumerate()
+            .any(|(j, other)| i != j && h.len() < other.len() && is_subset(h, other));
+        if !dominated {
+            result.push(h.clone());
+        }
+    }
+    result.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(gamma: f64, theta: usize) -> MqceParams {
+        MqceParams::new(gamma, theta).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_has_single_mqc() {
+        let g = Graph::complete(5);
+        let mqcs = all_maximal_quasi_cliques(&g, params(0.9, 2));
+        assert_eq!(mqcs, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn clique_case_gamma_one() {
+        // Two triangles sharing vertex 0.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]);
+        let mqcs = all_maximal_quasi_cliques(&g, params(1.0, 3));
+        assert_eq!(mqcs, vec![vec![0, 1, 2], vec![0, 3, 4]]);
+    }
+
+    #[test]
+    fn theta_filters_small_mqcs() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        // The edge {3,4} is a maximal 0.9-QC of size 2; θ = 3 hides it.
+        let mqcs = all_maximal_quasi_cliques(&g, params(0.9, 3));
+        assert_eq!(mqcs, vec![vec![0, 1, 2]]);
+        let mqcs2 = all_maximal_quasi_cliques(&g, params(0.9, 2));
+        assert!(mqcs2.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn all_quasi_cliques_counts() {
+        let g = Graph::complete(4);
+        // Every connected non-empty subset of a clique is a 1.0-QC:
+        // 4 singletons + 6 edges + 4 triangles + 1 whole = 15.
+        assert_eq!(all_quasi_cliques(&g, params(1.0, 1)).len(), 15);
+        assert_eq!(all_quasi_cliques(&g, params(1.0, 3)).len(), 5);
+    }
+
+    #[test]
+    fn paper_example_qc_is_found() {
+        let g = Graph::paper_figure1();
+        let qcs = all_quasi_cliques(&g, params(0.6, 4));
+        assert!(qcs.contains(&vec![0, 2, 3, 4]));
+    }
+
+    #[test]
+    fn maximality_is_judged_against_small_qcs_too() {
+        // Path 0-1-2 with γ = 0.5 and θ = 3: {0,1,2} needs each vertex to have
+        // ⌈0.5·2⌉ = 1 neighbour — satisfied — so it is the unique large MQC.
+        let g = Graph::path(3);
+        let mqcs = all_maximal_quasi_cliques(&g, params(0.5, 3));
+        assert_eq!(mqcs, vec![vec![0, 1, 2]]);
+        // With θ = 2, {0,1} is a QC but contained in {0,1,2}: not maximal.
+        let mqcs2 = all_maximal_quasi_cliques(&g, params(0.5, 2));
+        assert_eq!(mqcs2, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "naive enumeration is limited")]
+    fn oracle_rejects_large_graphs() {
+        let g = Graph::empty(40);
+        all_quasi_cliques(&g, params(0.9, 2));
+    }
+}

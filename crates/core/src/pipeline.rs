@@ -1,0 +1,333 @@
+//! End-to-end MQCE pipeline: MQCE-S1 (branch-and-bound enumeration) followed
+//! by MQCE-S2 (set-trie maximality filtering).
+//!
+//! This is the high-level API most users want: give it a graph and the
+//! parameters, get back exactly the maximal γ-quasi-cliques of size ≥ θ.
+
+use std::time::{Duration, Instant};
+
+use mqce_graph::{Graph, VertexId};
+use mqce_settrie::filter_maximal;
+
+use crate::branch::SearchOutcome;
+use crate::config::{Algorithm, MqceConfig, MqceParams};
+use crate::dc::{run_dc, DcConfig, InnerAlgorithm};
+use crate::fastqc::fastqc_whole_graph;
+use crate::naive;
+use crate::quickplus::quickplus_whole_graph;
+use crate::stats::SearchStats;
+
+/// Result of an end-to-end MQCE run.
+#[derive(Clone, Debug, Default)]
+pub struct MqceResult {
+    /// The MQCE-S1 output: a set of quasi-cliques containing every maximal QC
+    /// of size ≥ θ (possibly with non-maximal members). Sorted vertex sets.
+    pub qcs: Vec<Vec<VertexId>>,
+    /// The MQCE-S2 output: exactly the maximal quasi-cliques of size ≥ θ,
+    /// sorted lexicographically.
+    pub mqcs: Vec<Vec<VertexId>>,
+    /// Statistics of the S1 search.
+    pub stats: SearchStats,
+    /// Wall-clock time spent in MQCE-S1.
+    pub s1_time: Duration,
+    /// Wall-clock time spent in MQCE-S2 (set-trie filtering).
+    pub s2_time: Duration,
+}
+
+impl MqceResult {
+    /// Whether the run hit its time limit (the MQC list may be incomplete).
+    pub fn timed_out(&self) -> bool {
+        self.stats.timed_out
+    }
+
+    /// Sizes of the maximal quasi-cliques: `(min, max, mean)` — the
+    /// `|H_min| / |H_max| / |H_avg|` columns of Table 1. Returns `None` when
+    /// no MQC was found.
+    pub fn mqc_size_stats(&self) -> Option<(usize, usize, f64)> {
+        if self.mqcs.is_empty() {
+            return None;
+        }
+        let min = self.mqcs.iter().map(Vec::len).min().unwrap();
+        let max = self.mqcs.iter().map(Vec::len).max().unwrap();
+        let mean = self.mqcs.iter().map(Vec::len).sum::<usize>() as f64 / self.mqcs.len() as f64;
+        Some((min, max, mean))
+    }
+}
+
+/// Runs only MQCE-S1 with the configured algorithm, returning the raw set of
+/// quasi-cliques (global vertex ids) and the search statistics.
+pub fn solve_s1(g: &Graph, config: &MqceConfig) -> SearchOutcome {
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let params = config.params;
+    match config.algorithm {
+        Algorithm::DcFastQc => run_dc(
+            g,
+            params,
+            InnerAlgorithm::FastQc(config.branching),
+            DcConfig::paper_default().with_max_round(config.max_round),
+            deadline,
+        ),
+        Algorithm::BasicDcFastQc => run_dc(
+            g,
+            params,
+            InnerAlgorithm::FastQc(config.branching),
+            DcConfig::basic(),
+            deadline,
+        ),
+        Algorithm::FastQc => fastqc_whole_graph(g, params, config.branching, deadline),
+        Algorithm::QuickPlus => run_dc(
+            g,
+            params,
+            InnerAlgorithm::QuickPlus,
+            DcConfig::basic(),
+            deadline,
+        ),
+        Algorithm::QuickPlusRaw => quickplus_whole_graph(g, params, deadline),
+        Algorithm::Naive => {
+            let outputs = naive::all_maximal_quasi_cliques(g, params);
+            SearchOutcome {
+                stats: SearchStats {
+                    outputs: outputs.len() as u64,
+                    ..Default::default()
+                },
+                outputs,
+            }
+        }
+    }
+}
+
+/// Runs the full MQCE pipeline (S1 + S2) with the given configuration.
+pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
+    let s1_start = Instant::now();
+    let outcome = solve_s1(g, config);
+    let s1_time = s1_start.elapsed();
+
+    let s2_start = Instant::now();
+    let mqcs = filter_maximal(&outcome.outputs);
+    let s2_time = s2_start.elapsed();
+
+    let mut qcs = outcome.outputs;
+    qcs.sort();
+    qcs.dedup();
+    MqceResult {
+        qcs,
+        mqcs,
+        stats: outcome.stats,
+        s1_time,
+        s2_time,
+    }
+}
+
+/// Multi-threaded variant of [`enumerate_mqcs`]: the divide-and-conquer
+/// subproblems are distributed over `num_threads` OS threads (the parallel
+/// implementation the paper lists as future work). For algorithms without a
+/// DC decomposition this falls back to the sequential solver.
+pub fn enumerate_mqcs_parallel(g: &Graph, config: &MqceConfig, num_threads: usize) -> MqceResult {
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let params = config.params;
+    let s1_start = Instant::now();
+    let outcome = match config.algorithm {
+        Algorithm::DcFastQc => crate::dc::run_dc_parallel(
+            g,
+            params,
+            InnerAlgorithm::FastQc(config.branching),
+            DcConfig::paper_default().with_max_round(config.max_round),
+            num_threads,
+            deadline,
+        ),
+        Algorithm::BasicDcFastQc => crate::dc::run_dc_parallel(
+            g,
+            params,
+            InnerAlgorithm::FastQc(config.branching),
+            DcConfig::basic(),
+            num_threads,
+            deadline,
+        ),
+        Algorithm::QuickPlus => crate::dc::run_dc_parallel(
+            g,
+            params,
+            InnerAlgorithm::QuickPlus,
+            DcConfig::basic(),
+            num_threads,
+            deadline,
+        ),
+        _ => solve_s1(g, config),
+    };
+    let s1_time = s1_start.elapsed();
+    let s2_start = Instant::now();
+    let mqcs = filter_maximal(&outcome.outputs);
+    let s2_time = s2_start.elapsed();
+    let mut qcs = outcome.outputs;
+    qcs.sort();
+    qcs.dedup();
+    MqceResult {
+        qcs,
+        mqcs,
+        stats: outcome.stats,
+        s1_time,
+        s2_time,
+    }
+}
+
+/// Convenience wrapper: enumerate the maximal γ-quasi-cliques of size ≥ θ
+/// using the paper's default algorithm (DCFastQC with Hybrid-SE branching).
+pub fn enumerate_mqcs_default(g: &Graph, gamma: f64, theta: usize) -> Result<MqceResult, crate::config::ParamError> {
+    let config = MqceConfig::new(gamma, theta)?;
+    Ok(enumerate_mqcs(g, &config))
+}
+
+/// Parameters bundle re-exported for callers that only run S1.
+pub fn params(gamma: f64, theta: usize) -> Result<MqceParams, crate::config::ParamError> {
+    MqceParams::new(gamma, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BranchingStrategy;
+    use mqce_graph::generators::{planted_quasi_cliques, PlantedGroup};
+
+    #[test]
+    fn all_algorithms_agree_on_paper_graph() {
+        let g = Graph::paper_figure1();
+        for &gamma in &[0.5, 0.6, 0.9, 1.0] {
+            for theta in 2..=3 {
+                let reference = enumerate_mqcs(
+                    &g,
+                    &MqceConfig::new(gamma, theta)
+                        .unwrap()
+                        .with_algorithm(Algorithm::Naive),
+                )
+                .mqcs;
+                for algo in [
+                    Algorithm::DcFastQc,
+                    Algorithm::FastQc,
+                    Algorithm::BasicDcFastQc,
+                    Algorithm::QuickPlus,
+                    Algorithm::QuickPlusRaw,
+                ] {
+                    let result = enumerate_mqcs(
+                        &g,
+                        &MqceConfig::new(gamma, theta).unwrap().with_algorithm(algo),
+                    );
+                    assert_eq!(
+                        result.mqcs, reference,
+                        "algorithm {algo:?} disagrees at gamma={gamma} theta={theta}"
+                    );
+                    assert!(!result.timed_out());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_groups_are_recovered() {
+        // Two planted cliques of size 10 and 8 in a sparse background: with
+        // γ = 0.9, θ = 7 the planted groups must appear inside the MQC list.
+        let g = planted_quasi_cliques(
+            80,
+            0.02,
+            &[
+                PlantedGroup { size: 10, density: 1.0 },
+                PlantedGroup { size: 8, density: 1.0 },
+            ],
+            77,
+        );
+        let result = enumerate_mqcs_default(&g, 0.9, 7).unwrap();
+        let group1: Vec<VertexId> = (0..10).collect();
+        let group2: Vec<VertexId> = (10..18).collect();
+        let covers = |planted: &Vec<VertexId>| {
+            result.mqcs.iter().any(|mqc| {
+                planted.iter().all(|v| mqc.contains(v))
+            })
+        };
+        assert!(covers(&group1), "planted 10-clique not recovered");
+        assert!(covers(&group2), "planted 8-clique not recovered");
+        assert!(result.s1_time >= Duration::ZERO);
+        assert_eq!(result.stats.outputs_rejected, 0);
+    }
+
+    #[test]
+    fn qcs_superset_of_mqcs() {
+        let g = Graph::paper_figure1();
+        let result = enumerate_mqcs_default(&g, 0.6, 3).unwrap();
+        for mqc in &result.mqcs {
+            assert!(result.qcs.contains(mqc));
+        }
+        assert!(result.qcs.len() >= result.mqcs.len());
+    }
+
+    #[test]
+    fn size_stats() {
+        let g = Graph::complete(5);
+        let result = enumerate_mqcs_default(&g, 0.9, 2).unwrap();
+        assert_eq!(result.mqc_size_stats(), Some((5, 5, 5.0)));
+        let empty = enumerate_mqcs_default(&g, 0.9, 6).unwrap();
+        assert_eq!(empty.mqc_size_stats(), None);
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        use mqce_graph::generators::{planted_quasi_cliques, PlantedGroup};
+        let g = planted_quasi_cliques(
+            100,
+            0.02,
+            &[
+                PlantedGroup { size: 10, density: 0.95 },
+                PlantedGroup { size: 8, density: 1.0 },
+            ],
+            55,
+        );
+        for algo in [Algorithm::DcFastQc, Algorithm::QuickPlus, Algorithm::FastQc] {
+            let config = MqceConfig::new(0.9, 6).unwrap().with_algorithm(algo);
+            let sequential = enumerate_mqcs(&g, &config);
+            let parallel = enumerate_mqcs_parallel(&g, &config, 4);
+            assert_eq!(parallel.mqcs, sequential.mqcs, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        use mqce_graph::generators::erdos_renyi_gnm;
+        let g = erdos_renyi_gnm(300, 6000, 5);
+        let config = MqceConfig::new(0.5, 3)
+            .unwrap()
+            .with_algorithm(Algorithm::QuickPlusRaw)
+            .with_time_limit(Duration::from_millis(50));
+        let start = Instant::now();
+        let result = enumerate_mqcs(&g, &config);
+        // Either the search finished quickly or it was cut off close to the
+        // limit; in no case may it run for many seconds.
+        assert!(start.elapsed() < Duration::from_secs(20));
+        let _ = result.timed_out();
+    }
+
+    #[test]
+    fn branching_strategies_all_exact_on_community_graph() {
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 60,
+                num_communities: 5,
+                p_intra: 0.85,
+                inter_degree: 1.0,
+            },
+            2024,
+        );
+        let reference = enumerate_mqcs(
+            &g,
+            &MqceConfig::new(0.8, 5).unwrap().with_algorithm(Algorithm::DcFastQc),
+        )
+        .mqcs;
+        for branching in [BranchingStrategy::SymSe, BranchingStrategy::Se] {
+            let result = enumerate_mqcs(
+                &g,
+                &MqceConfig::new(0.8, 5)
+                    .unwrap()
+                    .with_algorithm(Algorithm::DcFastQc)
+                    .with_branching(branching),
+            );
+            assert_eq!(result.mqcs, reference, "branching {branching:?} disagrees");
+        }
+    }
+}

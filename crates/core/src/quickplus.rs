@@ -1,0 +1,318 @@
+//! The Quick+ baseline (Algorithm 1 of the paper).
+//!
+//! Quick+ is the state-of-the-art algorithm the paper compares against
+//! (Liu & Wong's Quick with the improved pruning rules and boundary-case
+//! fixes of Guo et al. / Khalil et al. [19, 24]). It uses plain
+//! set-enumeration (SE) branching and prunes with *Type I* rules (removing
+//! candidates) and *Type II* rules (terminating branches). The paper
+//! deliberately leaves the rule list to [24]; this implementation contains the
+//! core degree- and bound-based subset of those rules (see `DESIGN.md` §3),
+//! which keeps the baseline correct (verified against the exhaustive oracle)
+//! and preserves its defining characteristics: SE branching and no worst-case
+//! guarantee better than `O*(2^n)`.
+//!
+//! Unlike FastQC, Quick+ does **not** apply the necessary-maximality filter to
+//! its outputs, so it reports more non-maximal quasi-cliques (this is the
+//! `#{Quick+}` vs `#{DCFastQC}` comparison of Table 1).
+
+use std::time::Instant;
+
+use mqce_graph::{Graph, VertexId};
+
+use crate::bounds::{branch_bounds, candidate_feasible};
+use crate::branch::{DegSource, SearchCtx, SearchOutcome};
+use crate::config::MqceParams;
+use crate::quasiclique::{required_degree, tau};
+
+/// Runs Quick+ on `g` starting from the branch `(s_init, cand, implicit D)`.
+pub fn run_quickplus(
+    g: &Graph,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let mut ctx = SearchCtx::new(g, params, s_init, cand, deadline);
+    let mut searcher = QuickPlus { ctx: &mut ctx };
+    searcher.recurse(cand.to_vec());
+    ctx.finish()
+}
+
+/// Convenience wrapper: run Quick+ over the whole graph.
+pub fn quickplus_whole_graph(
+    g: &Graph,
+    params: MqceParams,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let all: Vec<VertexId> = g.vertices().collect();
+    run_quickplus(g, &[], &all, params, deadline)
+}
+
+struct QuickPlus<'a, 'g> {
+    ctx: &'a mut SearchCtx<'g>,
+}
+
+impl<'a, 'g> QuickPlus<'a, 'g> {
+    /// `Quick-Rec(S, C, D)`: returns `true` iff a quasi-clique was found under
+    /// this branch (so the parent knows whether to consider `G[S]`).
+    fn recurse(&mut self, cand: Vec<VertexId>) -> bool {
+        if !self.ctx.enter_branch() {
+            self.ctx.leave_branch();
+            return false;
+        }
+        let result = self.branch_body(cand);
+        self.ctx.leave_branch();
+        result
+    }
+
+    fn branch_body(&mut self, cand: Vec<VertexId>) -> bool {
+        // Termination (lines 3-6): no candidates left.
+        if cand.is_empty() {
+            return self.output_partial_set();
+        }
+
+        // SE branching (Equation 1): branch B_i includes v_i and excludes
+        // v_1..v_{i-1}.
+        let order = cand;
+        let mut any_found = false;
+        let mut excluded: Vec<VertexId> = Vec::new();
+        for (i, &vi) in order.iter().enumerate() {
+            self.ctx.push_s(vi);
+            let mut child_cand: Vec<VertexId> = order[i + 1..].to_vec();
+
+            // Type I pruning on C_i and Type II checks on S_i.
+            let mut removed: Vec<VertexId> = Vec::new();
+            let type2 = self.prune(&mut child_cand, &mut removed);
+            if !type2 {
+                any_found |= self.recurse(child_cand);
+            } else {
+                self.ctx.stats.pruned_by_size += 1;
+            }
+            for &v in removed.iter().rev() {
+                self.ctx.restore_c(v);
+            }
+            self.ctx.pop_s(vi);
+            if self.ctx.aborted {
+                // Restore bookkeeping and bail out.
+                for &v in excluded.iter().rev() {
+                    self.ctx.restore_c(v);
+                }
+                return any_found;
+            }
+            self.ctx.remove_c(vi);
+            excluded.push(vi);
+        }
+        for &v in excluded.iter().rev() {
+            self.ctx.restore_c(v);
+        }
+
+        // Additional step (lines 12-15): if no sub-branch found a QC, the
+        // partial set itself may be one (non-hereditary property).
+        if any_found {
+            return true;
+        }
+        self.output_partial_set()
+    }
+
+    /// Emits `G[S]` if it is a large QC. Returns `true` iff `G[S]` is a QC
+    /// (regardless of θ), per lines 4-5 / 13-14 of Algorithm 1. Quick+ does
+    /// not apply the necessary-maximality filter.
+    fn output_partial_set(&mut self) -> bool {
+        let s: Vec<VertexId> = self.ctx.s_vertices().to_vec();
+        if s.is_empty() {
+            return false;
+        }
+        if !crate::quasiclique::is_quasi_clique(self.ctx.g, &s, self.ctx.gamma) {
+            return false;
+        }
+        self.ctx.emit(&s, DegSource::PartialSet, false);
+        true
+    }
+
+    /// Applies Type I pruning rules to `cand` (removing vertices, recorded in
+    /// `removed` for undo) and then checks the Type II rules on `S`.
+    /// Returns `true` if a Type II rule fires (the branch must be skipped).
+    fn prune(&mut self, cand: &mut Vec<VertexId>, removed: &mut Vec<VertexId>) -> bool {
+        let gamma = self.ctx.gamma;
+        let theta = self.ctx.theta;
+        let min_req = required_degree(gamma, theta);
+        loop {
+            let s_len = self.ctx.s_len();
+            let total = s_len + cand.len();
+            // Type II (a): not enough vertices left for a large QC.
+            if total < theta {
+                return true;
+            }
+            // τ(N) bounds the disconnections of any vertex in a QC under the
+            // branch (Equation 7 instantiated at the largest possible size).
+            let tau_n = tau(gamma, total as f64);
+            // Type II (b): a vertex of S already has too many disconnections
+            // within S, or cannot reach the θ-degree requirement at all.
+            for &v in self.ctx.s_vertices() {
+                if self.ctx.disconnections_s(v) as i64 > tau_n {
+                    return true;
+                }
+                if self.ctx.deg_sc(v) < min_req {
+                    return true;
+                }
+            }
+            // Type II (c): upper bound on the size of any QC under the branch
+            // derived from the minimum degree within S (Lemma 2).
+            if let Some(dmin) = self.ctx.d_min() {
+                let size_bound = (dmin as f64 / gamma + 1.0).floor() as usize;
+                if size_bound.min(total) < theta {
+                    return true;
+                }
+            }
+            // Type II (d): the upper/lower bounds on the number of addable
+            // candidates (the U_min / L_max rules of Quick). `upper` caps how
+            // many candidates any QC under the branch can still absorb;
+            // `lower` is how many the most deficient member of S still needs.
+            let bounds = match branch_bounds(
+                gamma,
+                s_len,
+                self.ctx
+                    .s_vertices()
+                    .iter()
+                    .map(|&v| {
+                        let ind = self.ctx.deg_s(v);
+                        (ind, self.ctx.deg_sc(v) - ind)
+                    })
+                    .collect::<Vec<_>>(),
+                cand.len(),
+            ) {
+                Some(b) => b,
+                None => return true,
+            };
+            if s_len + bounds.upper < theta || bounds.lower > bounds.upper {
+                return true;
+            }
+            let t_max = if s_len == 0 { cand.len() } else { bounds.upper };
+
+            // Type I rules: remove candidates that cannot belong to any large
+            // QC under the branch.
+            let mut to_remove: Vec<VertexId> = Vec::new();
+            for &v in cand.iter() {
+                // (1) Degree too small to ever satisfy the θ requirement.
+                let rule_degree = self.ctx.deg_sc(v) < min_req;
+                // (2) Too many non-neighbours within S already:
+                //     δ̄(v, S∪{v}) > τ(N).
+                let disconnections = s_len + 1 - self.ctx.deg_s(v);
+                let rule_disconnections = disconnections as i64 > tau_n;
+                // (3) Bound-based rule: no admissible number of additions
+                //     t ≤ U_min lets v reach its own degree requirement in a
+                //     QC of size ≥ θ.
+                let ind_s = self.ctx.deg_s(v);
+                let ext_c = self.ctx.deg_sc(v) - ind_s;
+                let rule_bounds = !candidate_feasible(gamma, theta, s_len, ind_s, ext_c, t_max);
+                if rule_degree || rule_disconnections || rule_bounds {
+                    to_remove.push(v);
+                }
+            }
+            if to_remove.is_empty() {
+                return false;
+            }
+            self.ctx.stats.candidates_refined += to_remove.len() as u64;
+            for &v in &to_remove {
+                self.ctx.remove_c(v);
+                removed.push(v);
+            }
+            cand.retain(|v| !to_remove.contains(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MqceParams;
+    use crate::naive;
+    use mqce_settrie::filter_maximal;
+
+    fn params(gamma: f64, theta: usize) -> MqceParams {
+        MqceParams::new(gamma, theta).unwrap()
+    }
+
+    fn check_against_oracle(g: &Graph, gamma: f64, theta: usize) {
+        let p = params(gamma, theta);
+        let outcome = quickplus_whole_graph(g, p, None);
+        assert_eq!(outcome.stats.outputs_rejected, 0);
+        for h in &outcome.outputs {
+            assert!(h.len() >= theta);
+            assert!(crate::quasiclique::is_quasi_clique(g, h, gamma));
+        }
+        let filtered = filter_maximal(&outcome.outputs);
+        let expected = naive::all_maximal_quasi_cliques(g, p);
+        assert_eq!(
+            filtered, expected,
+            "Quick+ mismatch for gamma={gamma} theta={theta} on {} vertices",
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn complete_and_paper_graphs() {
+        check_against_oracle(&Graph::complete(6), 0.9, 3);
+        let g = Graph::paper_figure1();
+        for &gamma in &[0.5, 0.6, 0.7, 0.9, 1.0] {
+            check_against_oracle(&g, gamma, 2);
+            check_against_oracle(&g, gamma, 3);
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..25 {
+            let n = rng.gen_range(4..10);
+            let p = rng.gen_range(0.25..0.85);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let gamma = [0.5, 0.6, 0.75, 0.9, 1.0][case % 5];
+            let theta = 2 + (case % 2);
+            check_against_oracle(&g, gamma, theta);
+        }
+    }
+
+    #[test]
+    fn quickplus_reports_at_least_as_many_outputs_as_fastqc() {
+        // Quick+ lacks the necessary-maximality filter, so its S1 output is a
+        // superset in count (Table 1 shape: #{Quick+} ≥ #{DCFastQC}).
+        use crate::config::BranchingStrategy;
+        use crate::fastqc::fastqc_whole_graph;
+        let g = Graph::paper_figure1();
+        let p = params(0.6, 3);
+        let quick = quickplus_whole_graph(&g, p, None);
+        let fast = fastqc_whole_graph(&g, p, BranchingStrategy::HybridSe, None);
+        assert!(quick.stats.outputs >= fast.stats.outputs);
+        // And both reduce to the same maximal set.
+        assert_eq!(
+            filter_maximal(&quick.outputs),
+            filter_maximal(&fast.outputs)
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        let outcome = quickplus_whole_graph(&g, params(0.9, 2), None);
+        assert!(outcome.outputs.is_empty());
+    }
+
+    #[test]
+    fn dc_style_invocation() {
+        let g = Graph::complete(5);
+        let outcome = run_quickplus(&g, &[0], &[1, 2, 3, 4], params(0.9, 2), None);
+        let filtered = filter_maximal(&outcome.outputs);
+        assert_eq!(filtered, vec![vec![0, 1, 2, 3, 4]]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Search statistics collected by the branch-and-bound searchers and the
+//! divide-and-conquer driver. These power both the tests (e.g. "Hybrid-SE
+//! explores no more branches than SE") and the ablation experiments.
+
+/// Counters describing one MQCE-S1 run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of branch-and-bound nodes (recursive calls) explored.
+    pub branches: u64,
+    /// Branches pruned because the necessary condition C1&2 failed
+    /// (`Δ(S) > τ(σ(B))` or `σ(B) < |S|`), including failures detected while
+    /// progressively refining.
+    pub pruned_by_condition: u64,
+    /// Branches terminated by the size-based condition T2.
+    pub pruned_by_size: u64,
+    /// Branches terminated by T1 (`G[S∪C]` is itself a quasi-clique).
+    pub t1_terminations: u64,
+    /// Candidate vertices removed by the refinement rules (Rules 1 and 2) or
+    /// the Quick+ Type I rules.
+    pub candidates_refined: u64,
+    /// Quasi-cliques emitted by the searcher (the MQCE-S1 output size).
+    pub outputs: u64,
+    /// Candidate outputs suppressed by the necessary-maximality check.
+    pub outputs_suppressed_by_maximality: u64,
+    /// Candidate outputs rejected because they failed the final quasi-clique
+    /// verification. Always 0 unless there is a bug; tests assert on it.
+    pub outputs_rejected: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: u64,
+    /// Number of divide-and-conquer subproblems (0 when DC is not used).
+    pub dc_subproblems: u64,
+    /// Total number of vertices over all DC subgraphs before pruning.
+    pub dc_vertices_before_pruning: u64,
+    /// Total number of vertices over all DC subgraphs after pruning
+    /// (what the search actually runs on).
+    pub dc_vertices_after_pruning: u64,
+    /// Whether the run stopped early because the time limit was hit.
+    pub timed_out: bool,
+}
+
+impl SearchStats {
+    /// Merges the counters of another run into this one (used by the DC
+    /// driver to aggregate per-subproblem stats).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.branches += other.branches;
+        self.pruned_by_condition += other.pruned_by_condition;
+        self.pruned_by_size += other.pruned_by_size;
+        self.t1_terminations += other.t1_terminations;
+        self.candidates_refined += other.candidates_refined;
+        self.outputs += other.outputs;
+        self.outputs_suppressed_by_maximality += other.outputs_suppressed_by_maximality;
+        self.outputs_rejected += other.outputs_rejected;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.dc_subproblems += other.dc_subproblems;
+        self.dc_vertices_before_pruning += other.dc_vertices_before_pruning;
+        self.dc_vertices_after_pruning += other.dc_vertices_after_pruning;
+        self.timed_out |= other.timed_out;
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "branches={} pruned_cond={} pruned_size={} t1={} refined={} outputs={} depth={}",
+            self.branches,
+            self.pruned_by_condition,
+            self.pruned_by_size,
+            self.t1_terminations,
+            self.candidates_refined,
+            self.outputs,
+            self.max_depth
+        )?;
+        if self.dc_subproblems > 0 {
+            write!(
+                f,
+                " dc_subproblems={} dc_vertices={}→{}",
+                self.dc_subproblems,
+                self.dc_vertices_before_pruning,
+                self.dc_vertices_after_pruning
+            )?;
+        }
+        if self.timed_out {
+            write!(f, " TIMED_OUT")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats {
+            branches: 10,
+            outputs: 2,
+            max_depth: 3,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            branches: 5,
+            outputs: 1,
+            max_depth: 7,
+            timed_out: true,
+            dc_subproblems: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.branches, 15);
+        assert_eq!(a.outputs, 3);
+        assert_eq!(a.max_depth, 7);
+        assert_eq!(a.dc_subproblems, 2);
+        assert!(a.timed_out);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = SearchStats {
+            branches: 42,
+            dc_subproblems: 3,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("branches=42"));
+        assert!(text.contains("dc_subproblems=3"));
+        assert!(!text.contains("TIMED_OUT"));
+    }
+}

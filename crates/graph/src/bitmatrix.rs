@@ -1,0 +1,120 @@
+//! Dense adjacency-matrix bitset for small graphs.
+//!
+//! The branch-and-bound searchers spend a large share of their time on
+//! adjacency tests inside divide-and-conquer subgraphs, which are small
+//! (bounded by `O(ω·d)` vertices). For those, a packed bit matrix answers
+//! `has_edge` in O(1) with a single word load instead of a binary search over
+//! the CSR adjacency list.
+
+use crate::graph::{Graph, VertexId};
+
+/// A packed boolean adjacency matrix (symmetric, no self-loops).
+#[derive(Clone, Debug)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjacencyMatrix {
+    /// Builds the matrix from a graph. Memory is `n²/8` bytes, so this is
+    /// intended for subgraphs of at most a few thousand vertices; see
+    /// [`AdjacencyMatrix::recommended_for`].
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                let row = u as usize * words_per_row;
+                bits[row + (v as usize) / 64] |= 1u64 << ((v as usize) % 64);
+            }
+        }
+        AdjacencyMatrix {
+            n,
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Whether building a matrix for a graph of `n` vertices is a sensible
+    /// trade-off (≤ 2 MiB of bits).
+    pub fn recommended_for(n: usize) -> bool {
+        n > 0 && n * n <= 16 * 1024 * 1024
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// O(1) adjacency test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let row = u as usize * self.words_per_row;
+        (self.bits[row + (v as usize) / 64] >> ((v as usize) % 64)) & 1 == 1
+    }
+
+    /// Number of neighbours of `u` among the vertex set `set`.
+    pub fn degree_in(&self, u: VertexId, set: &[VertexId]) -> usize {
+        set.iter()
+            .filter(|&&v| v != u && self.has_edge(u, v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi_gnm;
+
+    #[test]
+    fn matches_graph_adjacency() {
+        let g = erdos_renyi_gnm(60, 300, 5);
+        let m = AdjacencyMatrix::from_graph(&g);
+        assert_eq!(m.num_vertices(), 60);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(m.has_edge(u, v), g.has_edge(u, v), "mismatch at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_in_matches_graph() {
+        let g = erdos_renyi_gnm(40, 200, 9);
+        let m = AdjacencyMatrix::from_graph(&g);
+        let set: Vec<u32> = (0..40).step_by(3).collect();
+        for u in g.vertices() {
+            assert_eq!(m.degree_in(u, &set), g.degree_in(u, &set));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let m = AdjacencyMatrix::from_graph(&Graph::empty(1));
+        assert!(!m.has_edge(0, 0));
+        let m0 = AdjacencyMatrix::from_graph(&Graph::empty(0));
+        assert_eq!(m0.num_vertices(), 0);
+    }
+
+    #[test]
+    fn recommendation_threshold() {
+        assert!(AdjacencyMatrix::recommended_for(100));
+        assert!(AdjacencyMatrix::recommended_for(4000));
+        assert!(!AdjacencyMatrix::recommended_for(100_000));
+        assert!(!AdjacencyMatrix::recommended_for(0));
+    }
+
+    #[test]
+    fn word_boundary_vertices() {
+        // Vertices 63, 64, 65 cross the u64 word boundary.
+        let g = Graph::from_edges(130, &[(63, 64), (64, 65), (0, 129)]);
+        let m = AdjacencyMatrix::from_graph(&g);
+        assert!(m.has_edge(63, 64));
+        assert!(m.has_edge(64, 63));
+        assert!(m.has_edge(64, 65));
+        assert!(m.has_edge(129, 0));
+        assert!(!m.has_edge(63, 65));
+    }
+}

@@ -1,0 +1,116 @@
+//! Incremental graph construction.
+
+use crate::graph::{Graph, VertexId};
+
+/// Builder for [`Graph`]: collects undirected edges, removes self-loops and
+/// duplicates, then produces the immutable CSR representation.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<VertexId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices the builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored. Duplicate
+    /// insertions are removed when [`build`](Self::build) is called.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is not a valid vertex id.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for a graph with {} vertices",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+    }
+
+    /// Adds every edge from the iterator.
+    pub fn add_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, edges: I) {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Returns `true` if the edge has already been added (linear scan; meant
+    /// for generator-side duplicate avoidance on small adjacency lists).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v || (u as usize) >= self.n || (v as usize) >= self.n {
+            return false;
+        }
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_adjacency(self.adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        assert!(b.has_edge(0, 1));
+        assert!(b.has_edge(1, 0));
+        assert!(!b.has_edge(1, 2));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! k-core decomposition, core numbers, degeneracy and degeneracy ordering.
+//!
+//! The divide-and-conquer framework of the paper (Algorithm 3) first reduces
+//! the graph to its `⌈γ·(θ-1)⌉`-core and then processes vertices in the
+//! degeneracy ordering, so these primitives are load-bearing for `DCFastQC`.
+
+use crate::graph::{Graph, VertexId};
+
+/// Result of a full core decomposition.
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    /// `core[v]` is the core number of vertex `v` (the largest `k` such that
+    /// `v` belongs to the `k`-core).
+    pub core_numbers: Vec<usize>,
+    /// Vertices in degeneracy order: each vertex has at most `degeneracy`
+    /// neighbours *after* it in this order.
+    pub ordering: Vec<VertexId>,
+    /// The degeneracy of the graph (maximum core number, 0 for edgeless
+    /// graphs).
+    pub degeneracy: usize,
+}
+
+/// Computes core numbers, the degeneracy ordering and the degeneracy using the
+/// linear-time bucket algorithm of Batagelj & Zaversnik (`O(|V| + |E|)`).
+pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition {
+            core_numbers: Vec::new(),
+            ordering: Vec::new(),
+            degeneracy: 0,
+        };
+    }
+    let max_deg = g.max_degree();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    // pos[v] = index of v in vert; vert is the bucket-sorted vertex array.
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    for v in 0..n {
+        pos[v] = bin[degree[v]];
+        vert[pos[v]] = v as VertexId;
+        bin[degree[v]] += 1;
+    }
+    // Restore bin to bucket starts.
+    for d in (1..=max_deg + 1).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = vec![0usize; n];
+    let mut degeneracy = 0usize;
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        degeneracy = degeneracy.max(degree[v as usize]);
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v as usize] {
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w as usize {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+
+    CoreDecomposition {
+        core_numbers: core,
+        ordering: vert,
+        degeneracy,
+    }
+}
+
+/// Degeneracy of the graph (maximum core number).
+pub fn degeneracy(g: &Graph) -> usize {
+    core_decomposition(g).degeneracy
+}
+
+/// Vertices of the `k`-core of `g` (the maximal induced subgraph in which
+/// every vertex has degree at least `k`), returned sorted.
+///
+/// Note that the `k`-core can be disconnected or empty.
+pub fn k_core_vertices(g: &Graph, k: usize) -> Vec<VertexId> {
+    let decomp = core_decomposition(g);
+    let mut vs: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| decomp.core_numbers[v as usize] >= k)
+        .collect();
+    vs.sort_unstable();
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force core numbers by iterative peeling, for cross-checking.
+    fn naive_core_numbers(g: &Graph) -> Vec<usize> {
+        let n = g.num_vertices();
+        let mut core = vec![0usize; n];
+        for k in 0..=g.max_degree() {
+            // Compute the k-core by repeated removal.
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    if alive[v] {
+                        let d = g
+                            .neighbors(v as VertexId)
+                            .iter()
+                            .filter(|&&u| alive[u as usize])
+                            .count();
+                        if d < k {
+                            alive[v] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn complete_graph_core() {
+        let g = Graph::complete(6);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.core_numbers.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn path_degeneracy_is_one() {
+        let g = Graph::path(10);
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn star_degeneracy_is_one() {
+        let g = Graph::star(10);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core_numbers.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(degeneracy(&Graph::empty(0)), 0);
+        assert_eq!(degeneracy(&Graph::empty(5)), 0);
+        let d = core_decomposition(&Graph::empty(5));
+        assert_eq!(d.ordering.len(), 5);
+    }
+
+    #[test]
+    fn core_numbers_match_naive_on_mixed_graph() {
+        // Clique on {0..3} plus a path 3-4-5-6 and a pendant 7 off 0.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (0, 7),
+            ],
+        );
+        let fast = core_decomposition(&g).core_numbers;
+        let naive = naive_core_numbers(&g);
+        assert_eq!(fast, naive);
+        assert_eq!(core_decomposition(&g).degeneracy, 3);
+    }
+
+    #[test]
+    fn degeneracy_ordering_property() {
+        // Each vertex has at most `degeneracy` neighbours later in the order.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+        );
+        let d = core_decomposition(&g);
+        let pos: Vec<usize> = {
+            let mut p = vec![0usize; g.num_vertices()];
+            for (i, &v) in d.ordering.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for &v in &d.ordering {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| pos[u as usize] > pos[v as usize])
+                .count();
+            assert!(later <= d.degeneracy);
+        }
+        // Ordering is a permutation.
+        let mut sorted = d.ordering.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        // Triangle {0,1,2} plus tail 2-3-4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_vertices(&g, 1), vec![0, 1, 2, 3, 4]);
+        assert!(k_core_vertices(&g, 3).is_empty());
+    }
+}

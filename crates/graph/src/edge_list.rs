@@ -1,0 +1,205 @@
+//! Plain-text edge-list parsing and serialisation.
+//!
+//! The format is the de-facto standard used by SNAP / konect.cc dumps: one
+//! `u v` pair per line, `#` or `%` comment lines, arbitrary whitespace.
+//! Vertex ids may be sparse; they are compacted to `0..n` on load.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as two vertex ids.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Result of loading an edge list: the graph plus the mapping from compacted
+/// ids back to the original labels.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The compacted graph.
+    pub graph: Graph,
+    /// `labels[v]` is the original id of compacted vertex `v`.
+    pub labels: Vec<u64>,
+}
+
+/// Parses an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut labels: Vec<u64> = Vec::new();
+    let mut index: HashMap<u64, VertexId> = HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let intern = |label: u64, labels: &mut Vec<u64>, index: &mut HashMap<u64, VertexId>| {
+        *index.entry(label).or_insert_with(|| {
+            labels.push(label);
+            (labels.len() - 1) as VertexId
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || EdgeListError::Parse {
+            line: lineno + 1,
+            content: trimmed.to_string(),
+        };
+        let a: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let b: u64 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let u = intern(a, &mut labels, &mut index);
+        let v = intern(b, &mut labels, &mut index);
+        edges.push((u, v));
+    }
+    let mut builder = GraphBuilder::new(labels.len());
+    for (u, v) in edges {
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    Ok(LoadedGraph {
+        graph: builder.build(),
+        labels,
+    })
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes the graph as an edge list (`u v` per line, compacted ids).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Saves the graph as an edge list to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let input = "# comment\n1 2\n2 3\n% other comment\n3 1\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_ids_are_compacted() {
+        let input = "100 2000\n2000 300000\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 2);
+        assert_eq!(loaded.labels, vec![100, 2000, 300000]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let input = "1 1\n1 2\n2 1\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let input = "1 2\nnot an edge\n";
+        let err = read_edge_list(input.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_endpoint_is_an_error() {
+        let input = "1\n";
+        assert!(read_edge_list(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        // Re-check each edge survives (labels are the original compacted ids).
+        for (u, v) in g.edges() {
+            let lu = loaded.labels.iter().position(|&l| l == u as u64).unwrap() as u32;
+            let lv = loaded.labels.iter().position(|&l| l == v as u64).unwrap() as u32;
+            assert!(loaded.graph.has_edge(lu, lv));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = Graph::cycle(6);
+        let dir = std::env::temp_dir().join("mqce_edge_list_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle6.txt");
+        save_edge_list(&g, &path).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 6);
+        std::fs::remove_file(&path).ok();
+    }
+}

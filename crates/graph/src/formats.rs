@@ -1,0 +1,384 @@
+//! Readers and writers for common graph interchange formats.
+//!
+//! Besides the plain edge list ([`crate::edge_list`]), two formats show up
+//! constantly when exchanging benchmark graphs with other cohesive-subgraph
+//! miners (including the reference implementations the paper compares with):
+//!
+//! * **DIMACS** (`p edge n m` header, `e u v` lines, 1-based ids) — the
+//!   format used by the clique/colouring benchmark suites.
+//! * **METIS** (header `n m [fmt]`, then one adjacency line per vertex,
+//!   1-based ids) — the format used by graph partitioners and by many k-core
+//!   and k-plex miners.
+//!
+//! Both readers ignore weights, drop self loops and duplicate edges, and
+//! produce the same compact [`Graph`] representation as the rest of the crate.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+
+/// Errors produced while parsing DIMACS or METIS input.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structural problem with the input (missing header, bad token, vertex
+    /// id out of range, …).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "I/O error: {e}"),
+            FormatError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            FormatError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> FormatError {
+    FormatError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS
+// ---------------------------------------------------------------------------
+
+/// Parses a graph in DIMACS `.col` / `.clq` format from any reader.
+///
+/// Recognised lines: `c …` comments, a single `p edge n m` (or `p col n m`)
+/// problem line, and `e u v` edge lines with 1-based vertex ids. Edge lines
+/// appearing before the problem line are rejected.
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, FormatError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_vertices = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(parse_error(lineno, "duplicate problem line"));
+                }
+                let _kind = parts
+                    .next()
+                    .ok_or_else(|| parse_error(lineno, "problem line missing format"))?;
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_error(lineno, "problem line missing vertex count"))?;
+                let _m: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_error(lineno, "problem line missing edge count"))?;
+                declared_vertices = n;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let builder = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_error(lineno, "edge line before problem line"))?;
+                let u: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_error(lineno, "edge line missing first endpoint"))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_error(lineno, "edge line missing second endpoint"))?;
+                if u == 0 || v == 0 || u > declared_vertices || v > declared_vertices {
+                    return Err(parse_error(
+                        lineno,
+                        format!("vertex id out of range 1..={declared_vertices}"),
+                    ));
+                }
+                if u != v {
+                    builder.add_edge((u - 1) as VertexId, (v - 1) as VertexId);
+                }
+            }
+            Some(other) => {
+                return Err(parse_error(lineno, format!("unknown line type {other:?}")));
+            }
+            None => unreachable!("empty lines are skipped above"),
+        }
+    }
+    let builder = builder.ok_or_else(|| parse_error(0, "no problem line found"))?;
+    Ok(builder.build())
+}
+
+/// Loads a DIMACS graph from a file path.
+pub fn load_dimacs<P: AsRef<Path>>(path: P) -> Result<Graph, FormatError> {
+    let file = std::fs::File::open(path)?;
+    read_dimacs(file)
+}
+
+/// Writes the graph in DIMACS `.clq` format (1-based ids).
+pub fn write_dimacs<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "c generated by mqce-graph")?;
+    writeln!(writer, "p edge {} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "e {} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+/// Saves the graph in DIMACS format to a file path.
+pub fn save_dimacs<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_dimacs(g, std::io::BufWriter::new(file))
+}
+
+// ---------------------------------------------------------------------------
+// METIS
+// ---------------------------------------------------------------------------
+
+/// Parses a graph in METIS adjacency format from any reader.
+///
+/// The header is `n m [fmt [ncon]]`; only unweighted graphs (`fmt` of `0` or
+/// absent) are supported. Each of the following `n` lines lists the 1-based
+/// neighbours of one vertex. `%` comment lines are skipped. The reader is
+/// tolerant of one-directional listings: an edge is added as soon as either
+/// endpoint mentions the other.
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph, FormatError> {
+    let reader = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim().to_string();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        lines.push((idx + 1, trimmed));
+    }
+    let (header_lineno, header) = lines
+        .first()
+        .ok_or_else(|| parse_error(0, "empty METIS input"))?;
+    let mut header_parts = header.split_whitespace();
+    let n: usize = header_parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_error(*header_lineno, "header missing vertex count"))?;
+    let _m: usize = header_parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_error(*header_lineno, "header missing edge count"))?;
+    if let Some(fmt) = header_parts.next() {
+        if fmt != "0" && fmt != "00" && fmt != "000" {
+            return Err(parse_error(
+                *header_lineno,
+                format!("weighted METIS graphs are not supported (fmt {fmt:?})"),
+            ));
+        }
+    }
+    let adjacency_lines = &lines[1..];
+    if adjacency_lines.len() < n {
+        return Err(parse_error(
+            *header_lineno,
+            format!(
+                "header declares {n} vertices but only {} adjacency lines follow",
+                adjacency_lines.len()
+            ),
+        ));
+    }
+    let mut builder = GraphBuilder::new(n);
+    for (vertex, (lineno, line)) in adjacency_lines.iter().take(n).enumerate() {
+        for token in line.split_whitespace() {
+            let neighbor: usize = token
+                .parse()
+                .map_err(|_| parse_error(*lineno, format!("bad neighbour id {token:?}")))?;
+            if neighbor == 0 || neighbor > n {
+                return Err(parse_error(
+                    *lineno,
+                    format!("neighbour id {neighbor} out of range 1..={n}"),
+                ));
+            }
+            if neighbor - 1 != vertex {
+                builder.add_edge(vertex as VertexId, (neighbor - 1) as VertexId);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Loads a METIS graph from a file path.
+pub fn load_metis<P: AsRef<Path>>(path: P) -> Result<Graph, FormatError> {
+    let file = std::fs::File::open(path)?;
+    read_metis(file)
+}
+
+/// Writes the graph in METIS adjacency format (1-based ids, unweighted).
+pub fn write_metis<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        let line: Vec<String> = g.neighbors(v).iter().map(|u| (u + 1).to_string()).collect();
+        writeln!(writer, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Saves the graph in METIS format to a file path.
+pub fn save_metis<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_metis(g, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_basic_parse() {
+        let input = "c a comment\np edge 4 3\ne 1 2\ne 2 3\ne 3 4\n";
+        let g = read_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn dimacs_rejects_edge_before_header() {
+        let input = "e 1 2\np edge 3 1\n";
+        assert!(read_dimacs(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_ids() {
+        let input = "p edge 3 1\ne 1 5\n";
+        assert!(read_dimacs(input.as_bytes()).is_err());
+        let zero = "p edge 3 1\ne 0 1\n";
+        assert!(read_dimacs(zero.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_rejects_duplicate_header_and_unknown_lines() {
+        let dup = "p edge 2 1\np edge 2 1\ne 1 2\n";
+        assert!(read_dimacs(dup.as_bytes()).is_err());
+        let unknown = "p edge 2 1\nx 1 2\n";
+        assert!(read_dimacs(unknown.as_bytes()).is_err());
+        let empty = "c only comments\n";
+        assert!(read_dimacs(empty.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_drops_self_loops_and_duplicates() {
+        let input = "p edge 3 4\ne 1 1\ne 1 2\ne 2 1\ne 2 3\n";
+        let g = read_dimacs(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = Graph::paper_figure1();
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let parsed = read_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(parsed.num_vertices(), g.num_vertices());
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(parsed.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn metis_basic_parse() {
+        // Triangle plus a pendant vertex, symmetric adjacency lists.
+        let input = "% comment\n4 4\n2 3\n1 3 4\n1 2\n2\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn metis_tolerates_one_directional_lists() {
+        let input = "3 2\n2 3\n\n\n";
+        let g = read_metis(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn metis_rejects_weighted_and_truncated() {
+        let weighted = "3 2 011\n2 1\n1 1\n\n";
+        assert!(read_metis(weighted.as_bytes()).is_err());
+        let truncated = "4 2\n2\n1\n";
+        assert!(read_metis(truncated.as_bytes()).is_err());
+        let bad_id = "2 1\n5\n\n";
+        assert!(read_metis(bad_id.as_bytes()).is_err());
+        assert!(read_metis("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let parsed = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(parsed.num_vertices(), g.num_vertices());
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(parsed.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
+        let g = Graph::cycle(8);
+        let dir = std::env::temp_dir().join("mqce_formats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dimacs_path = dir.join("cycle8.clq");
+        let metis_path = dir.join("cycle8.metis");
+        save_dimacs(&g, &dimacs_path).unwrap();
+        save_metis(&g, &metis_path).unwrap();
+        assert_eq!(load_dimacs(&dimacs_path).unwrap().num_edges(), 8);
+        assert_eq!(load_metis(&metis_path).unwrap().num_edges(), 8);
+        std::fs::remove_file(&dimacs_path).ok();
+        std::fs::remove_file(&metis_path).ok();
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = read_dimacs("p edge 2 1\ne 1 9\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let io_err = FormatError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io_err.to_string().contains("I/O"));
+    }
+}

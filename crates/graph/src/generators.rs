@@ -1,0 +1,624 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on real konect.cc datasets plus Erdős–Rényi graphs.
+//! The real datasets are not redistributable here, so the benchmark suite uses
+//! these generators to produce graphs with matching qualitative structure
+//! (power-law degree sequences, dense planted communities, sparse road-like
+//! lattices); see `DESIGN.md` §5 for the substitution rationale.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+///
+/// If `m` exceeds the number of possible edges the complete graph is returned.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    // For dense requests fall back to sampling from the full edge list.
+    if m * 3 > max_edges {
+        let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(max_edges);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                all.push((u, v));
+            }
+        }
+        all.shuffle(&mut rng);
+        b.add_edges(all.into_iter().take(m));
+        return b.build();
+    }
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`: each edge independently present with probability `p`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi graph parameterised by *edge density* `|E|/|V|` as in the
+/// paper's synthetic experiments (Figure 10): `m = ⌈density · n⌉` edges.
+pub fn erdos_renyi_density(n: usize, density: f64, seed: u64) -> Graph {
+    let m = (density * n as f64).round().max(0.0) as usize;
+    erdos_renyi_gnm(n, m, seed)
+}
+
+/// Barabási–Albert style preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree. Produces the
+/// heavy-tailed degree distributions typical of the paper's social-network
+/// datasets (Hyves, Flixster, …).
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m_attach = m_attach.max(1);
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    let seed_size = (m_attach + 1).min(n);
+    // Start from a small clique so early attachments have targets.
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    // Repeated-endpoint list for proportional-to-degree sampling.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in seed_size..n {
+        let v = v as VertexId;
+        let mut targets = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while targets.len() < m_attach.min(v as usize) && guard < 100 * m_attach {
+            guard += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Description of one planted dense group.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedGroup {
+    /// Number of vertices in the group.
+    pub size: usize,
+    /// Probability of each intra-group edge (e.g. `0.95` plants near-cliques
+    /// that are `0.9`-quasi-cliques with high probability).
+    pub density: f64,
+}
+
+/// Plants dense groups on top of a sparse Erdős–Rényi background.
+///
+/// The first `sum(sizes)` vertices are partitioned into consecutive groups;
+/// the remaining vertices form the background. Background edges are added with
+/// probability `background_p` over all vertex pairs (including group members,
+/// so groups are embedded, not isolated).
+pub fn planted_quasi_cliques(
+    n: usize,
+    background_p: f64,
+    groups: &[PlantedGroup],
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Background.
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(background_p.clamp(0.0, 1.0)) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    // Planted groups.
+    let mut start = 0usize;
+    for group in groups {
+        let end = (start + group.size).min(n);
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen_bool(group.density.clamp(0.0, 1.0)) {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+            }
+        }
+        start = end;
+        if start >= n {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Parameters for [`community_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommunityGraphParams {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of communities the vertices are partitioned into.
+    pub num_communities: usize,
+    /// Intra-community edge probability.
+    pub p_intra: f64,
+    /// Expected number of inter-community edges per vertex.
+    pub inter_degree: f64,
+}
+
+/// A planted-partition ("LFR-like") community graph: dense communities plus a
+/// sparse random background between communities. This is the stand-in used for
+/// the paper's collaboration / communication / social datasets, which owe
+/// their large maximal quasi-cliques to exactly this kind of community
+/// structure.
+pub fn community_graph(params: CommunityGraphParams, seed: u64) -> Graph {
+    let CommunityGraphParams {
+        n,
+        num_communities,
+        p_intra,
+        inter_degree,
+    } = params;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    let num_communities = num_communities.max(1).min(n);
+    // Heterogeneous but bounded community sizes: each community gets between
+    // 0.5× and 1.5× the average size, so no single community degenerates into
+    // a huge dense block (which would make the enumeration workload explode
+    // far beyond what the corresponding real datasets exhibit).
+    let avg = n / num_communities;
+    let mut boundaries = vec![0usize];
+    let mut cursor = 0usize;
+    for i in 0..num_communities {
+        let remaining_communities = num_communities - i;
+        let remaining_vertices = n - cursor;
+        let size = if remaining_communities == 1 || remaining_vertices <= 1 {
+            remaining_vertices
+        } else {
+            // Both bounds are clamped to the vertices that are actually left,
+            // so the sampled range is never empty even when earlier
+            // communities drew large sizes.
+            let lo = (avg / 2).max(1).min(remaining_vertices);
+            let hi = (avg + avg / 2).max(lo).min(remaining_vertices);
+            rng.gen_range(lo..=hi)
+        };
+        cursor += size;
+        boundaries.push(cursor);
+        if cursor >= n {
+            break;
+        }
+    }
+    if *boundaries.last().unwrap() < n {
+        boundaries.push(n);
+    }
+
+    let mut community = vec![0usize; n];
+    for (cid, w) in boundaries.windows(2).enumerate() {
+        for item in community.iter_mut().take(w[1]).skip(w[0]) {
+            *item = cid;
+        }
+    }
+
+    // Intra-community edges.
+    for w in boundaries.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen_bool(p_intra.clamp(0.0, 1.0)) {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+            }
+        }
+    }
+    // Inter-community edges: `inter_degree * n / 2` random pairs across
+    // communities.
+    let inter_edges = ((inter_degree * n as f64) / 2.0).round() as usize;
+    let mut attempts = 0usize;
+    let mut added = 0usize;
+    while added < inter_edges && attempts < inter_edges * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v && community[u as usize] != community[v as usize] && !b.has_edge(u, v) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid graph: the stand-in for the paper's road-network
+/// dataset (FullUSA), which is extremely sparse and has no dense regions.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random graph with a given number of vertices and edges where edges are
+/// skewed towards a set of hub vertices — a cheap stand-in for hub-dominated
+/// communication graphs (Enron-like) with very high maximum degree.
+pub fn hub_graph(n: usize, m: usize, num_hubs: usize, hub_bias: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let num_hubs = num_hubs.max(1).min(n);
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < m * 50 {
+        attempts += 1;
+        let u = if rng.gen_bool(hub_bias.clamp(0.0, 1.0)) {
+            rng.gen_range(0..num_hubs) as VertexId
+        } else {
+            rng.gen_range(0..n) as VertexId
+        };
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex is
+/// connected to its `k` nearest neighbours (`k` rounded down to even), with
+/// each edge rewired to a uniformly random endpoint with probability `p`.
+/// Produces the high-clustering / short-path structure typical of
+/// collaboration networks (Ca-GrQC, CondMat).
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let half = (k / 2).max(1).min(n.saturating_sub(1) / 2).max(1);
+    let p = p.clamp(0.0, 1.0);
+    for u in 0..n {
+        for offset in 1..=half {
+            let v = (u + offset) % n;
+            if rng.gen_bool(p) {
+                // Rewire: pick a random endpoint distinct from u, avoiding
+                // duplicates where possible.
+                let mut w = rng.gen_range(0..n);
+                let mut tries = 0;
+                while (w == u || b.has_edge(u as VertexId, w as VertexId)) && tries < 20 {
+                    w = rng.gen_range(0..n);
+                    tries += 1;
+                }
+                if w != u {
+                    b.add_edge(u as VertexId, w as VertexId);
+                }
+            } else if u != v {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Relaxed caveman graph: `num_caves` cliques of `cave_size` vertices each,
+/// then every edge is rewired to a random vertex of another cave with
+/// probability `p_rewire`. With small `p_rewire` every cave is a large
+/// near-clique, so the graph is packed with large maximal quasi-cliques —
+/// a stress test for the enumeration (Opsahl / Trec-like output volumes).
+pub fn relaxed_caveman(num_caves: usize, cave_size: usize, p_rewire: f64, seed: u64) -> Graph {
+    let n = num_caves * cave_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let p_rewire = p_rewire.clamp(0.0, 1.0);
+    for cave in 0..num_caves {
+        let base = cave * cave_size;
+        for i in 0..cave_size {
+            for j in (i + 1)..cave_size {
+                let u = (base + i) as VertexId;
+                let v = (base + j) as VertexId;
+                if num_caves > 1 && rng.gen_bool(p_rewire) {
+                    // Rewire v's endpoint into a different cave.
+                    let mut target_cave = rng.gen_range(0..num_caves);
+                    while target_cave == cave {
+                        target_cave = rng.gen_range(0..num_caves);
+                    }
+                    let w = (target_cave * cave_size + rng.gen_range(0..cave_size)) as VertexId;
+                    if u != w {
+                        b.add_edge(u, w);
+                    }
+                } else {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu random graph with a power-law expected degree sequence
+/// `w_i ∝ (i+1)^(−1/(β−1))`, scaled so the expected average degree is
+/// `avg_degree`. Edge `(u,v)` is included with probability
+/// `min(1, w_u·w_v / Σw)`. This gives the heavy-tailed degree distributions
+/// of the paper's web/social datasets (Trec, Flixster, UK2002) without their
+/// size.
+pub fn chung_lu_power_law(n: usize, avg_degree: f64, beta: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    let exponent = -1.0 / (beta - 1.0).max(1e-9);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    let scale = avg_degree.max(0.0) * n as f64 / sum;
+    for w in weights.iter_mut() {
+        *w *= scale;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return b.build();
+    }
+    // For each vertex u, sample its partners with the standard Chung–Lu
+    // skipping trick over the weight-sorted suffix (weights are already
+    // non-increasing in vertex id).
+    for u in 0..n {
+        let mut v = u + 1;
+        while v < n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if p <= 0.0 {
+                break;
+            }
+            if p >= 1.0 {
+                b.add_edge(u as VertexId, v as VertexId);
+                v += 1;
+                continue;
+            }
+            // Geometric skip: jump ahead by the number of rejected partners.
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+            v += skip;
+            if v < n {
+                let p_v = (weights[u] * weights[v] / total).min(1.0);
+                if rng.gen_bool((p_v / p).min(1.0)) {
+                    b.add_edge(u as VertexId, v as VertexId);
+                }
+                v += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_decomp::degeneracy;
+
+    #[test]
+    fn gnm_has_requested_edges() {
+        let g = erdos_renyi_gnm(50, 100, 7);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 100);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete() {
+        let g = erdos_renyi_gnm(5, 1000, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_deterministic_for_seed() {
+        let a = erdos_renyi_gnm(40, 80, 42);
+        let b = erdos_renyi_gnm(40, 80, 42);
+        assert_eq!(a, b);
+        let c = erdos_renyi_gnm(40, 80, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, 3).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 3).num_edges(), 45);
+    }
+
+    #[test]
+    fn density_parameterisation() {
+        let g = erdos_renyi_density(200, 5.0, 11);
+        assert_eq!(g.num_edges(), 1000);
+        assert!((g.edge_density() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(300, 3, 5);
+        assert_eq!(g.num_vertices(), 300);
+        assert!(g.num_edges() >= 3 * (300 - 4));
+        // Preferential attachment should give a clearly-above-average hub.
+        assert!(g.max_degree() > 10);
+    }
+
+    #[test]
+    fn planted_groups_are_dense() {
+        let groups = [
+            PlantedGroup { size: 12, density: 1.0 },
+            PlantedGroup { size: 8, density: 1.0 },
+        ];
+        let g = planted_quasi_cliques(100, 0.01, &groups, 9);
+        // First group is a clique, so each member sees >= 11 neighbours inside.
+        let members: Vec<VertexId> = (0..12).collect();
+        for &v in &members {
+            assert!(g.degree_in(v, &members) >= 11);
+        }
+        assert!(degeneracy(&g) >= 11);
+    }
+
+    #[test]
+    fn community_graph_handles_many_small_communities() {
+        // Regression: with many communities relative to n, the random size of
+        // earlier communities can exhaust the vertex budget; the size sampler
+        // must clamp instead of panicking on an empty range.
+        for seed in 0..20 {
+            let g = community_graph(
+                CommunityGraphParams {
+                    n: 1500,
+                    num_communities: 1500 / 14,
+                    p_intra: 0.92,
+                    inter_degree: 1.2,
+                },
+                seed,
+            );
+            assert_eq!(g.num_vertices(), 1500);
+            assert!(g.num_edges() > 1500);
+        }
+    }
+
+    #[test]
+    fn community_graph_connectivity_of_communities() {
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 120,
+                num_communities: 6,
+                p_intra: 0.9,
+                inter_degree: 1.0,
+            },
+            13,
+        );
+        assert_eq!(g.num_vertices(), 120);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(5, 7);
+        assert_eq!(g.num_vertices(), 35);
+        assert_eq!(g.num_edges(), 5 * 6 + 4 * 7);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn hub_graph_has_high_max_degree() {
+        let g = hub_graph(500, 1500, 5, 0.6, 21);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.max_degree() >= 50, "max degree {} too small", g.max_degree());
+    }
+
+    #[test]
+    fn watts_strogatz_without_rewiring_is_a_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 20 * 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_edge_budget_close() {
+        let g = watts_strogatz(200, 6, 0.2, 7);
+        assert_eq!(g.num_vertices(), 200);
+        // Rewiring can only drop edges through collisions; stay within 10%.
+        assert!(g.num_edges() >= 540, "edges {}", g.num_edges());
+        assert!(g.num_edges() <= 600);
+        // Deterministic per seed.
+        assert_eq!(g, watts_strogatz(200, 6, 0.2, 7));
+    }
+
+    #[test]
+    fn relaxed_caveman_contains_cliques_when_unrewired() {
+        let g = relaxed_caveman(4, 6, 0.0, 3);
+        assert_eq!(g.num_vertices(), 24);
+        assert_eq!(g.num_edges(), 4 * 15);
+        let cave: Vec<VertexId> = (0..6).collect();
+        for &v in &cave {
+            assert_eq!(g.degree_in(v, &cave), 5);
+        }
+        assert_eq!(degeneracy(&g), 5);
+    }
+
+    #[test]
+    fn relaxed_caveman_rewiring_connects_caves() {
+        let g = relaxed_caveman(5, 8, 0.15, 9);
+        assert_eq!(g.num_vertices(), 40);
+        // Some edge must leave the first cave with 15% rewiring over 28 edges.
+        let first_cave: Vec<VertexId> = (0..8).collect();
+        let crossing = g
+            .edges()
+            .filter(|&(u, v)| (u < 8) != (v < 8))
+            .count();
+        assert!(crossing > 0, "no inter-cave edges; first cave {first_cave:?}");
+    }
+
+    #[test]
+    fn chung_lu_degree_skew_and_scale() {
+        let g = chung_lu_power_law(2000, 6.0, 2.5, 17);
+        assert_eq!(g.num_vertices(), 2000);
+        let avg = 2.0 * g.num_edges() as f64 / 2000.0;
+        assert!(avg > 2.0 && avg < 12.0, "average degree {avg}");
+        // Vertex 0 has the largest expected weight: clearly a hub.
+        assert!(g.degree(0) > 5 * (avg as usize + 1), "hub degree {}", g.degree(0));
+        assert_eq!(g, chung_lu_power_law(2000, 6.0, 2.5, 17));
+    }
+
+    #[test]
+    fn generators_handle_degenerate_sizes() {
+        assert_eq!(watts_strogatz(0, 4, 0.1, 1).num_vertices(), 0);
+        assert_eq!(watts_strogatz(1, 4, 0.1, 1).num_edges(), 0);
+        assert_eq!(relaxed_caveman(0, 5, 0.1, 1).num_vertices(), 0);
+        assert_eq!(relaxed_caveman(1, 1, 0.5, 1).num_edges(), 0);
+        assert_eq!(chung_lu_power_law(1, 3.0, 2.1, 1).num_edges(), 0);
+        assert_eq!(chung_lu_power_law(100, 0.0, 2.5, 1).num_edges(), 0);
+    }
+}

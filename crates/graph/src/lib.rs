@@ -1,0 +1,43 @@
+//! Graph substrate for maximal quasi-clique enumeration.
+//!
+//! This crate provides everything the enumeration algorithms in `mqce-core`
+//! need from a graph library, built from scratch:
+//!
+//! * [`Graph`] — an immutable, undirected, simple graph in a compact
+//!   CSR-like representation with sorted adjacency lists.
+//! * [`GraphBuilder`] — incremental construction with duplicate-edge and
+//!   self-loop removal.
+//! * [`generators`] — synthetic workload generators (Erdős–Rényi, planted
+//!   quasi-cliques, power-law community graphs, grids, …) used to stand in
+//!   for the paper's real datasets.
+//! * [`core_decomp`] — k-core decomposition, core numbers, degeneracy and the
+//!   degeneracy ordering used by the divide-and-conquer framework.
+//! * [`subgraph`] — induced subgraphs with local/global vertex-id mappings and
+//!   2-hop neighbourhood extraction.
+//! * [`connectivity`] — BFS connectivity and connected components.
+//! * [`edge_list`] — plain-text edge-list parsing and serialisation.
+//! * [`stats`] — summary statistics matching the columns of Table 1 of the
+//!   paper (|V|, |E|, density, max degree, degeneracy).
+//!
+//! Vertices are dense `u32` identifiers in `0..n`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod builder;
+pub mod connectivity;
+pub mod core_decomp;
+pub mod edge_list;
+pub mod formats;
+pub mod generators;
+mod graph;
+pub mod ordering;
+pub mod stats;
+pub mod subgraph;
+
+pub use bitmatrix::AdjacencyMatrix;
+pub use builder::GraphBuilder;
+pub use graph::{Graph, VertexId};
+pub use stats::GraphStats;
+pub use subgraph::InducedSubgraph;

@@ -1,0 +1,209 @@
+//! Vertex orderings.
+//!
+//! The divide-and-conquer framework divides the graph along a total vertex
+//! order (Equation 19 in the paper). The paper uses the *degeneracy* ordering
+//! because it bounds every 2-hop subproblem by `O(ωd)`; other orderings are
+//! provided so the effect of the choice can be measured (the DC-ablation
+//! benchmarks) and so callers embedding the library can plug in their own.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::core_decomp::core_decomposition;
+use crate::graph::{Graph, VertexId};
+
+/// A total order over the vertices of a graph, used to drive the
+/// divide-and-conquer decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VertexOrdering {
+    /// Degeneracy (smallest-last) ordering — the paper's choice; every vertex
+    /// has at most `ω` neighbours after it.
+    #[default]
+    Degeneracy,
+    /// Vertices by non-decreasing degree.
+    DegreeAscending,
+    /// Vertices by non-increasing degree.
+    DegreeDescending,
+    /// The input order `0, 1, …, n−1` (what the basic DC framework of
+    /// Guo et al. / Khalil et al. uses).
+    Input,
+    /// A seeded random permutation (worst-case-ish baseline for ablations).
+    Random(u64),
+}
+
+impl VertexOrdering {
+    /// Computes the ordering as a permutation of the vertex ids.
+    pub fn compute(&self, g: &Graph) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        match self {
+            VertexOrdering::Degeneracy => core_decomposition(g).ordering,
+            VertexOrdering::DegreeAscending => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.sort_by_key(|&v| (g.degree(v), v));
+                order
+            }
+            VertexOrdering::DegreeDescending => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+                order
+            }
+            VertexOrdering::Input => (0..n as VertexId).collect(),
+            VertexOrdering::Random(seed) => {
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(*seed));
+                order
+            }
+        }
+    }
+
+    /// Human-readable name used by the experiment harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VertexOrdering::Degeneracy => "degeneracy",
+            VertexOrdering::DegreeAscending => "degree-asc",
+            VertexOrdering::DegreeDescending => "degree-desc",
+            VertexOrdering::Input => "input",
+            VertexOrdering::Random(_) => "random",
+        }
+    }
+}
+
+/// Inverse permutation: `rank[v]` is the position of vertex `v` in `order`.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..order.len()`.
+pub fn ordering_ranks(order: &[VertexId]) -> Vec<usize> {
+    let mut rank = vec![usize::MAX; order.len()];
+    for (i, &v) in order.iter().enumerate() {
+        assert!(
+            (v as usize) < order.len() && rank[v as usize] == usize::MAX,
+            "ordering is not a permutation"
+        );
+        rank[v as usize] = i;
+    }
+    rank
+}
+
+/// Maximum number of neighbours any vertex has *after* itself in the given
+/// order (the "back degree"). For the degeneracy ordering this equals the
+/// graph degeneracy; for other orderings it can be much larger, which is
+/// exactly why the DC subproblem bound `O(ωd)` needs the degeneracy order.
+pub fn max_forward_degree(g: &Graph, order: &[VertexId]) -> usize {
+    let rank = ordering_ranks(order);
+    let mut best = 0usize;
+    for &v in order {
+        let fwd = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| rank[u as usize] > rank[v as usize])
+            .count();
+        best = best.max(fwd);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi_gnm;
+
+    fn is_permutation(order: &[VertexId], n: usize) -> bool {
+        if order.len() != n {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        for &v in order {
+            if (v as usize) >= n || seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let g = erdos_renyi_gnm(50, 200, 3);
+        for ordering in [
+            VertexOrdering::Degeneracy,
+            VertexOrdering::DegreeAscending,
+            VertexOrdering::DegreeDescending,
+            VertexOrdering::Input,
+            VertexOrdering::Random(7),
+        ] {
+            let order = ordering.compute(&g);
+            assert!(is_permutation(&order, 50), "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn degree_orderings_are_sorted() {
+        let g = Graph::star(6);
+        let asc = VertexOrdering::DegreeAscending.compute(&g);
+        assert_eq!(*asc.last().unwrap(), 0, "hub has the largest degree");
+        let desc = VertexOrdering::DegreeDescending.compute(&g);
+        assert_eq!(desc[0], 0);
+    }
+
+    #[test]
+    fn degeneracy_ordering_minimises_forward_degree() {
+        let g = erdos_renyi_gnm(60, 300, 11);
+        let degeneracy = crate::core_decomp::degeneracy(&g);
+        let order = VertexOrdering::Degeneracy.compute(&g);
+        assert_eq!(max_forward_degree(&g, &order), degeneracy);
+        // Any other ordering has at least as large a forward degree.
+        for ordering in [
+            VertexOrdering::Input,
+            VertexOrdering::Random(5),
+            VertexOrdering::DegreeDescending,
+        ] {
+            let order = ordering.compute(&g);
+            assert!(max_forward_degree(&g, &order) >= degeneracy, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn ranks_are_inverse() {
+        let order = vec![2u32, 0, 3, 1];
+        let rank = ordering_ranks(&order);
+        assert_eq!(rank, vec![1, 3, 0, 2]);
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(rank[v as usize], i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn ranks_reject_duplicates() {
+        ordering_ranks(&[0u32, 0, 1]);
+    }
+
+    #[test]
+    fn random_ordering_is_deterministic_per_seed() {
+        let g = erdos_renyi_gnm(30, 60, 1);
+        assert_eq!(
+            VertexOrdering::Random(42).compute(&g),
+            VertexOrdering::Random(42).compute(&g)
+        );
+        assert_ne!(
+            VertexOrdering::Random(42).compute(&g),
+            VertexOrdering::Random(43).compute(&g)
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(VertexOrdering::Degeneracy.name(), "degeneracy");
+        assert_eq!(VertexOrdering::Random(1).name(), "random");
+    }
+
+    #[test]
+    fn empty_graph_orderings() {
+        let g = Graph::empty(0);
+        for ordering in [VertexOrdering::Degeneracy, VertexOrdering::Input] {
+            assert!(ordering.compute(&g).is_empty());
+        }
+        assert_eq!(max_forward_degree(&g, &[]), 0);
+    }
+}

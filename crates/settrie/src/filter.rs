@@ -1,0 +1,154 @@
+//! Maximality filtering (MQCE-S2): remove sets contained in other sets.
+
+use crate::trie::SetTrie;
+
+/// Filters a collection of sets down to the ones that are not strict subsets
+/// of any other set in the collection (duplicates are collapsed to one copy).
+///
+/// This solves MQCE-S2: if the input is the output of a correct MQCE-S1
+/// algorithm (a superset of all maximal QCs in which every element is a QC),
+/// the result is exactly the set of maximal QCs.
+///
+/// Runs in `O(Σ|set| · log)` trie operations by processing sets from largest
+/// to smallest and asking, for each set, whether a superset has already been
+/// inserted.
+pub fn filter_maximal(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut normalised: Vec<Vec<u32>> = sets
+        .iter()
+        .map(|s| {
+            let mut v = s.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    // Largest first so that any potential superset of a set is inserted
+    // before the set itself is queried. Ties broken lexicographically to make
+    // duplicate detection trivial.
+    normalised.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    normalised.dedup();
+
+    let mut trie = SetTrie::new();
+    let mut result = Vec::new();
+    for set in normalised {
+        if !trie.exists_superset_of(&set) {
+            trie.insert(&set);
+            result.push(set);
+        }
+    }
+    result.sort();
+    result
+}
+
+/// Quadratic reference implementation of [`filter_maximal`], used by tests and
+/// kept public so downstream tests can cross-check the trie-based filter.
+pub fn filter_maximal_naive(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let normalised: Vec<Vec<u32>> = sets
+        .iter()
+        .map(|s| {
+            let mut v = s.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    let is_subset = |a: &[u32], b: &[u32]| -> bool {
+        // a ⊆ b, both sorted.
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    };
+    let mut result: Vec<Vec<u32>> = Vec::new();
+    for (i, s) in normalised.iter().enumerate() {
+        let dominated = normalised.iter().enumerate().any(|(j, t)| {
+            if i == j {
+                return false;
+            }
+            if s == t {
+                // Keep only the first copy of duplicates.
+                return j < i;
+            }
+            is_subset(s, t)
+        });
+        if !dominated {
+            result.push(s.clone());
+        }
+    }
+    result.sort();
+    result.dedup();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_subsets() {
+        let sets = vec![vec![1, 2, 3], vec![1, 2], vec![2, 3], vec![4, 5], vec![5]];
+        let out = filter_maximal(&sets);
+        assert_eq!(out, vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn keeps_incomparable_sets() {
+        let sets = vec![vec![1, 2], vec![2, 3], vec![1, 3]];
+        let out = filter_maximal(&sets);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn collapses_duplicates() {
+        let sets = vec![vec![3, 1], vec![1, 3], vec![1, 3, 3]];
+        let out = filter_maximal(&sets);
+        assert_eq!(out, vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(filter_maximal(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_dominated_by_anything() {
+        let sets = vec![vec![], vec![7]];
+        assert_eq!(filter_maximal(&sets), vec![vec![7]]);
+        let only_empty = vec![vec![]];
+        assert_eq!(filter_maximal(&only_empty), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Simple deterministic pseudo-random set families.
+        let mut families = Vec::new();
+        for family in 0..30u64 {
+            let mut sets = Vec::new();
+            for i in 0..25u64 {
+                let mut h = DefaultHasher::new();
+                (family, i).hash(&mut h);
+                let mut x = h.finish();
+                let len = (x % 6) as usize + 1;
+                let mut s = Vec::new();
+                for _ in 0..len {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s.push((x >> 33) as u32 % 12);
+                }
+                sets.push(s);
+            }
+            families.push(sets);
+        }
+        for sets in families {
+            assert_eq!(filter_maximal(&sets), filter_maximal_naive(&sets));
+        }
+    }
+}

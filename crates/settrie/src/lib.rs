@@ -1,0 +1,32 @@
+//! Set-trie index for subset / superset containment queries.
+//!
+//! This is the substrate the paper relies on for the second step of maximal
+//! quasi-clique enumeration (**MQCE-S2**): given the set `S` of quasi-cliques
+//! produced by the branch-and-bound search (which contains every maximal QC
+//! plus possibly some non-maximal ones), remove the sets that are contained in
+//! another set of `S`. The paper uses the set-trie of Savnik et al. [37],
+//! which answers `GetAllSubsets` / `ExistsSuperset` queries over a collection
+//! of sets of symbols from an ordered alphabet.
+//!
+//! The trie stores each set as a path of *sorted* elements; a node is flagged
+//! when a stored set ends there.
+//!
+//! ```
+//! use mqce_settrie::SetTrie;
+//!
+//! let mut trie = SetTrie::new();
+//! trie.insert(&[1, 2, 3]);
+//! trie.insert(&[2, 4]);
+//! assert!(trie.contains_subset_of(&[1, 2, 3, 4]));
+//! assert!(trie.exists_superset_of(&[1, 3]));
+//! assert!(!trie.exists_superset_of(&[4, 5]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod trie;
+
+pub use filter::{filter_maximal, filter_maximal_naive};
+pub use trie::SetTrie;

@@ -1,0 +1,348 @@
+//! The set-trie data structure.
+
+use std::collections::BTreeMap;
+
+/// A node of the set-trie. Children are keyed by element and kept ordered so
+/// that subset/superset searches can prune by element order.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    children: BTreeMap<u32, Node>,
+    /// Number of stored sets terminating at this node (supports duplicates).
+    terminal: usize,
+}
+
+/// A set-trie over sets of `u32` elements.
+///
+/// Sets are normalised (sorted, deduplicated) on insertion. The structure
+/// supports the queries needed by MQCE-S2:
+///
+/// * [`contains`](SetTrie::contains) — exact-set membership,
+/// * [`contains_subset_of`](SetTrie::contains_subset_of) — is some stored set
+///   a subset of the query?
+/// * [`get_all_subsets`](SetTrie::get_all_subsets) — all stored subsets of the
+///   query (the `GetAllSubsets` query of the paper),
+/// * [`exists_superset_of`](SetTrie::exists_superset_of) — is some stored set
+///   a superset of the query?
+/// * [`remove`](SetTrie::remove) — delete one copy of an exact set.
+#[derive(Clone, Debug, Default)]
+pub struct SetTrie {
+    root: Node,
+    len: usize,
+}
+
+fn normalize(set: &[u32]) -> Vec<u32> {
+    let mut s = set.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+impl SetTrie {
+    /// Creates an empty set-trie.
+    pub fn new() -> Self {
+        SetTrie::default()
+    }
+
+    /// Number of stored sets (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no sets.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a set (normalised to sorted/deduplicated form).
+    pub fn insert(&mut self, set: &[u32]) {
+        let s = normalize(set);
+        let mut node = &mut self.root;
+        for &x in &s {
+            node = node.children.entry(x).or_default();
+        }
+        node.terminal += 1;
+        self.len += 1;
+    }
+
+    /// Whether the exact set is stored.
+    pub fn contains(&self, set: &[u32]) -> bool {
+        let s = normalize(set);
+        let mut node = &self.root;
+        for &x in &s {
+            match node.children.get(&x) {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        node.terminal > 0
+    }
+
+    /// Removes one copy of the exact set; returns `true` if it was present.
+    pub fn remove(&mut self, set: &[u32]) -> bool {
+        let s = normalize(set);
+        if !self.contains(&s) {
+            return false;
+        }
+        fn rec(node: &mut Node, set: &[u32]) -> bool {
+            // Returns true if the child node can be pruned.
+            if set.is_empty() {
+                node.terminal -= 1;
+            } else {
+                let x = set[0];
+                let prune = {
+                    let child = node.children.get_mut(&x).expect("checked by contains");
+                    rec(child, &set[1..])
+                };
+                if prune {
+                    node.children.remove(&x);
+                }
+            }
+            node.terminal == 0 && node.children.is_empty()
+        }
+        rec(&mut self.root, &s);
+        self.len -= 1;
+        true
+    }
+
+    /// Whether some stored set is a subset of `query` (including equal sets).
+    pub fn contains_subset_of(&self, query: &[u32]) -> bool {
+        let q = normalize(query);
+        Self::subset_search(&self.root, &q)
+    }
+
+    fn subset_search(node: &Node, query: &[u32]) -> bool {
+        if node.terminal > 0 {
+            return true;
+        }
+        // Try to extend the current path with any query element; children and
+        // query are both sorted, so walk them in tandem.
+        let mut qi = 0usize;
+        for (&elem, child) in &node.children {
+            while qi < query.len() && query[qi] < elem {
+                qi += 1;
+            }
+            if qi >= query.len() {
+                break;
+            }
+            if query[qi] == elem && Self::subset_search(child, &query[qi + 1..]) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All stored sets that are subsets of `query` (the `GetAllSubsets` query
+    /// used to solve MQCE-S2). Duplicated stored sets are reported once.
+    pub fn get_all_subsets(&self, query: &[u32]) -> Vec<Vec<u32>> {
+        let q = normalize(query);
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        Self::collect_subsets(&self.root, &q, &mut path, &mut out);
+        out
+    }
+
+    fn collect_subsets(node: &Node, query: &[u32], path: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if node.terminal > 0 {
+            out.push(path.clone());
+        }
+        let mut qi = 0usize;
+        for (&elem, child) in &node.children {
+            while qi < query.len() && query[qi] < elem {
+                qi += 1;
+            }
+            if qi >= query.len() {
+                break;
+            }
+            if query[qi] == elem {
+                path.push(elem);
+                Self::collect_subsets(child, &query[qi + 1..], path, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// Whether some stored set is a superset of `query` (including equal
+    /// sets). This is the primitive used to filter out non-maximal QCs.
+    pub fn exists_superset_of(&self, query: &[u32]) -> bool {
+        let q = normalize(query);
+        Self::superset_search(&self.root, &q)
+    }
+
+    fn superset_search(node: &Node, query: &[u32]) -> bool {
+        if query.is_empty() {
+            // Any stored set below this node is a superset of the (consumed)
+            // query.
+            return Self::has_any_terminal(node);
+        }
+        let next = query[0];
+        for (&elem, child) in &node.children {
+            if elem > next {
+                break;
+            }
+            let rest = if elem == next { &query[1..] } else { query };
+            if Self::superset_search(child, rest) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn has_any_terminal(node: &Node) -> bool {
+        if node.terminal > 0 {
+            return true;
+        }
+        node.children.values().any(Self::has_any_terminal)
+    }
+
+    /// Whether some *other* stored set is a proper superset of `query`
+    /// (a stored copy equal to `query` does not count). This is exactly the
+    /// non-maximality test of MQCE-S2.
+    pub fn exists_proper_superset_of(&self, query: &[u32]) -> bool {
+        let q = normalize(query);
+        Self::proper_superset_search(&self.root, &q, false)
+    }
+
+    fn proper_superset_search(node: &Node, query: &[u32], extended: bool) -> bool {
+        if query.is_empty() {
+            if extended {
+                return Self::has_any_terminal(node);
+            }
+            // Path equals the query so far: need at least one more element.
+            return node.children.values().any(Self::has_any_terminal);
+        }
+        let next = query[0];
+        for (&elem, child) in &node.children {
+            if elem > next {
+                break;
+            }
+            let (rest, ext) = if elem == next {
+                (&query[1..], extended)
+            } else {
+                (query, true)
+            };
+            if Self::proper_superset_search(child, rest, ext) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All stored sets, in lexicographic order.
+    pub fn iter_sets(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        Self::collect_all(&self.root, &mut path, &mut out);
+        out
+    }
+
+    fn collect_all(node: &Node, path: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        for _ in 0..node.terminal {
+            out.push(path.clone());
+        }
+        for (&elem, child) in &node.children {
+            path.push(elem);
+            Self::collect_all(child, path, out);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut t = SetTrie::new();
+        assert!(t.is_empty());
+        t.insert(&[3, 1, 2]);
+        t.insert(&[1, 2]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&[1, 2, 3]));
+        assert!(t.contains(&[2, 1]));
+        assert!(!t.contains(&[1, 3]));
+        assert!(t.remove(&[1, 2, 3]));
+        assert!(!t.contains(&[1, 2, 3]));
+        assert!(t.contains(&[1, 2]));
+        assert!(!t.remove(&[9]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let mut t = SetTrie::new();
+        t.insert(&[1, 2]);
+        t.insert(&[2, 1, 1]);
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(&[1, 2]));
+        assert!(t.contains(&[1, 2]));
+        assert!(t.remove(&[1, 2]));
+        assert!(!t.contains(&[1, 2]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn subset_queries() {
+        let mut t = SetTrie::new();
+        t.insert(&[1, 2, 3]);
+        t.insert(&[2, 4]);
+        t.insert(&[5]);
+        assert!(t.contains_subset_of(&[1, 2, 3, 4, 5]));
+        assert!(t.contains_subset_of(&[2, 4]));
+        assert!(!t.contains_subset_of(&[1, 3, 4]));
+        let subs = t.get_all_subsets(&[1, 2, 3, 4]);
+        assert_eq!(subs.len(), 2);
+        assert!(subs.contains(&vec![1, 2, 3]));
+        assert!(subs.contains(&vec![2, 4]));
+    }
+
+    #[test]
+    fn superset_queries() {
+        let mut t = SetTrie::new();
+        t.insert(&[1, 2, 3]);
+        t.insert(&[2, 4, 6]);
+        assert!(t.exists_superset_of(&[1, 3]));
+        assert!(t.exists_superset_of(&[2]));
+        assert!(t.exists_superset_of(&[]));
+        assert!(!t.exists_superset_of(&[3, 4]));
+        assert!(t.exists_superset_of(&[2, 4, 6]));
+    }
+
+    #[test]
+    fn proper_superset_excludes_equal() {
+        let mut t = SetTrie::new();
+        t.insert(&[1, 2, 3]);
+        assert!(!t.exists_proper_superset_of(&[1, 2, 3]));
+        assert!(t.exists_proper_superset_of(&[1, 2]));
+        assert!(t.exists_proper_superset_of(&[2, 3]));
+        assert!(!t.exists_proper_superset_of(&[4]));
+        t.insert(&[1, 2, 3, 4]);
+        assert!(t.exists_proper_superset_of(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_set_handling() {
+        let mut t = SetTrie::new();
+        t.insert(&[]);
+        assert!(t.contains(&[]));
+        assert!(t.contains_subset_of(&[7, 8]));
+        assert!(t.contains_subset_of(&[]));
+        assert!(!t.exists_proper_superset_of(&[]));
+        t.insert(&[9]);
+        assert!(t.exists_proper_superset_of(&[]));
+    }
+
+    #[test]
+    fn iter_sets_returns_everything() {
+        let mut t = SetTrie::new();
+        let sets: Vec<Vec<u32>> = vec![vec![1, 5, 9], vec![2], vec![1, 5], vec![3, 4, 7, 8]];
+        for s in &sets {
+            t.insert(s);
+        }
+        let all = t.iter_sets();
+        assert_eq!(all.len(), 4);
+        for s in &sets {
+            assert!(all.contains(s));
+        }
+    }
+}

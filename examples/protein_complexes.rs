@@ -1,0 +1,74 @@
+//! Finding dense functional groups in a protein-interaction-style graph.
+//!
+//! The paper's biological motivation (Pei et al., Bhattacharyya et al.): in a
+//! protein–protein interaction network, a functional complex shows up as a
+//! group of proteins in which each member interacts with most of the others —
+//! a γ-quasi-clique. Real PPI data is noisy: some interactions are missed
+//! (false negatives) and spurious edges exist, which is why the clique
+//! relaxation matters.
+//!
+//! This example simulates a PPI network by planting complexes with missing
+//! edges into a sparse random background and shows that MQC enumeration
+//! recovers every planted complex while exact clique mining would miss them.
+//!
+//! ```text
+//! cargo run --release --example protein_complexes
+//! ```
+
+use mqce::graph::generators::{planted_quasi_cliques, PlantedGroup};
+use mqce::graph::GraphStats;
+use mqce::prelude::*;
+
+fn main() {
+    // Plant five complexes of 9-14 proteins. Only ~88% of the intra-complex
+    // interactions are observed, so most complexes are not cliques.
+    let complexes = [
+        PlantedGroup { size: 14, density: 0.88 },
+        PlantedGroup { size: 12, density: 0.90 },
+        PlantedGroup { size: 11, density: 0.88 },
+        PlantedGroup { size: 10, density: 0.92 },
+        PlantedGroup { size: 9, density: 0.90 },
+    ];
+    let n = 600;
+    let g = planted_quasi_cliques(n, 0.004, &complexes, 7);
+    println!("simulated PPI network: {}", GraphStats::compute(&g));
+
+    let gamma = 0.75;
+    let theta = 8;
+    let result = enumerate_mqcs_default(&g, gamma, theta).expect("valid parameters");
+    println!(
+        "\n{} maximal {:.2}-quasi-cliques with >= {} proteins",
+        result.mqcs.len(),
+        gamma,
+        theta
+    );
+
+    // Check how well the planted complexes are recovered: a complex counts as
+    // recovered if some MQC contains at least 80% of its members.
+    let mut start = 0usize;
+    for (i, complex) in complexes.iter().enumerate() {
+        let members: Vec<u32> = (start as u32..(start + complex.size) as u32).collect();
+        let best_overlap = result
+            .mqcs
+            .iter()
+            .map(|mqc| members.iter().filter(|v| mqc.contains(v)).count())
+            .max()
+            .unwrap_or(0);
+        let recovered = best_overlap * 10 >= members.len() * 8;
+        println!(
+            "  complex #{} ({} proteins): best overlap {}/{} -> {}",
+            i + 1,
+            complex.size,
+            best_overlap,
+            members.len(),
+            if recovered { "recovered" } else { "MISSED" }
+        );
+        start += complex.size;
+    }
+
+    println!("\nsearch statistics: {}", result.stats);
+    println!(
+        "pipeline time: S1 {:?} + S2 {:?}",
+        result.s1_time, result.s2_time
+    );
+}

@@ -201,7 +201,7 @@ impl<'g> SearchCtx<'g> {
             return false;
         }
         if let Some(deadline) = self.deadline {
-            if self.stats.branches % TIME_CHECK_INTERVAL == 0 && Instant::now() >= deadline {
+            if self.stats.branches.is_multiple_of(TIME_CHECK_INTERVAL) && Instant::now() >= deadline {
                 self.aborted = true;
                 return false;
             }

@@ -131,7 +131,7 @@ fn expand_one(g: &Graph, kernel: &[VertexId], gamma: f64) -> Vec<VertexId> {
             }
             let min_deg = grown.iter().map(|&v| g.degree_in(v, &grown)).min().unwrap_or(0);
             let key = (min_deg, w);
-            if best.map_or(true, |(bd, bw)| key > (bd, bw)) {
+            if best.is_none_or(|(bd, bw)| key > (bd, bw)) {
                 best = Some(key);
             }
         }

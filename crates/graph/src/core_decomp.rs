@@ -230,6 +230,86 @@ mod tests {
         assert_eq!(sorted, (0..7).collect::<Vec<_>>());
     }
 
+    /// Max number of neighbours any vertex has after itself in `order`.
+    fn max_forward_degree(g: &Graph, order: &[VertexId]) -> usize {
+        let mut pos = vec![0usize; g.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        order
+            .iter()
+            .map(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(|&&u| pos[u as usize] > pos[v as usize])
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn assert_is_permutation(order: &[VertexId], n: usize) {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as VertexId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn path_ordering_achieves_degeneracy_one() {
+        for n in [2usize, 3, 10, 25] {
+            let g = Graph::path(n);
+            let d = core_decomposition(&g);
+            assert_eq!(d.degeneracy, 1, "path of {n}");
+            assert_is_permutation(&d.ordering, n);
+            // A degeneracy ordering of a path leaves each vertex ≤ 1
+            // forward neighbour.
+            assert_eq!(max_forward_degree(&g, &d.ordering), 1);
+            assert!(d.core_numbers.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn clique_ordering_achieves_degeneracy_n_minus_one() {
+        for n in [2usize, 4, 7] {
+            let g = Graph::complete(n);
+            let d = core_decomposition(&g);
+            assert_eq!(d.degeneracy, n - 1, "K{n}");
+            assert_is_permutation(&d.ordering, n);
+            // In a clique the first vertex of any order sees all others
+            // forward, so n-1 is both achieved and optimal.
+            assert_eq!(max_forward_degree(&g, &d.ordering), n - 1);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_decompose_independently() {
+        // K4 on {0..3} ∪ path 4-5-6 ∪ isolated 7.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+            ],
+        );
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 3);
+        assert_is_permutation(&d.ordering, 8);
+        assert_eq!(max_forward_degree(&g, &d.ordering), 3);
+        assert_eq!(&d.core_numbers[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&d.core_numbers[4..7], &[1, 1, 1]);
+        assert_eq!(d.core_numbers[7], 0);
+        // k-cores respect component boundaries.
+        assert_eq!(k_core_vertices(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core_vertices(&g, 1), (0..7).collect::<Vec<_>>());
+        assert_eq!(k_core_vertices(&g, 0), (0..8).collect::<Vec<_>>());
+    }
+
     #[test]
     fn k_core_extraction() {
         // Triangle {0,1,2} plus tail 2-3-4.

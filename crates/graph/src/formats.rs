@@ -378,7 +378,7 @@ mod tests {
     fn error_display_mentions_line() {
         let err = read_dimacs("p edge 2 1\ne 1 9\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 2"));
-        let io_err = FormatError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io_err = FormatError::from(std::io::Error::other("boom"));
         assert!(io_err.to_string().contains("I/O"));
     }
 }

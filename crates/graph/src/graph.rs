@@ -128,7 +128,7 @@ impl Graph {
 
     /// Iterator over all vertices.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).map(|v| v)
+        0..self.num_vertices() as VertexId
     }
 
     /// Iterator over all undirected edges, each reported once as `(u, v)` with

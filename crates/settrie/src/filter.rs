@@ -1,7 +1,5 @@
 //! Maximality filtering (MQCE-S2): remove sets contained in other sets.
 
-use crate::trie::SetTrie;
-
 /// Filters a collection of sets down to the ones that are not strict subsets
 /// of any other set in the collection (duplicates are collapsed to one copy).
 ///
@@ -9,9 +7,14 @@ use crate::trie::SetTrie;
 /// algorithm (a superset of all maximal QCs in which every element is a QC),
 /// the result is exactly the set of maximal QCs.
 ///
-/// Runs in `O(Σ|set| · log)` trie operations by processing sets from largest
-/// to smallest and asking, for each set, whether a superset has already been
-/// inserted.
+/// Sets are processed from largest to smallest, so a set can only be
+/// dominated by an *already accepted* set. The superset query is answered
+/// through an inverted index (element → accepted sets containing it) probed
+/// at the query's least-frequent element; on the heavily overlapping set
+/// families S1 emits for dense community graphs this is output-sensitive and
+/// far faster than backtracking superset search in a
+/// [`SetTrie`](crate::SetTrie) (which
+/// degenerates on wide tries with long shared paths).
 pub fn filter_maximal(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
     let mut normalised: Vec<Vec<u32>> = sets
         .iter()
@@ -22,22 +25,74 @@ pub fn filter_maximal(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
             v
         })
         .collect();
-    // Largest first so that any potential superset of a set is inserted
+    // Largest first so that any potential superset of a set is accepted
     // before the set itself is queried. Ties broken lexicographically to make
     // duplicate detection trivial.
     normalised.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
     normalised.dedup();
 
-    let mut trie = SetTrie::new();
-    let mut result = Vec::new();
+    // Compress element values to dense ids so the inverted index stays
+    // bounded by the input size even for sparse universes (element values
+    // are arbitrary u32s at this API's level, not graph vertex ids).
+    let mut distinct: Vec<u32> = normalised.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let compress = |x: u32| -> usize {
+        distinct.binary_search(&x).expect("element seen during compression")
+    };
+
+    // containing[compress(x)] = indices (into `accepted`) of accepted sets
+    // containing x.
+    let mut containing: Vec<Vec<u32>> = vec![Vec::new(); distinct.len()];
+    let mut accepted: Vec<Vec<u32>> = Vec::new();
     for set in normalised {
-        if !trie.exists_superset_of(&set) {
-            trie.insert(&set);
-            result.push(set);
+        if set.is_empty() {
+            // The empty set is a strict subset of any other set; it survives
+            // only when it is the sole input.
+            if accepted.is_empty() {
+                accepted.push(set);
+            }
+            continue;
+        }
+        // Probe the accepted-set lists of the query's least-frequent element:
+        // every superset of `set` must appear in each element's list.
+        let compressed: Vec<usize> = set.iter().map(|&x| compress(x)).collect();
+        let probe = compressed
+            .iter()
+            .copied()
+            .min_by_key(|&c| containing[c].len())
+            .expect("set is non-empty");
+        let dominated = containing[probe]
+            .iter()
+            .any(|&i| is_sorted_subset(&set, &accepted[i as usize]));
+        if !dominated {
+            let id = accepted.len() as u32;
+            for &c in &compressed {
+                containing[c].push(id);
+            }
+            accepted.push(set);
         }
     }
-    result.sort();
-    result
+    accepted.sort();
+    accepted
+}
+
+/// `a ⊆ b` for sorted, deduplicated slices.
+fn is_sorted_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
 }
 
 /// Quadratic reference implementation of [`filter_maximal`], used by tests and
@@ -52,20 +107,6 @@ pub fn filter_maximal_naive(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
             v
         })
         .collect();
-    let is_subset = |a: &[u32], b: &[u32]| -> bool {
-        // a ⊆ b, both sorted.
-        let mut j = 0;
-        for &x in a {
-            while j < b.len() && b[j] < x {
-                j += 1;
-            }
-            if j >= b.len() || b[j] != x {
-                return false;
-            }
-            j += 1;
-        }
-        true
-    };
     let mut result: Vec<Vec<u32>> = Vec::new();
     for (i, s) in normalised.iter().enumerate() {
         let dominated = normalised.iter().enumerate().any(|(j, t)| {
@@ -76,7 +117,7 @@ pub fn filter_maximal_naive(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
                 // Keep only the first copy of duplicates.
                 return j < i;
             }
-            is_subset(s, t)
+            is_sorted_subset(s, t)
         });
         if !dominated {
             result.push(s.clone());
@@ -123,6 +164,15 @@ mod tests {
         assert_eq!(filter_maximal(&sets), vec![vec![7]]);
         let only_empty = vec![vec![]];
         assert_eq!(filter_maximal(&only_empty), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn sparse_universe_does_not_allocate_by_element_value() {
+        // Element values are arbitrary u32s; memory must scale with the
+        // input, not with the largest value.
+        let sets = vec![vec![0], vec![4_000_000_000], vec![0, 4_000_000_000]];
+        assert_eq!(filter_maximal(&sets), vec![vec![0, 4_000_000_000]]);
+        assert_eq!(filter_maximal(&[vec![u32::MAX]]), vec![vec![u32::MAX]]);
     }
 
     #[test]

@@ -333,6 +333,85 @@ mod tests {
     }
 
     #[test]
+    fn empty_trie_answers_all_queries_negatively() {
+        let t = SetTrie::new();
+        assert!(!t.contains(&[]));
+        assert!(!t.contains_subset_of(&[]));
+        assert!(!t.contains_subset_of(&[1, 2, 3]));
+        assert!(!t.exists_superset_of(&[]));
+        assert!(!t.exists_superset_of(&[1]));
+        assert!(t.get_all_subsets(&[1, 2, 3]).is_empty());
+        assert!(t.iter_sets().is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_subset_of_everything_and_superset_of_nothing_larger() {
+        let mut t = SetTrie::new();
+        t.insert(&[]);
+        // The empty set is a subset of every query, including the empty one.
+        assert!(t.contains_subset_of(&[]));
+        assert!(t.contains_subset_of(&[42]));
+        assert_eq!(t.get_all_subsets(&[1, 2]), vec![Vec::<u32>::new()]);
+        // And it is a (non-proper) superset only of the empty query.
+        assert!(t.exists_superset_of(&[]));
+        assert!(!t.exists_superset_of(&[1]));
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_change_query_semantics() {
+        let mut t = SetTrie::new();
+        t.insert(&[2, 4, 6]);
+        t.insert(&[2, 4, 6]);
+        t.insert(&[6, 4, 2]); // same set, different order
+        assert_eq!(t.len(), 3);
+        // Queries behave exactly as with one copy.
+        assert!(t.contains(&[2, 4, 6]));
+        assert!(t.contains_subset_of(&[2, 4, 6, 8]));
+        assert!(t.exists_superset_of(&[4]));
+        assert!(!t.exists_proper_superset_of(&[2, 4, 6]));
+        // get_all_subsets reports the stored set once, not three times.
+        assert_eq!(t.get_all_subsets(&[2, 4, 6]), vec![vec![2, 4, 6]]);
+        // Each remove peels one copy.
+        assert!(t.remove(&[2, 4, 6]));
+        assert!(t.remove(&[2, 4, 6]));
+        assert!(t.contains(&[2, 4, 6]));
+        assert!(t.remove(&[2, 4, 6]));
+        assert!(!t.contains(&[2, 4, 6]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn singleton_alphabet() {
+        // Every stored set is over the one-symbol alphabet {7}: the trie
+        // degenerates to a single edge, which stresses the path-sharing and
+        // dedup logic.
+        let mut t = SetTrie::new();
+        t.insert(&[7]);
+        t.insert(&[7, 7, 7]); // normalises to {7}
+        t.insert(&[]);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&[7]));
+        assert!(t.contains_subset_of(&[7]));
+        assert!(t.contains_subset_of(&[6, 7, 8]));
+        assert!(t.exists_superset_of(&[7]));
+        assert!(!t.exists_superset_of(&[7, 8]));
+        assert!(!t.exists_proper_superset_of(&[7]));
+        assert!(t.exists_proper_superset_of(&[]));
+        assert_eq!(t.iter_sets(), vec![vec![], vec![7], vec![7]]);
+    }
+
+    #[test]
+    fn insert_normalises_unsorted_duplicated_input() {
+        let mut t = SetTrie::new();
+        t.insert(&[9, 1, 5, 1, 9, 5, 5]);
+        assert_eq!(t.iter_sets(), vec![vec![1, 5, 9]]);
+        assert!(t.contains(&[5, 9, 1]));
+        assert!(t.contains_subset_of(&[0, 1, 3, 5, 9]));
+        assert!(!t.contains_subset_of(&[1, 5]));
+        assert!(t.exists_superset_of(&[1, 9]));
+    }
+
+    #[test]
     fn iter_sets_returns_everything() {
         let mut t = SetTrie::new();
         let sets: Vec<Vec<u32>> = vec![vec![1, 5, 9], vec![2], vec![1, 5], vec![3, 4, 7, 8]];

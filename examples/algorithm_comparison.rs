@@ -15,9 +15,12 @@ use mqce::graph::GraphStats;
 use mqce::prelude::*;
 
 fn main() {
+    // Communities of ~12 vertices keep the workload feasible for *every*
+    // configuration, including the Quick+ baseline — on larger dense
+    // communities Quick+ is the paper's INF column and never returns.
     let g = community_graph(
         CommunityGraphParams {
-            n: 250,
+            n: 120,
             num_communities: 10,
             p_intra: 0.9,
             inter_degree: 2.0,

@@ -15,12 +15,14 @@ use mqce::graph::GraphStats;
 use mqce::prelude::*;
 
 fn main() {
-    // A 400-vertex social network with 12 planted communities: 85% of the
-    // possible intra-community ties exist, plus ~2 random inter-community
-    // ties per person.
+    // A 400-vertex social network with 25 planted communities (~16 people
+    // each): 85% of the possible intra-community ties exist, plus ~2 random
+    // inter-community ties per person. (Communities much larger than this
+    // contain combinatorially many overlapping quasi-cliques — enumerating
+    // them all is possible but no longer a quick demo.)
     let params = CommunityGraphParams {
         n: 400,
-        num_communities: 12,
+        num_communities: 25,
         p_intra: 0.85,
         inter_degree: 2.0,
     };

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for structs with named fields, honouring the
+//! `#[serde(skip)]` field attribute (skipped fields are omitted from the
+//! output and rebuilt with `Default::default()` on deserialisation).
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are equally unavailable offline), so it intentionally supports
+//! only the struct shapes this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Struct {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Parses `struct Name { fields... }` out of the derive input, skipping
+/// attributes and visibility, and rejecting shapes we do not support.
+fn parse_struct(input: TokenStream) -> Result<Struct, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility until the `struct` keyword.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(id)) => break id.to_string(),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(_)) => {} // pub, crate, ...
+            Some(TokenTree::Group(_)) => {} // pub(crate)
+            Some(other) => return Err(format!("unexpected token {other}")),
+            None => return Err("no `struct` keyword in derive input".to_string()),
+        }
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported by the vendored serde_derive".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("unit structs are not supported by the vendored serde_derive".into())
+            }
+            Some(_) => {} // generics etc.
+            None => return Err("struct has no body".to_string()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field attributes: detect #[serde(skip)].
+        let mut skip = false;
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                let mut inner = g.stream().into_iter();
+                if matches!(&inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        if args
+                            .stream()
+                            .into_iter()
+                            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+                        {
+                            skip = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found {other}")),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma. Only `<`/`>`
+        // nesting needs tracking: bracketed/parenthesised types arrive as
+        // single groups.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(Struct { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (the vendored trait) for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for field in parsed.fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "fields.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+            field.name, field.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        parsed.name, pushes
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (the vendored trait) for a named-field
+/// struct; `#[serde(skip)]` fields are filled with `Default::default()`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for field in &parsed.fields {
+        if field.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                field.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{}: ::serde::Deserialize::from_value(value.field({:?})?)?,\n",
+                field.name, field.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({} {{\n{}}})\n\
+             }}\n\
+         }}",
+        parsed.name, parsed.name, inits
+    )
+    .parse()
+    .unwrap()
+}

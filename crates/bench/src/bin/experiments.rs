@@ -5,7 +5,11 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
-//! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `all`.
+//! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `all`.
+//!
+//! `quick` is the backend-comparison profile (bitset kernel vs sorted
+//! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
+//! job and the perf trajectory can pick the records up.
 //!
 //! `--quick` runs the reduced-scale suite with a short time limit (useful for
 //! smoke-testing the harness); the default is the full laptop-scale suite.
@@ -18,7 +22,7 @@ use mqce_bench::runner::{save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|all> \
          [--quick] [--time-limit <seconds>] [--json <path>]"
     );
     std::process::exit(2);
@@ -34,10 +38,12 @@ fn main() {
     let mut json_path: Option<PathBuf> = None;
 
     let mut i = 0;
+    let mut time_limit_set = false;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 opts = ExperimentOptions::quick();
+                time_limit_set = true;
             }
             "--time-limit" => {
                 i += 1;
@@ -46,6 +52,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
                 opts.time_limit = Duration::from_secs(secs);
+                time_limit_set = true;
             }
             "--json" => {
                 i += 1;
@@ -59,6 +66,17 @@ fn main() {
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
+    // The quick profile is the per-PR smoke signal: fixed small workloads
+    // (it ignores --quick/scale), a bounded time limit, and always a
+    // machine-readable artifact.
+    if experiment == "quick" {
+        if !time_limit_set {
+            opts.time_limit = Duration::from_secs(10);
+        }
+        if json_path.is_none() {
+            json_path = Some(PathBuf::from("BENCH_mqce.json"));
+        }
+    }
 
     let records: Vec<RunRecord> = match experiment.as_str() {
         "table1" => experiments::table1(opts),
@@ -72,6 +90,7 @@ fn main() {
         "maxround" => experiments::maxround(opts),
         "shrink" => experiments::shrink(opts),
         "s2" => experiments::s2_cost(opts),
+        "quick" => experiments::quick_backends(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };

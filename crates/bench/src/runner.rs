@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use mqce_core::{enumerate_mqcs, Algorithm, BranchingStrategy, MqceConfig, SearchStats};
+use mqce_core::{enumerate_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, SearchStats};
 use mqce_graph::Graph;
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +16,8 @@ pub struct RunRecord {
     pub algorithm: String,
     /// Branching strategy used (only meaningful for FastQC variants).
     pub branching: String,
+    /// Adjacency backend used by the searchers (`auto` / `slice` / `bitset`).
+    pub backend: String,
     /// Density threshold γ.
     pub gamma: f64,
     /// Size threshold θ.
@@ -74,6 +76,8 @@ pub struct AlgoSpec {
     pub branching: BranchingStrategy,
     /// `MAX_ROUND` for DC pruning.
     pub max_round: usize,
+    /// Adjacency backend the searchers use.
+    pub backend: AdjacencyBackend,
 }
 
 impl AlgoSpec {
@@ -84,6 +88,7 @@ impl AlgoSpec {
             algorithm: Algorithm::DcFastQc,
             branching: BranchingStrategy::HybridSe,
             max_round: 2,
+            backend: AdjacencyBackend::Auto,
         }
     }
 
@@ -94,6 +99,7 @@ impl AlgoSpec {
             algorithm: Algorithm::QuickPlus,
             branching: BranchingStrategy::HybridSe,
             max_round: 1,
+            backend: AdjacencyBackend::Auto,
         }
     }
 
@@ -104,6 +110,7 @@ impl AlgoSpec {
             algorithm: Algorithm::FastQc,
             branching: BranchingStrategy::HybridSe,
             max_round: 2,
+            backend: AdjacencyBackend::Auto,
         }
     }
 
@@ -114,6 +121,7 @@ impl AlgoSpec {
             algorithm: Algorithm::BasicDcFastQc,
             branching: BranchingStrategy::HybridSe,
             max_round: 1,
+            backend: AdjacencyBackend::Auto,
         }
     }
 
@@ -124,6 +132,7 @@ impl AlgoSpec {
             algorithm: Algorithm::DcFastQc,
             branching,
             max_round: 2,
+            backend: AdjacencyBackend::Auto,
         }
     }
 
@@ -134,7 +143,16 @@ impl AlgoSpec {
             algorithm: Algorithm::DcFastQc,
             branching: BranchingStrategy::HybridSe,
             max_round,
+            backend: AdjacencyBackend::Auto,
         }
+    }
+
+    /// The same configuration restricted to one adjacency backend (the
+    /// backend-comparison profile).
+    pub fn with_backend(mut self, label: &'static str, backend: AdjacencyBackend) -> Self {
+        self.label = label;
+        self.backend = backend;
+        self
     }
 }
 
@@ -151,6 +169,7 @@ pub fn measure(
         .expect("benchmark parameters are valid")
         .with_algorithm(spec.algorithm)
         .with_branching(spec.branching)
+        .with_backend(spec.backend)
         .with_max_round(spec.max_round)
         .with_time_limit(time_limit);
     let start = Instant::now();
@@ -161,6 +180,7 @@ pub fn measure(
         dataset: dataset.to_string(),
         algorithm: spec.label.to_string(),
         branching: format!("{:?}", spec.branching),
+        backend: spec.backend.name().to_string(),
         gamma,
         theta,
         max_round: spec.max_round,
@@ -244,6 +264,23 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn with_backend_overrides_label_and_backend() {
+        let spec = AlgoSpec::dcfastqc().with_backend("DCFastQC/slice", AdjacencyBackend::Slice);
+        assert_eq!(spec.label, "DCFastQC/slice");
+        assert_eq!(spec.backend, AdjacencyBackend::Slice);
+        let rec = measure(
+            "k5",
+            &Graph::complete(5),
+            spec,
+            0.9,
+            2,
+            Duration::from_secs(5),
+        );
+        assert_eq!(rec.backend, "slice");
+        assert_eq!(rec.mqcs, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::time::Duration;
 use mqce_core::prelude::*;
 use mqce_core::query::find_mqcs_containing;
 use mqce_core::verify::verify_mqc_set;
-use mqce_core::{find_largest_mqcs, Algorithm, BranchingStrategy};
+use mqce_core::{find_largest_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy};
 use mqce_graph::{formats, generators, Graph, GraphStats};
 
 use args::{parse, ArgError, ParsedArgs};
@@ -74,8 +74,8 @@ mqce — maximal quasi-clique enumeration (FastQC / DCFastQC, SIGMOD'24)
 USAGE:
   mqce stats <graph>
   mqce enumerate <graph> --gamma G --theta T [--algorithm A] [--branching B]
-                 [--max-round N] [--threads N] [--time-limit-secs S]
-                 [--print-sets] [--verify]
+                 [--max-round N] [--threads N] [--backend K]
+                 [--time-limit-secs S] [--print-sets] [--verify]
   mqce topk <graph> --gamma G [--k K]
   mqce query <graph> --gamma G --theta T --vertices V1,V2,...
   mqce generate <kind> <output> [--n N] [--density D] [--seed S]
@@ -89,6 +89,10 @@ GRAPH FILES: format chosen by extension — .clq/.dimacs/.col (DIMACS),
 ALGORITHMS (--algorithm): dcfastqc (default), fastqc, bdcfastqc, quickplus,
   quickplus-raw, naive.
 BRANCHING (--branching): hybrid (default), sym, se.
+BACKEND (--backend): auto (default; bitset kernel on dense subproblems),
+  slice (CSR binary search only), bitset (force the kernel when it fits).
+THREADS (--threads): worker count for the DC subproblems; 0 auto-detects
+  the available parallelism of the machine. Default 1 (sequential).
 GENERATOR KINDS: er, ba, community, caveman, powerlaw, grid, hub.
 ";
 
@@ -173,6 +177,26 @@ fn parse_branching(raw: Option<&str>) -> Result<BranchingStrategy, CliError> {
     }
 }
 
+fn parse_backend(raw: Option<&str>) -> Result<AdjacencyBackend, CliError> {
+    match raw.unwrap_or("auto").to_ascii_lowercase().as_str() {
+        "auto" => Ok(AdjacencyBackend::Auto),
+        "slice" | "csr" => Ok(AdjacencyBackend::Slice),
+        "bitset" | "bitmatrix" => Ok(AdjacencyBackend::Bitset),
+        other => Err(CliError::Params(format!("unknown adjacency backend {other:?}"))),
+    }
+}
+
+/// Resolves the `--threads` value: `0` means "use every core the OS reports".
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
 fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
     let gamma = parsed.get_f64("gamma", 0.9)?;
     let theta = parsed.get_usize("theta", 2)?;
@@ -180,6 +204,7 @@ fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
         .map_err(|e| CliError::Params(e.to_string()))?
         .with_algorithm(parse_algorithm(parsed.get("algorithm"))?)
         .with_branching(parse_branching(parsed.get("branching"))?)
+        .with_backend(parse_backend(parsed.get("backend"))?)
         .with_max_round(parsed.get_usize("max-round", 2)?);
     let limit = parsed.get_u64("time-limit-secs", 0)?;
     if limit > 0 {
@@ -216,6 +241,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         "theta",
         "algorithm",
         "branching",
+        "backend",
         "max-round",
         "threads",
         "time-limit-secs",
@@ -226,7 +252,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
     let path = parsed.positional(1, "graph")?;
     let g = load_graph(path)?;
     let config = build_config(parsed)?;
-    let threads = parsed.get_usize("threads", 1)?;
+    let threads = resolve_threads(parsed.get_usize("threads", 1)?);
     let result = if threads > 1 {
         mqce_core::enumerate_mqcs_parallel(&g, &config, threads)
     } else {
@@ -296,7 +322,7 @@ fn cmd_topk<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
 }
 
 fn cmd_query<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
-    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "time-limit-secs", "print-sets"])?;
+    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "backend", "time-limit-secs", "print-sets"])?;
     parsed.no_extra_positionals(2)?;
     let path = parsed.positional(1, "graph")?;
     let g = load_graph(path)?;
@@ -560,5 +586,49 @@ mod tests {
                 .to_string()
         };
         assert_eq!(count(&seq), count(&par));
+    }
+
+    #[test]
+    fn threads_zero_auto_detects() {
+        // `--threads 0` resolves to the machine's parallelism and still
+        // produces the sequential result.
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let path = write_paper_graph("threads0.txt");
+        let auto = run_capture(&[
+            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "0",
+        ])
+        .unwrap();
+        let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("maximal qcs"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count(&auto), count(&seq));
+    }
+
+    #[test]
+    fn backend_flag_is_accepted_and_consistent() {
+        let path = write_paper_graph("backend.txt");
+        let mut outputs = Vec::new();
+        for backend in ["auto", "slice", "bitset"] {
+            let out = run_capture(&[
+                "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--backend", backend,
+                "--verify", "--print-sets",
+            ])
+            .unwrap();
+            assert!(out.contains("verification     ok"), "{backend}: {out}");
+            // Keep only the reported sets for cross-backend comparison.
+            let sets: Vec<&str> = out
+                .lines()
+                .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                .collect();
+            outputs.push(sets.join("\n"));
+        }
+        assert_eq!(outputs[0], outputs[1], "auto vs slice outputs differ");
+        assert_eq!(outputs[1], outputs[2], "slice vs bitset outputs differ");
+        assert!(run_capture(&["enumerate", &path, "--backend", "alien"]).is_err());
     }
 }

@@ -13,13 +13,23 @@
 //! cloning per branch: moving a vertex between `C` and `S`, or removing it
 //! from `C`, updates two degree arrays (`δ(·,S)` and `δ(·,S∪C)`) in `O(d)`
 //! time, exactly as the paper's complexity analysis assumes (Section 4.1).
+//!
+//! In addition to the degree arrays, the context optionally carries a packed
+//! bitset adjacency kernel ([`AdjacencyMatrix`]). When present (dense
+//! subproblems below the adaptive threshold, see
+//! [`AdjacencyBackend`](crate::config::AdjacencyBackend)), edge tests become
+//! `O(1)` word loads, the Rule-1 adjacency counting becomes a popcount over a
+//! critical-vertex mask, and the QC predicate evaluated at every emission
+//! point runs word-parallel instead of via per-vertex binary searches.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
+use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::{Graph, VertexId};
 
-use crate::config::MqceParams;
-use crate::quasiclique::{is_quasi_clique, no_single_vertex_extension, tau, EPS};
+use crate::config::{AdjacencyBackend, MqceParams};
+use crate::quasiclique::{is_quasi_clique_with, no_single_vertex_extension_with, tau, EPS};
 use crate::stats::SearchStats;
 
 /// How often (in explored branches) the wall-clock deadline is polled.
@@ -37,6 +47,10 @@ pub struct SearchOutcome {
 /// Mutable search state shared by the branch-and-bound algorithms.
 pub(crate) struct SearchCtx<'g> {
     pub(crate) g: &'g Graph,
+    /// Optional packed adjacency kernel: borrowed from the DC subproblem's
+    /// [`InducedSubgraph`](mqce_graph::InducedSubgraph) when one was built
+    /// there, or owned when the context built it for a whole-graph search.
+    kernel: Option<Cow<'g, AdjacencyMatrix>>,
     pub(crate) gamma: f64,
     pub(crate) theta: usize,
     /// Vertex membership flags.
@@ -50,6 +64,10 @@ pub(crate) struct SearchCtx<'g> {
     deg_sc: Vec<u32>,
     /// Scratch buffer for per-candidate counting passes.
     scratch: Vec<u32>,
+    /// Reusable mask for the kernel path of
+    /// [`count_adjacency_to`](Self::count_adjacency_to); allocated once so
+    /// the per-branch refinement never hits the allocator.
+    critical_mask: Option<BitSet>,
     /// Emitted quasi-cliques (local ids).
     pub(crate) outputs: Vec<Vec<VertexId>>,
     pub(crate) stats: SearchStats,
@@ -63,6 +81,7 @@ impl<'g> SearchCtx<'g> {
     ///
     /// `s_init` and `cand` must be disjoint; vertices in neither are treated
     /// as excluded.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(
         g: &'g Graph,
         params: MqceParams,
@@ -70,9 +89,38 @@ impl<'g> SearchCtx<'g> {
         cand: &[VertexId],
         deadline: Option<Instant>,
     ) -> Self {
+        Self::new_with_kernel(g, None, params, s_init, cand, deadline)
+    }
+
+    /// [`SearchCtx::new`] with an optionally pre-built adjacency kernel
+    /// (typically the one the DC driver attached to the subproblem's induced
+    /// subgraph). When none is supplied, the backend policy in `params`
+    /// decides whether the context builds its own.
+    pub(crate) fn new_with_kernel(
+        g: &'g Graph,
+        kernel: Option<&'g AdjacencyMatrix>,
+        params: MqceParams,
+        s_init: &[VertexId],
+        cand: &[VertexId],
+        deadline: Option<Instant>,
+    ) -> Self {
         let n = g.num_vertices();
+        let kernel: Option<Cow<'g, AdjacencyMatrix>> = match params.backend {
+            AdjacencyBackend::Slice => None,
+            AdjacencyBackend::Auto => kernel.map(Cow::Borrowed).or_else(|| {
+                AdjacencyMatrix::adaptive_for(n, g.num_edges())
+                    .then(|| Cow::Owned(AdjacencyMatrix::from_graph(g)))
+            }),
+            AdjacencyBackend::Bitset => kernel.map(Cow::Borrowed).or_else(|| {
+                AdjacencyMatrix::recommended_for(n)
+                    .then(|| Cow::Owned(AdjacencyMatrix::from_graph(g)))
+            }),
+        };
+        let critical_mask = kernel.as_ref().map(|m| BitSet::new(m.num_vertices()));
         let mut ctx = SearchCtx {
             g,
+            kernel,
+            critical_mask,
             gamma: params.gamma,
             theta: params.theta,
             in_s: vec![false; n],
@@ -148,6 +196,28 @@ impl<'g> SearchCtx<'g> {
     #[inline]
     pub(crate) fn in_c(&self, v: VertexId) -> bool {
         self.in_c[v as usize]
+    }
+
+    /// The active bitset kernel, if any.
+    #[inline]
+    pub(crate) fn adjacency(&self) -> Option<&AdjacencyMatrix> {
+        self.kernel.as_deref()
+    }
+
+    /// Adjacency test dispatching to the bitset kernel when available
+    /// (`O(1)` word load) and to the CSR binary search otherwise.
+    #[inline]
+    pub(crate) fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self.kernel.as_deref() {
+            Some(m) => m.has_edge(u, v),
+            None => self.g.has_edge(u, v),
+        }
+    }
+
+    /// The γ-QC predicate on `h`, kernel-accelerated when available.
+    #[inline]
+    pub(crate) fn is_qc(&self, h: &[VertexId]) -> bool {
+        is_quasi_clique_with(self.g, self.adjacency(), h, self.gamma)
     }
 
     /// Moves a candidate vertex into `S`.
@@ -281,6 +351,21 @@ impl<'g> SearchCtx<'g> {
     /// `δ̄(v, S∪{v}) > τ` or `v` misses some vertex `u ∈ S` with
     /// `δ̄(u,S) = τ`; the latter set is `critical`.
     pub(crate) fn count_adjacency_to(&mut self, critical: &[VertexId], cand: &[VertexId]) {
+        if !critical.is_empty() {
+            if let (Some(m), Some(mask)) = (self.kernel.as_deref(), self.critical_mask.as_mut()) {
+                // Word-parallel path: one popcount over the critical-vertex
+                // mask per candidate, `O(|C| · n/64)` instead of
+                // `O(Σ_{u ∈ critical} d(u))`.
+                mask.clear();
+                for &u in critical {
+                    mask.insert(u);
+                }
+                for &v in cand {
+                    self.scratch[v as usize] = m.degree_in_mask(v, mask) as u32;
+                }
+                return;
+            }
+        }
         for &v in cand {
             self.scratch[v as usize] = 0;
         }
@@ -320,7 +405,7 @@ impl<'g> SearchCtx<'g> {
         if h.len() < self.theta {
             return false;
         }
-        if !is_quasi_clique(self.g, h, self.gamma) {
+        if !self.is_qc(h) {
             self.stats.outputs_rejected += 1;
             debug_assert!(false, "attempted to emit a non-quasi-clique: {h:?}");
             return false;
@@ -340,7 +425,8 @@ impl<'g> SearchCtx<'g> {
                 }
             };
             let pool = self.g.vertices();
-            if !no_single_vertex_extension(self.g, h, &degs, pool, self.gamma) {
+            if !no_single_vertex_extension_with(self.g, self.adjacency(), h, &degs, pool, self.gamma)
+            {
                 self.stats.outputs_suppressed_by_maximality += 1;
                 return false;
             }

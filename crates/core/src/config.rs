@@ -2,8 +2,37 @@
 
 use std::time::Duration;
 
+/// Which adjacency representation the branch-and-bound searchers use for
+/// edge tests, subset-degree counts and the QC predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdjacencyBackend {
+    /// Build the packed bitset kernel per (sub)graph when the adaptive
+    /// size/density threshold recommends it, fall back to sorted slices
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always use the CSR sorted-slice path (binary-search edge tests).
+    Slice,
+    /// Build the bitset kernel whenever the memory cap allows, even for
+    /// sparse subproblems (used by the backend-comparison benchmarks).
+    Bitset,
+}
+
+impl AdjacencyBackend {
+    /// Human-readable name used by the experiment harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdjacencyBackend::Auto => "auto",
+            AdjacencyBackend::Slice => "slice",
+            AdjacencyBackend::Bitset => "bitset",
+        }
+    }
+}
+
 /// Problem parameters of MQCE: the density threshold `γ` and the size
-/// threshold `θ` (Problem 1 of the paper).
+/// threshold `θ` (Problem 1 of the paper), plus the adjacency backend the
+/// searchers should use (an implementation knob, carried here so it reaches
+/// every search entry point without widening their signatures).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MqceParams {
     /// Density threshold `γ ∈ [0.5, 1]`: every vertex of a quasi-clique `H`
@@ -12,6 +41,8 @@ pub struct MqceParams {
     /// Size threshold `θ ≥ 1`: only maximal quasi-cliques with at least `θ`
     /// vertices are enumerated.
     pub theta: usize,
+    /// Adjacency backend used by the branch-and-bound searchers.
+    pub backend: AdjacencyBackend,
 }
 
 impl MqceParams {
@@ -28,7 +59,17 @@ impl MqceParams {
         if theta == 0 {
             return Err(ParamError::ThetaZero);
         }
-        Ok(MqceParams { gamma, theta })
+        Ok(MqceParams {
+            gamma,
+            theta,
+            backend: AdjacencyBackend::default(),
+        })
+    }
+
+    /// Sets the adjacency backend.
+    pub fn with_backend(mut self, backend: AdjacencyBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -154,6 +195,12 @@ impl MqceConfig {
         self
     }
 
+    /// Sets the adjacency backend used by the searchers.
+    pub fn with_backend(mut self, backend: AdjacencyBackend) -> Self {
+        self.params.backend = backend;
+        self
+    }
+
     /// Sets a wall-clock time limit.
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
@@ -195,11 +242,30 @@ mod tests {
             .with_algorithm(Algorithm::FastQc)
             .with_branching(BranchingStrategy::SymSe)
             .with_max_round(3)
+            .with_backend(AdjacencyBackend::Bitset)
             .with_time_limit(Duration::from_secs(10));
         assert_eq!(cfg.algorithm, Algorithm::FastQc);
         assert_eq!(cfg.branching, BranchingStrategy::SymSe);
         assert_eq!(cfg.max_round, 3);
+        assert_eq!(cfg.params.backend, AdjacencyBackend::Bitset);
         assert!(cfg.time_limit.is_some());
+    }
+
+    #[test]
+    fn backend_defaults_and_names() {
+        let p = MqceParams::new(0.9, 2).unwrap();
+        assert_eq!(p.backend, AdjacencyBackend::Auto);
+        let p = p.with_backend(AdjacencyBackend::Slice);
+        assert_eq!(p.backend, AdjacencyBackend::Slice);
+        let names: Vec<_> = [
+            AdjacencyBackend::Auto,
+            AdjacencyBackend::Slice,
+            AdjacencyBackend::Bitset,
+        ]
+        .iter()
+        .map(|b| b.name())
+        .collect();
+        assert_eq!(names, vec!["auto", "slice", "bitset"]);
     }
 
     #[test]

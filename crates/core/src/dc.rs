@@ -15,15 +15,16 @@
 
 use std::time::Instant;
 
+use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::core_decomp::{core_decomposition, k_core_vertices};
 use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
 use mqce_graph::{Graph, VertexId};
 
 use crate::branch::SearchOutcome;
-use crate::config::{BranchingStrategy, MqceParams};
-use crate::fastqc::run_fastqc;
+use crate::config::{AdjacencyBackend, BranchingStrategy, MqceParams};
+use crate::fastqc::run_fastqc_with_kernel;
 use crate::quasiclique::{required_degree, tau};
-use crate::quickplus::run_quickplus;
+use crate::quickplus::run_quickplus_with_kernel;
 use crate::stats::SearchStats;
 
 /// Which branch-and-bound searcher the DC driver invokes per subproblem.
@@ -139,13 +140,20 @@ fn solve_subproblem(
         return (Vec::new(), stats);
     }
 
-    let sub = InducedSubgraph::new(rg, &vertices);
+    // Attach the bitset kernel for dense subproblems: the subgraph is
+    // relabelled to 0..n, so the matrix rows are dense and are shared by the
+    // pruning rounds, the searcher and its emission checks.
+    let sub = match params.backend {
+        AdjacencyBackend::Slice => InducedSubgraph::new(rg, &vertices),
+        AdjacencyBackend::Auto => InducedSubgraph::new(rg, &vertices).with_adjacency(false),
+        AdjacencyBackend::Bitset => InducedSubgraph::new(rg, &vertices).with_adjacency(true),
+    };
     let local_vi = sub
         .local(vi)
         .expect("anchor vertex is always in its own 2-hop ball");
 
     // ---- lines 5-6: MAX_ROUND rounds of one-hop / two-hop pruning ----
-    let alive = prune_subgraph(&sub.graph, local_vi, params, dc);
+    let alive = prune_subgraph(&sub.graph, sub.adjacency.as_ref(), local_vi, params, dc);
     let cand: Vec<VertexId> = (0..sub.graph.num_vertices() as VertexId)
         .filter(|&u| u != local_vi && alive[u as usize])
         .collect();
@@ -155,12 +163,19 @@ fn solve_subproblem(
     }
 
     // ---- lines 7-8: run the searcher with S = {v_i} ----
+    let kernel = sub.adjacency.as_ref();
     let outcome = match inner {
-        InnerAlgorithm::FastQc(branching) => {
-            run_fastqc(&sub.graph, &[local_vi], &cand, params, branching, deadline)
-        }
+        InnerAlgorithm::FastQc(branching) => run_fastqc_with_kernel(
+            &sub.graph,
+            kernel,
+            &[local_vi],
+            &cand,
+            params,
+            branching,
+            deadline,
+        ),
         InnerAlgorithm::QuickPlus => {
-            run_quickplus(&sub.graph, &[local_vi], &cand, params, deadline)
+            run_quickplus_with_kernel(&sub.graph, kernel, &[local_vi], &cand, params, deadline)
         }
     };
     stats.merge(&outcome.stats);
@@ -275,8 +290,15 @@ pub fn run_dc_parallel(
 
 /// Applies `MAX_ROUND` rounds of one-hop and (optionally) two-hop pruning on
 /// the subgraph; `anchor` (the local id of `v_i`) is never removed. Returns
-/// the surviving-vertex mask.
-fn prune_subgraph(sub: &Graph, anchor: VertexId, params: MqceParams, dc: DcConfig) -> Vec<bool> {
+/// the surviving-vertex mask. When a bitset kernel is supplied, the degree
+/// and common-neighbour counts run word-parallel over an alive-vertex mask.
+fn prune_subgraph(
+    sub: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    anchor: VertexId,
+    params: MqceParams,
+    dc: DcConfig,
+) -> Vec<bool> {
     let n = sub.num_vertices();
     let mut alive = vec![true; n];
     let min_deg = required_degree(params.gamma, params.theta);
@@ -284,25 +306,35 @@ fn prune_subgraph(sub: &Graph, anchor: VertexId, params: MqceParams, dc: DcConfi
     let f_theta = params.theta as i64
         - tau(params.gamma, params.theta as f64)
         - tau(params.gamma, params.theta as f64 + 1.0);
+    // Alive mask mirrored alongside `alive` while the kernel is in use.
+    let mut alive_mask = adj.map(|_| BitSet::full(n));
 
     for _ in 0..dc.max_round.max(1) {
         let mut changed = false;
 
-        // One-hop pruning: δ(u, V_i) < ⌈γ(θ−1)⌉.
+        // One-hop pruning: δ(u, V_i) < ⌈γ(θ−1)⌉. Degrees are snapshotted
+        // before any removal so the rule is evaluated against the round's
+        // starting set, matching the slice path.
         let mut degree = vec![0usize; n];
         for v in 0..n as VertexId {
             if !alive[v as usize] {
                 continue;
             }
-            degree[v as usize] = sub
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| alive[u as usize])
-                .count();
+            degree[v as usize] = match (adj, &alive_mask) {
+                (Some(m), Some(mask)) => m.degree_in_mask(v, mask),
+                _ => sub
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| alive[u as usize])
+                    .count(),
+            };
         }
         for v in 0..n as VertexId {
             if v != anchor && alive[v as usize] && degree[v as usize] < min_deg {
                 alive[v as usize] = false;
+                if let Some(mask) = alive_mask.as_mut() {
+                    mask.remove(v);
+                }
                 changed = true;
             }
         }
@@ -322,11 +354,17 @@ fn prune_subgraph(sub: &Graph, anchor: VertexId, params: MqceParams, dc: DcConfi
                 if v == anchor || !alive[v as usize] {
                     continue;
                 }
-                let common = sub
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&u| alive[u as usize] && anchor_adj[u as usize])
-                    .count() as i64;
+                let common = match (adj, &alive_mask) {
+                    // `row(anchor)` is not filtered by liveness, but the AND
+                    // with the live alive mask subsumes the `anchor_adj`
+                    // snapshot (liveness only decreases within a round).
+                    (Some(m), Some(mask)) => m.common_neighbors_in_mask(v, anchor, mask) as i64,
+                    _ => sub
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| alive[u as usize] && anchor_adj[u as usize])
+                        .count() as i64,
+                };
                 let threshold = if anchor_adj[v as usize] {
                     f_theta
                 } else {
@@ -334,6 +372,9 @@ fn prune_subgraph(sub: &Graph, anchor: VertexId, params: MqceParams, dc: DcConfi
                 };
                 if common < threshold {
                     alive[v as usize] = false;
+                    if let Some(mask) = alive_mask.as_mut() {
+                        mask.remove(v);
+                    }
                     changed = true;
                 }
             }

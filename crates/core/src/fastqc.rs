@@ -23,6 +23,7 @@
 
 use std::time::Instant;
 
+use mqce_graph::bitset::AdjacencyMatrix;
 use mqce_graph::{Graph, VertexId};
 
 use crate::branch::{DegSource, SearchCtx, SearchOutcome};
@@ -45,7 +46,23 @@ pub fn run_fastqc(
     branching: BranchingStrategy,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
-    let mut ctx = SearchCtx::new(g, params, s_init, cand, deadline);
+    run_fastqc_with_kernel(g, None, s_init, cand, params, branching, deadline)
+}
+
+/// [`run_fastqc`] with an optionally pre-built bitset adjacency kernel over
+/// `g` (the DC driver passes the one attached to the subproblem's induced
+/// subgraph, avoiding a rebuild). When `kernel` is `None` the backend policy
+/// in `params` decides whether one is built internally.
+pub fn run_fastqc_with_kernel(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
     let mut searcher = FastQc {
         ctx: &mut ctx,
         branching,
@@ -240,7 +257,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
         if s.is_empty() {
             return false;
         }
-        if !crate::quasiclique::is_quasi_clique(self.ctx.g, &s, self.ctx.gamma) {
+        if !self.ctx.is_qc(&s) {
             return false;
         }
         // `emit` re-verifies the predicate and applies the maximality filter;
@@ -260,8 +277,9 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 deg[u as usize] += 1;
             }
         }
-        crate::quasiclique::no_single_vertex_extension(
+        crate::quasiclique::no_single_vertex_extension_with(
             self.ctx.g,
+            self.ctx.adjacency(),
             &s,
             &deg,
             self.ctx.g.vertices(),
@@ -380,7 +398,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
             if v == pivot {
                 continue;
             }
-            if self.ctx.g.has_edge(v, pivot) {
+            if self.ctx.has_edge(v, pivot) {
                 neighbors.push(v);
             } else {
                 non_neighbors.push(v);

@@ -53,7 +53,7 @@ pub mod topk;
 pub mod verify;
 
 pub use branch::SearchOutcome;
-pub use config::{Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError};
+pub use config::{AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError};
 pub use pipeline::{enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult};
 pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
 pub use stats::SearchStats;
@@ -62,7 +62,7 @@ pub use verify::{verify_exact_against_oracle, verify_mqc_set, verify_s1_output, 
 
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
-    pub use crate::config::{Algorithm, BranchingStrategy, MqceConfig, MqceParams};
+    pub use crate::config::{AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams};
     pub use crate::pipeline::{
         enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult,
     };

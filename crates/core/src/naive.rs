@@ -55,8 +55,8 @@ pub fn all_maximal_quasi_cliques(g: &Graph, params: MqceParams) -> Vec<Vec<Verte
     let all = all_quasi_cliques(
         g,
         MqceParams {
-            gamma: params.gamma,
             theta: 1,
+            ..params
         },
     );
     let is_subset = |a: &[VertexId], b: &[VertexId]| -> bool {

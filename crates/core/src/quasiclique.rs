@@ -10,6 +10,7 @@
 //! predicate exact* for the rational values of γ used in practice
 //! (0.5, 0.51, 0.6, …, 0.99, 1.0).
 
+use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::{Graph, VertexId};
 
 /// Epsilon used to absorb floating-point noise in threshold computations.
@@ -49,6 +50,19 @@ pub fn max_disconnections(g: &Graph, h: &[VertexId]) -> usize {
 ///
 /// The empty set is not a quasi-clique; a single vertex is.
 pub fn is_quasi_clique(g: &Graph, h: &[VertexId], gamma: f64) -> bool {
+    is_quasi_clique_with(g, None, h, gamma)
+}
+
+/// [`is_quasi_clique`] with an optional bitset kernel: when `adj` is present
+/// the degree checks become popcounts over the packed rows and the
+/// connectivity check a mask-parallel BFS, turning the `O(|h|² log d)`
+/// predicate into `O(|h|²/64)` word operations.
+pub fn is_quasi_clique_with(
+    g: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    h: &[VertexId],
+    gamma: f64,
+) -> bool {
     if h.is_empty() {
         return false;
     }
@@ -56,12 +70,25 @@ pub fn is_quasi_clique(g: &Graph, h: &[VertexId], gamma: f64) -> bool {
         return true;
     }
     let req = required_degree(gamma, h.len());
-    for &v in h {
-        if g.degree_in(v, h) < req {
-            return false;
+    match adj {
+        Some(m) => {
+            let mask = BitSet::from_members(m.num_vertices(), h);
+            for &v in h {
+                if m.degree_in_mask(v, &mask) < req {
+                    return false;
+                }
+            }
+            m.is_connected_within(&mask, h[0], h.len())
+        }
+        None => {
+            for &v in h {
+                if g.degree_in(v, h) < req {
+                    return false;
+                }
+            }
+            mqce_graph::connectivity::is_connected_subset(g, h)
         }
     }
-    mqce_graph::connectivity::is_connected_subset(g, h)
 }
 
 /// Whether `G[h]` is a *maximal* γ-quasi-clique, decided by brute force:
@@ -112,6 +139,19 @@ pub fn no_single_vertex_extension(
     pool: impl IntoIterator<Item = VertexId>,
     gamma: f64,
 ) -> bool {
+    no_single_vertex_extension_with(g, None, h, deg_in_h, pool, gamma)
+}
+
+/// [`no_single_vertex_extension`] with an optional bitset kernel for the
+/// adjacency tests and the final predicate confirmation.
+pub fn no_single_vertex_extension_with(
+    g: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    h: &[VertexId],
+    deg_in_h: &[u32],
+    pool: impl IntoIterator<Item = VertexId>,
+    gamma: f64,
+) -> bool {
     if h.is_empty() {
         return true;
     }
@@ -138,7 +178,11 @@ pub fn no_single_vertex_extension(
             continue;
         }
         for &v in &deficient {
-            if !g.has_edge(v, w) {
+            let connected = match adj {
+                Some(m) => m.has_edge(v, w),
+                None => g.has_edge(v, w),
+            };
+            if !connected {
                 continue 'outer;
             }
         }
@@ -146,7 +190,7 @@ pub fn no_single_vertex_extension(
         // exact predicate (connectivity, exact thresholds).
         let mut extended = h.to_vec();
         extended.push(w);
-        if is_quasi_clique(g, &extended, gamma) {
+        if is_quasi_clique_with(g, adj, &extended, gamma) {
             return false;
         }
     }
@@ -242,6 +286,33 @@ mod tests {
         // Directly exercise the connectivity arm with a permissive γ given to
         // the raw predicate (the predicate itself does not restrict γ).
         assert!(!is_quasi_clique(&g, &[0, 1, 2, 3], 0.26));
+    }
+
+    #[test]
+    fn kernel_variants_agree_with_slice() {
+        // Exhaustively compare the bitset-kernel predicate against the
+        // sorted-slice predicate over every vertex subset of the paper graph.
+        let g = Graph::paper_figure1();
+        let m = AdjacencyMatrix::from_graph(&g);
+        let n = g.num_vertices();
+        for &gamma in &[0.5, 0.6, 0.75, 0.9, 1.0] {
+            for mask in 0u32..(1 << n) {
+                let h: Vec<VertexId> = (0..n as u32).filter(|v| mask & (1 << v) != 0).collect();
+                assert_eq!(
+                    is_quasi_clique_with(&g, Some(&m), &h, gamma),
+                    is_quasi_clique(&g, &h, gamma),
+                    "predicate mismatch for {h:?} at gamma={gamma}"
+                );
+                if !h.is_empty() && h.len() <= 5 {
+                    let deg: Vec<u32> = (0..n as u32).map(|v| g.degree_in(v, &h) as u32).collect();
+                    assert_eq!(
+                        no_single_vertex_extension_with(&g, Some(&m), &h, &deg, 0..n as u32, gamma),
+                        no_single_vertex_extension(&g, &h, &deg, 0..n as u32, gamma),
+                        "extension mismatch for {h:?} at gamma={gamma}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

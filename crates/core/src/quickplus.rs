@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use mqce_graph::bitset::AdjacencyMatrix;
 use mqce_graph::{Graph, VertexId};
 
 use crate::bounds::{branch_bounds, candidate_feasible};
@@ -32,7 +33,20 @@ pub fn run_quickplus(
     params: MqceParams,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
-    let mut ctx = SearchCtx::new(g, params, s_init, cand, deadline);
+    run_quickplus_with_kernel(g, None, s_init, cand, params, deadline)
+}
+
+/// [`run_quickplus`] with an optionally pre-built bitset adjacency kernel
+/// over `g` (see [`run_fastqc_with_kernel`](crate::fastqc::run_fastqc_with_kernel)).
+pub fn run_quickplus_with_kernel(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    deadline: Option<Instant>,
+) -> SearchOutcome {
+    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
     let mut searcher = QuickPlus { ctx: &mut ctx };
     searcher.recurse(cand.to_vec());
     ctx.finish()
@@ -122,7 +136,7 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
         if s.is_empty() {
             return false;
         }
-        if !crate::quasiclique::is_quasi_clique(self.ctx.g, &s, self.ctx.gamma) {
+        if !self.ctx.is_qc(&s) {
             return false;
         }
         self.ctx.emit(&s, DegSource::PartialSet, false);

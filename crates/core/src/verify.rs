@@ -16,11 +16,12 @@
 //! 3. [`verify_exact_against_oracle`] — full equality with the exhaustive
 //!    oracle (tiny graphs only).
 
+use mqce_graph::bitset::AdjacencyMatrix;
 use mqce_graph::{Graph, VertexId};
 
 use crate::config::MqceParams;
 use crate::naive;
-use crate::quasiclique::{is_quasi_clique, required_degree};
+use crate::quasiclique::{is_quasi_clique, is_quasi_clique_with, required_degree};
 
 /// A single verification failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -160,6 +161,18 @@ pub fn find_single_vertex_extension(
     set: &[VertexId],
     gamma: f64,
 ) -> Option<VertexId> {
+    find_single_vertex_extension_with(g, None, set, gamma)
+}
+
+/// [`find_single_vertex_extension`] with an optional bitset kernel for the
+/// degree screens and the QC predicate — callers that verify many sets (e.g.
+/// [`verify_mqc_set`]) build the matrix once and reuse it across all of them.
+pub fn find_single_vertex_extension_with(
+    g: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    set: &[VertexId],
+    gamma: f64,
+) -> Option<VertexId> {
     if set.is_empty() {
         return None;
     }
@@ -179,13 +192,17 @@ pub fn find_single_vertex_extension(
     let mut extended = Vec::with_capacity(set.len() + 1);
     for w in candidates {
         // Quick degree screen before the full predicate.
-        if g.degree_in(w, set) < req {
+        let deg = match adj {
+            Some(m) => m.degree_in(w, set),
+            None => g.degree_in(w, set),
+        };
+        if deg < req {
             continue;
         }
         extended.clear();
         extended.extend_from_slice(set);
         extended.push(w);
-        if is_quasi_clique(g, &extended, gamma) {
+        if is_quasi_clique_with(g, adj, &extended, gamma) {
             return Some(w);
         }
     }
@@ -213,11 +230,16 @@ pub fn verify_mqc_set(g: &Graph, mqcs: &[Vec<VertexId>], params: MqceParams) -> 
             }
         }
     }
+    // Build the bitset kernel once and reuse it for every extension check.
+    let adj = (AdjacencyMatrix::adaptive_for(g.num_vertices(), g.num_edges()) && !mqcs.is_empty())
+        .then(|| AdjacencyMatrix::from_graph(g));
     for set in mqcs {
         if set.iter().any(|&v| (v as usize) >= g.num_vertices()) {
             continue;
         }
-        if let Some(extension) = find_single_vertex_extension(g, set, params.gamma) {
+        if let Some(extension) =
+            find_single_vertex_extension_with(g, adj.as_ref(), set, params.gamma)
+        {
             report.violations.push(Violation::SingleVertexExtension {
                 set: set.clone(),
                 extension,

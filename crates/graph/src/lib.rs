@@ -7,6 +7,9 @@
 //!   CSR-like representation with sorted adjacency lists.
 //! * [`GraphBuilder`] — incremental construction with duplicate-edge and
 //!   self-loop removal.
+//! * [`bitset`] — the word-parallel adjacency kernel ([`AdjacencyMatrix`],
+//!   [`BitSet`]): packed bit-matrix rows with popcount degree counts, built
+//!   for dense subproblems below an adaptive threshold.
 //! * [`generators`] — synthetic workload generators (Erdős–Rényi, planted
 //!   quasi-cliques, power-law community graphs, grids, …) used to stand in
 //!   for the paper's real datasets.
@@ -24,7 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bitmatrix;
+pub mod bitset;
 mod builder;
 pub mod connectivity;
 pub mod core_decomp;
@@ -36,7 +39,7 @@ pub mod ordering;
 pub mod stats;
 pub mod subgraph;
 
-pub use bitmatrix::AdjacencyMatrix;
+pub use bitset::{AdjacencyMatrix, BitSet};
 pub use builder::GraphBuilder;
 pub use graph::{Graph, VertexId};
 pub use stats::GraphStats;

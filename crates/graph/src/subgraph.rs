@@ -5,6 +5,7 @@
 //! branch-and-bound search on it. The search works in *local* ids
 //! (`0..|V_i|`), and the results are mapped back to the original graph.
 
+use crate::bitset::AdjacencyMatrix;
 use crate::graph::{Graph, VertexId};
 
 /// An induced subgraph `G[H]` together with the mapping between its local
@@ -15,6 +16,10 @@ pub struct InducedSubgraph {
     pub graph: Graph,
     /// `to_global[local] = global` (sorted ascending).
     pub to_global: Vec<VertexId>,
+    /// Optional packed adjacency kernel over the local ids; populated by
+    /// [`InducedSubgraph::with_adjacency`] for dense subproblems. Local ids
+    /// are contiguous, so the matrix rows are dense and cache-friendly.
+    pub adjacency: Option<AdjacencyMatrix>,
 }
 
 impl InducedSubgraph {
@@ -40,7 +45,25 @@ impl InducedSubgraph {
         InducedSubgraph {
             graph: Graph::from_adjacency(adj),
             to_global,
+            adjacency: None,
         }
+    }
+
+    /// Builds the packed adjacency kernel for the subgraph when the adaptive
+    /// size/density threshold recommends it (see
+    /// [`AdjacencyMatrix::adaptive_for`]); pass `force` to ignore the density
+    /// part of the heuristic and build whenever the memory cap allows.
+    pub fn with_adjacency(mut self, force: bool) -> Self {
+        let n = self.graph.num_vertices();
+        let build = if force {
+            AdjacencyMatrix::recommended_for(n)
+        } else {
+            AdjacencyMatrix::adaptive_for(n, self.graph.num_edges())
+        };
+        if self.adjacency.is_none() && build {
+            self.adjacency = Some(AdjacencyMatrix::from_graph(&self.graph));
+        }
+        self
     }
 
     /// Number of vertices in the subgraph.
@@ -163,6 +186,22 @@ mod tests {
     fn two_hop_isolated_vertex() {
         let g = Graph::empty(3);
         assert_eq!(two_hop_neighborhood(&g, 1), vec![1]);
+    }
+
+    #[test]
+    fn with_adjacency_builds_consistent_matrix() {
+        let g = Graph::complete(8);
+        let sub = InducedSubgraph::new(&g, &[0, 2, 4, 6, 7]).with_adjacency(false);
+        let m = sub.adjacency.as_ref().expect("small dense subgraph builds");
+        assert_eq!(m.num_vertices(), sub.len());
+        for u in sub.graph.vertices() {
+            for v in sub.graph.vertices() {
+                assert_eq!(m.has_edge(u, v), sub.graph.has_edge(u, v));
+            }
+        }
+        // Empty subgraph never builds a matrix.
+        let empty = InducedSubgraph::new(&g, &[]).with_adjacency(true);
+        assert!(empty.adjacency.is_none());
     }
 
     #[test]

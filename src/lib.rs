@@ -39,7 +39,8 @@ pub mod prelude {
     pub use mqce_core::query::{find_mqcs_containing, find_mqcs_containing_default};
     pub use mqce_core::verify::{verify_mqc_set, verify_s1_output};
     pub use mqce_core::{
-        find_largest_mqcs, Algorithm, BranchingStrategy, MqceConfig, MqceParams, MqceResult,
+        find_largest_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams,
+        MqceResult,
     };
     pub use mqce_graph::{Graph, GraphBuilder, GraphStats, VertexId};
     pub use mqce_settrie::{filter_maximal, SetTrie};

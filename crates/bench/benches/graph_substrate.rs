@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mqce_bench::datasets::{social_large, social_sparse, SuiteScale};
+use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::core_decomp::core_decomposition;
+use mqce_graph::generators::erdos_renyi_gnm;
 use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
 
 fn bench_substrate(c: &mut Criterion) {
@@ -54,5 +56,42 @@ fn bench_substrate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrate);
+/// Micro-bench guard for the 4-word-chunked popcount kernels: the
+/// `degree_in_mask` / `common_neighbors_in_mask` loops are the hottest word
+/// operations of the bitset adjacency backend, so a regression here shows up
+/// before it degrades the end-to-end figures.
+fn bench_popcount_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcount_kernels");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // 1024 vertices = 16 words per row: large enough for the chunked loop to
+    // dominate, small enough to stay in cache like a real DC subproblem.
+    let g = erdos_renyi_gnm(1024, 40_000, 11);
+    let m = AdjacencyMatrix::from_graph(&g);
+    let mask = BitSet::from_members(1024, &(0..1024).step_by(3).collect::<Vec<_>>());
+    group.bench_function("degree_in_mask_1024", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..1024u32 {
+                total += m.degree_in_mask(v, &mask);
+            }
+            total
+        })
+    });
+    group.bench_function("common_neighbors_in_mask_1024", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..512u32 {
+                total += m.common_neighbors_in_mask(v, 1023 - v, &mask);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_popcount_kernels);
 criterion_main!(benches);

@@ -5,11 +5,14 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
-//! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `all`.
+//! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `s2-stress`,
+//! `threads`, `all`.
 //!
 //! `quick` is the backend-comparison profile (bitset kernel vs sorted
 //! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
-//! job and the perf trajectory can pick the records up.
+//! job and the perf trajectory can pick the records up. `s2-stress` (the
+//! maximality-engine backends on a large overlapping family) and `threads`
+//! (the parallel-scaling sweep) *append* their rows to the same file.
 //!
 //! `--quick` runs the reduced-scale suite with a short time limit (useful for
 //! smoke-testing the harness); the default is the full laptop-scale suite.
@@ -18,11 +21,11 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use mqce_bench::experiments::{self, ExperimentOptions};
-use mqce_bench::runner::{save_json, RunRecord};
+use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|threads|all> \
          [--quick] [--time-limit <seconds>] [--json <path>]"
     );
     std::process::exit(2);
@@ -66,10 +69,12 @@ fn main() {
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
-    // The quick profile is the per-PR smoke signal: fixed small workloads
-    // (it ignores --quick/scale), a bounded time limit, and always a
-    // machine-readable artifact.
-    if experiment == "quick" {
+    // The perf profiles are the per-PR smoke signal: bounded time limits and
+    // always a machine-readable artifact. `quick` starts the file fresh;
+    // `s2-stress` and `threads` append so one CI job can accumulate all
+    // three into a single BENCH_mqce.json.
+    let perf_profile = matches!(experiment.as_str(), "quick" | "s2-stress" | "threads");
+    if perf_profile {
         if !time_limit_set {
             opts.time_limit = Duration::from_secs(10);
         }
@@ -91,12 +96,19 @@ fn main() {
         "shrink" => experiments::shrink(opts),
         "s2" => experiments::s2_cost(opts),
         "quick" => experiments::quick_backends(opts),
+        "s2-stress" => experiments::s2_stress(opts),
+        "threads" => experiments::thread_sweep(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };
 
     if let Some(path) = json_path {
-        save_json(&path, &records).expect("write JSON results");
-        println!("\nwrote {} records to {}", records.len(), path.display());
+        if matches!(experiment.as_str(), "s2-stress" | "threads") {
+            append_json(&path, &records).expect("append JSON results");
+            println!("\nappended {} records to {}", records.len(), path.display());
+        } else {
+            save_json(&path, &records).expect("write JSON results");
+            println!("\nwrote {} records to {}", records.len(), path.display());
+        }
     }
 }

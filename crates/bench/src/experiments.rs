@@ -2,13 +2,14 @@
 //! evaluation (Section 6). Each function returns the run records it produced
 //! so the binary can print them and the tests can assert on their shape.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mqce_core::{AdjacencyBackend, BranchingStrategy};
 use mqce_graph::GraphStats;
+use mqce_settrie::S2Backend;
 
 use crate::datasets::{self, Dataset, SuiteScale};
-use crate::runner::{measure, print_table, AlgoSpec, RunRecord};
+use crate::runner::{measure, measure_threads, print_table, AlgoSpec, RunRecord};
 
 /// Global options for an experiment run.
 #[derive(Clone, Copy, Debug)]
@@ -470,6 +471,233 @@ pub fn quick_backends(opts: ExperimentOptions) -> Vec<RunRecord> {
     records
 }
 
+/// Generates a set family with the shape of an INF'd S1 run on a dense
+/// community graph (the recorded 382k-set S2 wall): heavily overlapping
+/// moderate-size subsets of one community's small element universe, with a
+/// skewed element distribution and almost no dominated sets — the worst case
+/// for the inverted-index probe, whose accepted lists all grow to a large
+/// fraction of the family.
+pub fn stress_family(n_sets: usize, universe: u32, seed: u64) -> Vec<Vec<u32>> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as u32
+    };
+    (0..n_sets)
+        .map(|_| {
+            // 12..=25 elements, clamped so the rejection sampling below can
+            // terminate on tiny universes.
+            let len = (12 + (next() % 14) as usize).min(universe as usize);
+            let mut s: Vec<u32> = Vec::with_capacity(len);
+            while s.len() < len {
+                // min-of-two-uniforms skews toward low element ids, like the
+                // high-degree core of a community dominating the QC stream.
+                let e = (next() % universe).min(next() % universe);
+                if !s.contains(&e) {
+                    s.push(e);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// **S2 stress profile** (`experiments s2-stress`): replays a large
+/// overlapping set family through every maximality-engine backend with a
+/// per-backend time budget, demonstrating that the superlinear
+/// `filter_maximal` wall is gone. Backends that finish must agree with the
+/// inverted-index reference — a mismatch is a bug and panics (the CI
+/// bench-smoke job runs this at the small preset).
+pub fn s2_stress(opts: ExperimentOptions) -> Vec<RunRecord> {
+    let (n_sets, universe) = match opts.scale {
+        SuiteScale::Small => (20_000, 140),
+        // The recorded wall: 382k sets took 203 s through the inverted index.
+        SuiteScale::Full => (400_000, 140),
+    };
+    let family = stress_family(n_sets, universe, 2024);
+    let dataset = format!("s2-stress-{}k-u{}", n_sets / 1000, universe);
+    println!("\n== S2 stress: {n_sets} overlapping sets, universe {universe} ==");
+    println!(
+        "{:<22} {:<12} {:>14} {:>14} {:>10} {:>8}",
+        "dataset", "backend", "stream (ms)", "finish (ms)", "#MQC", "status"
+    );
+    let mut records = Vec::new();
+    let mut families: Vec<Option<Vec<Vec<u32>>>> = Vec::new();
+    for backend in [
+        S2Backend::Inverted,
+        S2Backend::Bitset,
+        S2Backend::Extremal,
+        S2Backend::Auto,
+    ] {
+        let start = Instant::now();
+        let mut engine = backend.new_engine();
+        // Stream under the budget, like the pipeline's deadline-aware feed:
+        // without this, one slow backend would stall the whole profile.
+        let deadline = start + opts.time_limit;
+        let mut streamed = n_sets;
+        for (i, set) in family.iter().enumerate() {
+            if i.is_multiple_of(256) && Instant::now() >= deadline {
+                streamed = i;
+                break;
+            }
+            engine.add(set);
+        }
+        let stream_millis = start.elapsed().as_secs_f64() * 1e3;
+        let finish_start = Instant::now();
+        let outcome = engine.finish_with_deadline(Some(deadline));
+        let finish_millis = finish_start.elapsed().as_secs_f64() * 1e3;
+        let timed_out = outcome.timed_out || streamed < n_sets;
+        println!(
+            "{:<22} {:<12} {:>14.1} {:>14.1} {:>10} {:>8}",
+            dataset,
+            backend.name(),
+            stream_millis,
+            finish_millis,
+            outcome.mqcs.len(),
+            if timed_out { "INF" } else { "ok" }
+        );
+        records.push(RunRecord {
+            dataset: dataset.clone(),
+            algorithm: format!("S2/{}", backend.name()),
+            branching: "-".to_string(),
+            backend: "-".to_string(),
+            gamma: 0.0,
+            theta: 0,
+            max_round: 0,
+            threads: 1,
+            s2_backend: outcome.backend.to_string(),
+            s2_timed_out: timed_out,
+            s1_millis: 0.0,
+            s2_millis: stream_millis + finish_millis,
+            s1_outputs: streamed,
+            mqcs: outcome.mqcs.len(),
+            mqc_min: outcome.mqcs.iter().map(Vec::len).min().unwrap_or(0),
+            mqc_max: outcome.mqcs.iter().map(Vec::len).max().unwrap_or(0),
+            mqc_avg: if outcome.mqcs.is_empty() {
+                0.0
+            } else {
+                outcome.mqcs.iter().map(Vec::len).sum::<usize>() as f64 / outcome.mqcs.len() as f64
+            },
+            branches: 0,
+            timed_out,
+            stats: Default::default(),
+        });
+        families.push((!timed_out).then_some(outcome.mqcs));
+    }
+    // Differential check: every backend that finished within budget must
+    // report exactly the same maximal family as the inverted-index reference
+    // (the first finished backend in declaration order is `inverted` unless
+    // it blew the budget). The small preset is sized so the reference always
+    // finishes — that is the configuration the CI smoke job runs; at full
+    // scale a timed-out reference weakens the check, so say so loudly.
+    if records[0].timed_out {
+        assert!(
+            opts.scale != SuiteScale::Small,
+            "the inverted reference timed out at the small preset; \
+             the differential check requires it to finish there"
+        );
+        println!(
+            "WARNING: inverted reference hit its budget; \
+             backend agreement only checked among the backends that finished"
+        );
+    }
+    let mut finished = records
+        .iter()
+        .zip(&families)
+        .filter_map(|(r, f)| f.as_ref().map(|f| (r, f)));
+    if let Some((ref_rec, ref_family)) = finished.next() {
+        for (rec, family) in finished {
+            assert_eq!(
+                family, ref_family,
+                "S2 backend disagreement: {} vs reference {}",
+                rec.algorithm, ref_rec.algorithm
+            );
+        }
+    }
+    records
+}
+
+/// **Parallel-scaling sweep** (`experiments threads`): DCFastQC over the
+/// dense-community workloads with 1..N worker threads, recording per-thread
+/// efficiency (the ROADMAP item left open when `--threads 0` landed).
+pub fn thread_sweep(opts: ExperimentOptions) -> Vec<RunRecord> {
+    use mqce_graph::generators::{community_graph, CommunityGraphParams};
+    let community_250 = community_graph(
+        CommunityGraphParams {
+            n: 250,
+            num_communities: 12,
+            p_intra: 0.9,
+            inter_degree: 2.0,
+        },
+        42,
+    );
+    let community_400 = community_graph(
+        CommunityGraphParams {
+            n: 400,
+            num_communities: 20,
+            p_intra: 0.92,
+            inter_degree: 1.5,
+        },
+        7,
+    );
+    let workloads: Vec<(&'static str, &mqce_graph::Graph, f64, usize)> = vec![
+        ("community-250", &community_250, 0.9, 8),
+        ("community-400", &community_400, 0.9, 8),
+    ];
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let thread_counts: Vec<usize> = (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&t| t <= max_threads)
+        .collect();
+    let mut records = Vec::new();
+    println!("\n== Parallel scaling: DCFastQC, 1..{max_threads} threads ==");
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>11} {:>8}",
+        "dataset", "threads", "S1 time(ms)", "speedup", "efficiency", "#MQC"
+    );
+    for &(name, graph, gamma, theta) in &workloads {
+        let mut t1_millis = None;
+        for &threads in &thread_counts {
+            let rec = measure_threads(
+                name,
+                graph,
+                AlgoSpec::dcfastqc(),
+                gamma,
+                theta,
+                opts.time_limit,
+                threads,
+            );
+            let t1 = *t1_millis.get_or_insert(rec.s1_millis);
+            let speedup = t1 / rec.s1_millis.max(0.01);
+            println!(
+                "{:<16} {:>8} {:>12.1} {:>9.2}x {:>10.2}% {:>8}",
+                name,
+                threads,
+                rec.s1_millis,
+                speedup,
+                100.0 * speedup / threads as f64,
+                rec.mqcs
+            );
+            records.push(rec);
+        }
+    }
+    // The MQC family must be thread-count-invariant.
+    for &(name, ..) in &workloads {
+        let counts: Vec<usize> = records
+            .iter()
+            .filter(|r| r.dataset == name && !r.timed_out)
+            .map(|r| r.mqcs)
+            .collect();
+        for pair in counts.windows(2) {
+            assert_eq!(pair[0], pair[1], "thread sweep MQC mismatch on {name}");
+        }
+    }
+    records
+}
+
 /// Prints the per-workload bitset-over-slice speedup (workloads may repeat a
 /// dataset name with different parameters, so pairs are matched positionally).
 fn print_backend_speedups(records: &[RunRecord]) {
@@ -574,6 +802,41 @@ mod tests {
                 // answered, never what is explored.
                 assert_eq!(pair[0].branches, pair[1].branches, "branch mismatch on {}", pair[0].dataset);
             }
+        }
+    }
+
+    #[test]
+    fn stress_family_is_deterministic_and_overlapping() {
+        let a = stress_family(500, 140, 9);
+        let b = stress_family(500, 140, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for set in &a {
+            assert!((12..=25).contains(&set.len()));
+            assert!(set.iter().all(|&e| e < 140));
+            let mut dedup = set.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), set.len(), "duplicate elements in {set:?}");
+        }
+        // Different seeds give different families.
+        assert_ne!(a, stress_family(500, 140, 10));
+    }
+
+    #[test]
+    fn stress_family_backends_agree_with_reference() {
+        use mqce_settrie::{filter_maximal, filter_maximal_with};
+        let family = stress_family(3000, 100, 5);
+        let reference = filter_maximal(&family);
+        // Almost nothing dominated: that is what makes the shape a stress.
+        assert!(reference.len() > family.len() / 2);
+        for backend in S2Backend::concrete() {
+            assert_eq!(
+                filter_maximal_with(&family, backend),
+                reference,
+                "{} disagrees on the stress family",
+                backend.name()
+            );
         }
     }
 

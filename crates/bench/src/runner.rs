@@ -1,7 +1,7 @@
 //! Measurement harness: run one algorithm configuration on one dataset and
 //! record everything the paper's tables and figures report.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mqce_core::{enumerate_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, SearchStats};
 use mqce_graph::Graph;
@@ -24,9 +24,19 @@ pub struct RunRecord {
     pub theta: usize,
     /// `MAX_ROUND` used by the DC pruning.
     pub max_round: usize,
-    /// Wall-clock time of MQCE-S1 in milliseconds.
+    /// Worker threads used by the DC driver (1 = sequential).
+    pub threads: usize,
+    /// The S2 maximality-engine backend that ran the final compaction.
+    pub s2_backend: String,
+    /// Whether S2 hit its deadline (the MQC count is then a partial result).
+    pub s2_timed_out: bool,
+    /// Wall-clock time of the MQCE-S1 window in milliseconds. Since the
+    /// streaming-S2 rework this includes the engine `add` probes that run
+    /// inline with the DC search (the filtering work deliberately overlapped
+    /// with S1); it is not comparable with pre-streaming records.
     pub s1_millis: f64,
-    /// Wall-clock time of MQCE-S2 (set-trie filtering) in milliseconds.
+    /// Wall-clock time of MQCE-S2 (engine merge + final compaction) in
+    /// milliseconds.
     pub s2_millis: f64,
     /// Number of quasi-cliques reported by S1.
     pub s1_outputs: usize,
@@ -165,6 +175,20 @@ pub fn measure(
     theta: usize,
     time_limit: Duration,
 ) -> RunRecord {
+    measure_threads(dataset, g, spec, gamma, theta, time_limit, 1)
+}
+
+/// [`measure`] with an explicit DC worker-thread count (the parallel-scaling
+/// sweep); `threads == 1` uses the sequential pipeline.
+pub fn measure_threads(
+    dataset: &str,
+    g: &Graph,
+    spec: AlgoSpec,
+    gamma: f64,
+    theta: usize,
+    time_limit: Duration,
+    threads: usize,
+) -> RunRecord {
     let config = MqceConfig::new(gamma, theta)
         .expect("benchmark parameters are valid")
         .with_algorithm(spec.algorithm)
@@ -172,9 +196,12 @@ pub fn measure(
         .with_backend(spec.backend)
         .with_max_round(spec.max_round)
         .with_time_limit(time_limit);
-    let start = Instant::now();
-    let result = enumerate_mqcs(g, &config);
-    let _total = start.elapsed();
+    let threads = threads.max(1);
+    let result = if threads > 1 {
+        mqce_core::enumerate_mqcs_parallel(g, &config, threads)
+    } else {
+        enumerate_mqcs(g, &config)
+    };
     let (mqc_min, mqc_max, mqc_avg) = result.mqc_size_stats().unwrap_or((0, 0, 0.0));
     RunRecord {
         dataset: dataset.to_string(),
@@ -184,6 +211,9 @@ pub fn measure(
         gamma,
         theta,
         max_round: spec.max_round,
+        threads,
+        s2_backend: result.s2.backend.clone(),
+        s2_timed_out: result.s2.timed_out,
         s1_millis: result.s1_time.as_secs_f64() * 1e3,
         s2_millis: result.s2_time.as_secs_f64() * 1e3,
         s1_outputs: result.qcs.len(),
@@ -224,6 +254,19 @@ pub fn print_table(title: &str, records: &[RunRecord]) {
 pub fn save_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(records).expect("records serialise");
     std::fs::write(path, json)
+}
+
+/// Appends run records to a JSON file holding one array: the existing
+/// records are read back and the new ones appended, so several experiment
+/// profiles can accumulate rows in a single `BENCH_mqce.json`. A missing or
+/// unparsable file (e.g. written by an older schema) starts a fresh array.
+pub fn append_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
+    let mut all: Vec<RunRecord> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    all.extend(records.iter().cloned());
+    save_json(path, &all)
 }
 
 #[cfg(test)]
@@ -295,6 +338,40 @@ mod tests {
         let parsed: Vec<RunRecord> = serde_json::from_str(&text).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].dataset, "k5");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn measure_threads_matches_sequential() {
+        let g = Graph::complete(8);
+        let seq = measure("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5));
+        let par = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 4);
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 4);
+        assert_eq!(seq.mqcs, par.mqcs);
+        assert!(!par.s2_timed_out);
+        assert!(!par.s2_backend.is_empty());
+    }
+
+    #[test]
+    fn append_json_accumulates_records() {
+        let g = Graph::complete(5);
+        let rec = measure("k5", &g, AlgoSpec::quickplus(), 0.9, 2, Duration::from_secs(5));
+        let dir = std::env::temp_dir().join("mqce_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.json");
+        std::fs::remove_file(&path).ok();
+        append_json(&path, std::slice::from_ref(&rec)).unwrap();
+        append_json(&path, std::slice::from_ref(&rec)).unwrap();
+        let parsed: Vec<RunRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        // A corrupt file starts a fresh array instead of failing.
+        std::fs::write(&path, "not json").unwrap();
+        append_json(&path, std::slice::from_ref(&rec)).unwrap();
+        let parsed: Vec<RunRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

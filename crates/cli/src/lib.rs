@@ -27,7 +27,7 @@ use std::time::Duration;
 use mqce_core::prelude::*;
 use mqce_core::query::find_mqcs_containing;
 use mqce_core::verify::verify_mqc_set;
-use mqce_core::{find_largest_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy};
+use mqce_core::{find_largest_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, S2Backend};
 use mqce_graph::{formats, generators, Graph, GraphStats};
 
 use args::{parse, ArgError, ParsedArgs};
@@ -74,7 +74,7 @@ mqce — maximal quasi-clique enumeration (FastQC / DCFastQC, SIGMOD'24)
 USAGE:
   mqce stats <graph>
   mqce enumerate <graph> --gamma G --theta T [--algorithm A] [--branching B]
-                 [--max-round N] [--threads N] [--backend K]
+                 [--max-round N] [--threads N] [--backend K] [--s2-backend F]
                  [--time-limit-secs S] [--print-sets] [--verify]
   mqce topk <graph> --gamma G [--k K]
   mqce query <graph> --gamma G --theta T --vertices V1,V2,...
@@ -91,6 +91,10 @@ ALGORITHMS (--algorithm): dcfastqc (default), fastqc, bdcfastqc, quickplus,
 BRANCHING (--branching): hybrid (default), sym, se.
 BACKEND (--backend): auto (default; bitset kernel on dense subproblems),
   slice (CSR binary search only), bitset (force the kernel when it fits).
+S2 BACKEND (--s2-backend): auto (default; picks from the observed stream),
+  inverted (inverted-index filter), bitset (word-parallel bitmap probes),
+  extremal (Bayardo-Panda extremal sets). See the README section on S2
+  maximality backends.
 THREADS (--threads): worker count for the DC subproblems; 0 auto-detects
   the available parallelism of the machine. Default 1 (sequential).
 GENERATOR KINDS: er, ba, community, caveman, powerlaw, grid, hub.
@@ -186,6 +190,16 @@ fn parse_backend(raw: Option<&str>) -> Result<AdjacencyBackend, CliError> {
     }
 }
 
+fn parse_s2_backend(raw: Option<&str>) -> Result<S2Backend, CliError> {
+    match raw.unwrap_or("auto").to_ascii_lowercase().as_str() {
+        "auto" => Ok(S2Backend::Auto),
+        "inverted" | "inverted-index" => Ok(S2Backend::Inverted),
+        "bitset" | "bitmap" => Ok(S2Backend::Bitset),
+        "extremal" | "bayardo-panda" => Ok(S2Backend::Extremal),
+        other => Err(CliError::Params(format!("unknown S2 backend {other:?}"))),
+    }
+}
+
 /// Resolves the `--threads` value: `0` means "use every core the OS reports".
 fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
@@ -205,6 +219,7 @@ fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
         .with_algorithm(parse_algorithm(parsed.get("algorithm"))?)
         .with_branching(parse_branching(parsed.get("branching"))?)
         .with_backend(parse_backend(parsed.get("backend"))?)
+        .with_s2_backend(parse_s2_backend(parsed.get("s2-backend"))?)
         .with_max_round(parsed.get_usize("max-round", 2)?);
     let limit = parsed.get_u64("time-limit-secs", 0)?;
     if limit > 0 {
@@ -242,6 +257,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         "algorithm",
         "branching",
         "backend",
+        "s2-backend",
         "max-round",
         "threads",
         "time-limit-secs",
@@ -267,6 +283,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
     .map_err(io_err)?;
     writeln!(out, "qcs (S1 output)  {}", result.qcs.len()).map_err(io_err)?;
     writeln!(out, "maximal qcs      {}", result.mqcs.len()).map_err(io_err)?;
+    writeln!(out, "s2 engine        {}", result.s2).map_err(io_err)?;
     if let Some((min, max, avg)) = result.mqc_size_stats() {
         writeln!(out, "mqc sizes        min={min} max={max} avg={avg:.2}").map_err(io_err)?;
     }
@@ -280,6 +297,13 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
     .map_err(io_err)?;
     if result.timed_out() {
         writeln!(out, "WARNING          time limit hit; output may be incomplete").map_err(io_err)?;
+    }
+    if result.s2_timed_out() {
+        writeln!(
+            out,
+            "WARNING          S2 deadline hit; MQC list is a sound partial antichain"
+        )
+        .map_err(io_err)?;
     }
     if parsed.switch("verify") {
         let report = verify_mqc_set(&g, &result.mqcs, config.params);
@@ -322,7 +346,7 @@ fn cmd_topk<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
 }
 
 fn cmd_query<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
-    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "backend", "time-limit-secs", "print-sets"])?;
+    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "backend", "s2-backend", "time-limit-secs", "print-sets"])?;
     parsed.no_extra_positionals(2)?;
     let path = parsed.positional(1, "graph")?;
     let g = load_graph(path)?;
@@ -337,6 +361,13 @@ fn cmd_query<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     writeln!(out, "search universe  {} vertices", result.universe_size).map_err(io_err)?;
     writeln!(out, "maximal qcs      {}", result.mqcs.len()).map_err(io_err)?;
     writeln!(out, "time             {:.3}s", result.elapsed.as_secs_f64()).map_err(io_err)?;
+    if result.s2_timed_out {
+        writeln!(
+            out,
+            "WARNING          S2 deadline hit; MQC list is a sound partial antichain"
+        )
+        .map_err(io_err)?;
+    }
     if parsed.switch("print-sets") {
         for mqc in &result.mqcs {
             let formatted: Vec<String> = mqc.iter().map(|v| v.to_string()).collect();
@@ -607,6 +638,30 @@ mod tests {
                 .to_string()
         };
         assert_eq!(count(&auto), count(&seq));
+    }
+
+    #[test]
+    fn s2_backend_flag_is_accepted_and_consistent() {
+        let path = write_paper_graph("s2_backend.txt");
+        let mut outputs = Vec::new();
+        for backend in ["auto", "inverted", "bitset", "extremal"] {
+            let out = run_capture(&[
+                "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--s2-backend", backend,
+                "--verify", "--print-sets",
+            ])
+            .unwrap();
+            assert!(out.contains("verification     ok"), "{backend}: {out}");
+            assert!(out.contains("s2 engine        backend="), "{backend}: {out}");
+            let sets: Vec<&str> = out
+                .lines()
+                .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                .collect();
+            outputs.push(sets.join("\n"));
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1], "S2 backends disagree");
+        }
+        assert!(run_capture(&["enumerate", &path, "--s2-backend", "alien"]).is_err());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+pub use mqce_settrie::S2Backend;
+
 /// Which adjacency representation the branch-and-bound searchers use for
 /// edge tests, subset-degree counts and the QC predicate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -159,8 +161,14 @@ pub struct MqceConfig {
     /// Number of one-hop/two-hop pruning rounds applied to each DC subgraph
     /// (`MAX_ROUND` in Algorithm 3). The paper's default is 2.
     pub max_round: usize,
+    /// Which maximality-engine backend runs MQCE-S2. `Auto` (the default)
+    /// commits to a backend from the observed stream statistics.
+    pub s2_backend: S2Backend,
     /// Optional wall-clock budget; when exceeded the search stops early and
-    /// the result is flagged as timed out.
+    /// the result is flagged as timed out. The budget covers the whole
+    /// pipeline: S1 stops at the deadline and S2 compacts within the
+    /// remaining time (plus a small grace interval), returning a sound
+    /// partial result when it runs out.
     pub time_limit: Option<Duration>,
 }
 
@@ -173,6 +181,7 @@ impl MqceConfig {
             algorithm: Algorithm::default(),
             branching: BranchingStrategy::default(),
             max_round: 2,
+            s2_backend: S2Backend::default(),
             time_limit: None,
         })
     }
@@ -198,6 +207,12 @@ impl MqceConfig {
     /// Sets the adjacency backend used by the searchers.
     pub fn with_backend(mut self, backend: AdjacencyBackend) -> Self {
         self.params.backend = backend;
+        self
+    }
+
+    /// Sets the MQCE-S2 maximality-engine backend.
+    pub fn with_s2_backend(mut self, backend: S2Backend) -> Self {
+        self.s2_backend = backend;
         self
     }
 
@@ -243,11 +258,13 @@ mod tests {
             .with_branching(BranchingStrategy::SymSe)
             .with_max_round(3)
             .with_backend(AdjacencyBackend::Bitset)
+            .with_s2_backend(S2Backend::Extremal)
             .with_time_limit(Duration::from_secs(10));
         assert_eq!(cfg.algorithm, Algorithm::FastQc);
         assert_eq!(cfg.branching, BranchingStrategy::SymSe);
         assert_eq!(cfg.max_round, 3);
         assert_eq!(cfg.params.backend, AdjacencyBackend::Bitset);
+        assert_eq!(cfg.s2_backend, S2Backend::Extremal);
         assert!(cfg.time_limit.is_some());
     }
 

@@ -19,6 +19,7 @@ use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::core_decomp::{core_decomposition, k_core_vertices};
 use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
 use mqce_graph::{Graph, VertexId};
+use mqce_settrie::MaximalityEngine;
 
 use crate::branch::SearchOutcome;
 use crate::config::{AdjacencyBackend, BranchingStrategy, MqceParams};
@@ -200,6 +201,21 @@ pub fn run_dc(
     dc: DcConfig,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
+    run_dc_streaming(g, params, inner, dc, deadline, None)
+}
+
+/// [`run_dc`] with streaming MQCE-S2: each subproblem's outputs are fed into
+/// the maximality engine as the subproblem completes, so duplicate and
+/// dominated quasi-cliques are dropped on arrival and the filtering cost is
+/// amortised across the whole run instead of paid in one post-hoc pass.
+pub fn run_dc_streaming(
+    g: &Graph,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+    mut s2: Option<&mut dyn MaximalityEngine>,
+) -> SearchOutcome {
     let mut stats = SearchStats::default();
     let mut outputs: Vec<Vec<VertexId>> = Vec::new();
     let plan = prepare_plan(g, params, dc);
@@ -215,6 +231,11 @@ pub fn run_dc(
         }
         let (sub_outputs, sub_stats) = solve_subproblem(&plan, vi, params, inner, dc, deadline);
         stats.merge(&sub_stats);
+        if let Some(engine) = s2.as_deref_mut() {
+            for set in &sub_outputs {
+                engine.add(set);
+            }
+        }
         outputs.extend(sub_outputs);
         if stats.timed_out {
             break;
@@ -236,23 +257,59 @@ pub fn run_dc_parallel(
     num_threads: usize,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
+    run_dc_parallel_streaming(g, params, inner, dc, num_threads, deadline, None).0
+}
+
+/// A closure producing fresh per-thread maximality engines.
+pub type EngineFactory<'a> = &'a (dyn Fn() -> Box<dyn MaximalityEngine> + Sync);
+
+/// [`run_dc_parallel`] with streaming MQCE-S2: when an engine factory is
+/// supplied, every worker thread streams its subproblems' outputs into its
+/// own engine, and the per-thread engines are returned for the caller to
+/// merge (drain each into one and [`MaximalityEngine::add`] the sets back).
+pub fn run_dc_parallel_streaming(
+    g: &Graph,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    num_threads: usize,
+    deadline: Option<Instant>,
+    engine_factory: Option<EngineFactory<'_>>,
+) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
     let num_threads = num_threads.max(1);
     if num_threads == 1 {
-        return run_dc(g, params, inner, dc, deadline);
+        return match engine_factory {
+            None => (
+                run_dc_streaming(g, params, inner, dc, deadline, None),
+                Vec::new(),
+            ),
+            Some(factory) => {
+                let mut engine = factory();
+                let outcome =
+                    run_dc_streaming(g, params, inner, dc, deadline, Some(engine.as_mut()));
+                (outcome, vec![engine])
+            }
+        };
     }
     let plan = prepare_plan(g, params, dc);
     if plan.reduced.graph.num_vertices() == 0 {
-        return SearchOutcome::default();
+        return (SearchOutcome::default(), Vec::new());
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let plan_ref = &plan;
     let next_ref = &next;
-    let results: Vec<(Vec<Vec<VertexId>>, SearchStats)> = std::thread::scope(|scope| {
+    type WorkerResult = (
+        Vec<Vec<VertexId>>,
+        SearchStats,
+        Option<Box<dyn MaximalityEngine>>,
+    );
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut outputs: Vec<Vec<VertexId>> = Vec::new();
                     let mut stats = SearchStats::default();
+                    let mut engine = engine_factory.map(|f| f());
                     loop {
                         let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= plan_ref.ordering.len() {
@@ -268,9 +325,14 @@ pub fn run_dc_parallel(
                         let (sub_outputs, sub_stats) =
                             solve_subproblem(plan_ref, vi, params, inner, dc, deadline);
                         stats.merge(&sub_stats);
+                        if let Some(engine) = engine.as_deref_mut() {
+                            for set in &sub_outputs {
+                                engine.add(set);
+                            }
+                        }
                         outputs.extend(sub_outputs);
                     }
-                    (outputs, stats)
+                    (outputs, stats, engine)
                 })
             })
             .collect();
@@ -281,11 +343,13 @@ pub fn run_dc_parallel(
     });
     let mut stats = SearchStats::default();
     let mut outputs = Vec::new();
-    for (sub_outputs, sub_stats) in results {
+    let mut engines = Vec::new();
+    for (sub_outputs, sub_stats, engine) in results {
         stats.merge(&sub_stats);
         outputs.extend(sub_outputs);
+        engines.extend(engine);
     }
-    SearchOutcome { outputs, stats }
+    (SearchOutcome { outputs, stats }, engines)
 }
 
 /// Applies `MAX_ROUND` rounds of one-hop and (optionally) two-hop pruning on

@@ -53,19 +53,23 @@ pub mod topk;
 pub mod verify;
 
 pub use branch::SearchOutcome;
-pub use config::{AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError};
+pub use config::{
+    AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError, S2Backend,
+};
 pub use pipeline::{enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult};
 pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
-pub use stats::SearchStats;
+pub use stats::{S2Stats, SearchStats};
 pub use topk::{find_largest_mqcs, TopKResult};
 pub use verify::{verify_exact_against_oracle, verify_mqc_set, verify_s1_output, VerificationReport, Violation};
 
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
-    pub use crate::config::{AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams};
+    pub use crate::config::{
+        AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, S2Backend,
+    };
     pub use crate::pipeline::{
         enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult,
     };
     pub use crate::quasiclique::is_quasi_clique;
-    pub use crate::stats::SearchStats;
+    pub use crate::stats::{S2Stats, SearchStats};
 }

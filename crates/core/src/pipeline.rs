@@ -1,21 +1,38 @@
-//! End-to-end MQCE pipeline: MQCE-S1 (branch-and-bound enumeration) followed
-//! by MQCE-S2 (set-trie maximality filtering).
+//! End-to-end MQCE pipeline: MQCE-S1 (branch-and-bound enumeration) feeding
+//! a streaming MQCE-S2 maximality engine.
 //!
 //! This is the high-level API most users want: give it a graph and the
 //! parameters, get back exactly the maximal γ-quasi-cliques of size ≥ θ.
+//!
+//! S2 is no longer a batch pass over the full S1 output: the
+//! divide-and-conquer drivers stream each subproblem's quasi-cliques into a
+//! [`MaximalityEngine`] as they are produced (dropping duplicates and
+//! dominated sets on arrival), the parallel driver merges per-thread
+//! engines, and the final compaction honours whatever remains of the
+//! wall-clock budget — a run that exhausts its time limit in S1 no longer
+//! pays an unbounded post-hoc filtering bill on hundreds of thousands of
+//! sets.
 
 use std::time::{Duration, Instant};
 
 use mqce_graph::{Graph, VertexId};
-use mqce_settrie::filter_maximal;
+use mqce_settrie::MaximalityEngine;
 
 use crate::branch::SearchOutcome;
 use crate::config::{Algorithm, MqceConfig, MqceParams};
-use crate::dc::{run_dc, DcConfig, InnerAlgorithm};
+use crate::dc::{run_dc_parallel_streaming, run_dc_streaming, DcConfig, InnerAlgorithm};
 use crate::fastqc::fastqc_whole_graph;
 use crate::naive;
 use crate::quickplus::quickplus_whole_graph;
-use crate::stats::SearchStats;
+use crate::stats::{S2Stats, SearchStats};
+
+/// Minimum wall-clock slice MQCE-S2 is granted even when S1 consumed the
+/// whole budget: without it a time-limited run whose S1 was cut off would
+/// return no maximal sets at all.
+const S2_MIN_GRACE: Duration = Duration::from_millis(100);
+
+/// Upper bound on the S2 grace slice (10% of the time limit, clamped).
+const S2_MAX_GRACE: Duration = Duration::from_secs(5);
 
 /// Result of an end-to-end MQCE run.
 #[derive(Clone, Debug, Default)]
@@ -24,20 +41,34 @@ pub struct MqceResult {
     /// of size ≥ θ (possibly with non-maximal members). Sorted vertex sets.
     pub qcs: Vec<Vec<VertexId>>,
     /// The MQCE-S2 output: exactly the maximal quasi-cliques of size ≥ θ,
-    /// sorted lexicographically.
+    /// sorted lexicographically. When [`S2Stats::timed_out`] is set this is
+    /// a sound partial result (an antichain) rather than the full family.
     pub mqcs: Vec<Vec<VertexId>>,
     /// Statistics of the S1 search.
     pub stats: SearchStats,
-    /// Wall-clock time spent in MQCE-S1.
+    /// Statistics of the S2 maximality engine.
+    pub s2: S2Stats,
+    /// Wall-clock time of the MQCE-S1 window. For DC algorithms this
+    /// includes the streaming S2 `add` probes that run inline with the
+    /// search — that overlap is the point of the streaming engine, so the
+    /// two stages no longer sum from disjoint measurements.
     pub s1_time: Duration,
-    /// Wall-clock time spent in MQCE-S2 (set-trie filtering).
+    /// Wall-clock time spent in MQCE-S2 (the part not already overlapped
+    /// with the search: merging and the final compaction).
     pub s2_time: Duration,
 }
 
 impl MqceResult {
-    /// Whether the run hit its time limit (the MQC list may be incomplete).
+    /// Whether the run hit its time limit in either stage (the MQC list may
+    /// be incomplete).
     pub fn timed_out(&self) -> bool {
-        self.stats.timed_out
+        self.stats.timed_out || self.s2.timed_out
+    }
+
+    /// Whether the maximality filtering stage specifically was cut off by
+    /// the deadline (the MQC list is then a sound partial antichain).
+    pub fn s2_timed_out(&self) -> bool {
+        self.s2.timed_out
     }
 
     /// Sizes of the maximal quasi-cliques: `(min, max, mean)` — the
@@ -54,34 +85,41 @@ impl MqceResult {
     }
 }
 
-/// Runs only MQCE-S1 with the configured algorithm, returning the raw set of
-/// quasi-cliques (global vertex ids) and the search statistics.
-pub fn solve_s1(g: &Graph, config: &MqceConfig) -> SearchOutcome {
-    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
-    let params = config.params;
+/// The `(inner algorithm, DC configuration)` pair of a DC-family algorithm,
+/// `None` for algorithms without a divide-and-conquer decomposition.
+fn dc_setup(config: &MqceConfig) -> Option<(InnerAlgorithm, DcConfig)> {
     match config.algorithm {
-        Algorithm::DcFastQc => run_dc(
-            g,
-            params,
+        Algorithm::DcFastQc => Some((
             InnerAlgorithm::FastQc(config.branching),
             DcConfig::paper_default().with_max_round(config.max_round),
-            deadline,
-        ),
-        Algorithm::BasicDcFastQc => run_dc(
-            g,
-            params,
-            InnerAlgorithm::FastQc(config.branching),
-            DcConfig::basic(),
-            deadline,
-        ),
+        )),
+        Algorithm::BasicDcFastQc => {
+            Some((InnerAlgorithm::FastQc(config.branching), DcConfig::basic()))
+        }
+        Algorithm::QuickPlus => Some((InnerAlgorithm::QuickPlus, DcConfig::basic())),
+        _ => None,
+    }
+}
+
+/// Runs MQCE-S1, streaming outputs into `s2` when an engine is supplied and
+/// the algorithm has a DC decomposition (the drivers feed it per
+/// subproblem). Returns the outcome plus whether the engine was fed inline —
+/// whole-graph algorithms produce their outputs in one batch, which the
+/// caller feeds afterwards under the S2 deadline.
+fn solve_s1_streaming(
+    g: &Graph,
+    config: &MqceConfig,
+    deadline: Option<Instant>,
+    mut s2: Option<&mut dyn MaximalityEngine>,
+) -> (SearchOutcome, bool) {
+    let params = config.params;
+    if let Some((inner, dc)) = dc_setup(config) {
+        let fed_inline = s2.is_some();
+        let outcome = run_dc_streaming(g, params, inner, dc, deadline, s2.take());
+        return (outcome, fed_inline);
+    }
+    let outcome = match config.algorithm {
         Algorithm::FastQc => fastqc_whole_graph(g, params, config.branching, deadline),
-        Algorithm::QuickPlus => run_dc(
-            g,
-            params,
-            InnerAlgorithm::QuickPlus,
-            DcConfig::basic(),
-            deadline,
-        ),
         Algorithm::QuickPlusRaw => quickplus_whole_graph(g, params, deadline),
         Algorithm::Naive => {
             let outputs = naive::all_maximal_quasi_cliques(g, params);
@@ -93,80 +131,143 @@ pub fn solve_s1(g: &Graph, config: &MqceConfig) -> SearchOutcome {
                 outputs,
             }
         }
-    }
+        _ => unreachable!("DC algorithms are handled by dc_setup"),
+    };
+    (outcome, false)
 }
 
-/// Runs the full MQCE pipeline (S1 + S2) with the given configuration.
-pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
-    let s1_start = Instant::now();
-    let outcome = solve_s1(g, config);
-    let s1_time = s1_start.elapsed();
+/// Streams `sets` into `engine`, polling the deadline every few hundred
+/// sets. Returns `false` when the feed was cut short.
+pub(crate) fn feed_sets(
+    engine: &mut dyn MaximalityEngine,
+    sets: &[Vec<VertexId>],
+    deadline: Option<Instant>,
+) -> bool {
+    for (i, set) in sets.iter().enumerate() {
+        if i.is_multiple_of(256) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return false;
+                }
+            }
+        }
+        engine.add(set);
+    }
+    true
+}
 
-    let s2_start = Instant::now();
-    let mqcs = filter_maximal(&outcome.outputs);
+/// Runs only MQCE-S1 with the configured algorithm, returning the raw set of
+/// quasi-cliques (global vertex ids) and the search statistics.
+pub fn solve_s1(g: &Graph, config: &MqceConfig) -> SearchOutcome {
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    solve_s1_streaming(g, config, deadline, None).0
+}
+
+/// The deadline MQCE-S2 compacts under: the pipeline deadline, but never
+/// less than a small grace interval from now — 10% of the time limit,
+/// clamped to `[100ms, 5s]` — so a run whose S1 was cut off still returns
+/// the sets it can compact within the grace slice.
+pub(crate) fn s2_deadline(deadline: Option<Instant>, limit: Option<Duration>) -> Option<Instant> {
+    deadline.map(|d| {
+        let grace = limit.map_or(S2_MIN_GRACE, |l| (l / 10).clamp(S2_MIN_GRACE, S2_MAX_GRACE));
+        d.max(Instant::now() + grace)
+    })
+}
+
+/// Assembles the final [`MqceResult`]: compacts the engine under the
+/// (already graced) S2 deadline and fills in the S2 statistics. `s2_start`
+/// is when post-S1 S2 work began (feeding or merging included), so the
+/// reported `s2_time` covers everything not overlapped with the search.
+fn finalize(
+    outcome: SearchOutcome,
+    engine: Box<dyn MaximalityEngine>,
+    feed_truncated: bool,
+    s2_deadline: Option<Instant>,
+    s1_time: Duration,
+    s2_start: Instant,
+) -> MqceResult {
+    let sets_streamed = outcome.outputs.len() as u64;
+    let sets_retained = engine.live_len() as u64;
+    let s2_out = engine.finish_with_deadline(s2_deadline);
     let s2_time = s2_start.elapsed();
-
     let mut qcs = outcome.outputs;
     qcs.sort();
     qcs.dedup();
     MqceResult {
         qcs,
-        mqcs,
+        mqcs: s2_out.mqcs,
         stats: outcome.stats,
+        s2: S2Stats {
+            backend: s2_out.backend.to_string(),
+            sets_streamed,
+            sets_retained,
+            timed_out: s2_out.timed_out || feed_truncated,
+        },
         s1_time,
         s2_time,
     }
+}
+
+/// Runs the full MQCE pipeline (S1 + streaming S2) with the given
+/// configuration.
+pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let mut engine = config.s2_backend.new_engine();
+    let s1_start = Instant::now();
+    let (outcome, fed_inline) = solve_s1_streaming(g, config, deadline, Some(engine.as_mut()));
+    let s1_time = s1_start.elapsed();
+    // The grace slice is granted exactly once, when post-S1 S2 work starts:
+    // the feed (whole-graph algorithms), then the compaction share it.
+    let s2_start = Instant::now();
+    let s2_dl = s2_deadline(deadline, config.time_limit);
+    let mut feed_truncated = false;
+    if !fed_inline {
+        feed_truncated = !feed_sets(engine.as_mut(), &outcome.outputs, s2_dl);
+    }
+    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
 }
 
 /// Multi-threaded variant of [`enumerate_mqcs`]: the divide-and-conquer
 /// subproblems are distributed over `num_threads` OS threads (the parallel
-/// implementation the paper lists as future work). For algorithms without a
-/// DC decomposition this falls back to the sequential solver.
+/// implementation the paper lists as future work), each worker streaming
+/// into its own maximality engine; the per-thread engines are merged before
+/// the final compaction. For algorithms without a DC decomposition this
+/// falls back to the sequential solver.
 pub fn enumerate_mqcs_parallel(g: &Graph, config: &MqceConfig, num_threads: usize) -> MqceResult {
-    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
-    let params = config.params;
-    let s1_start = Instant::now();
-    let outcome = match config.algorithm {
-        Algorithm::DcFastQc => crate::dc::run_dc_parallel(
-            g,
-            params,
-            InnerAlgorithm::FastQc(config.branching),
-            DcConfig::paper_default().with_max_round(config.max_round),
-            num_threads,
-            deadline,
-        ),
-        Algorithm::BasicDcFastQc => crate::dc::run_dc_parallel(
-            g,
-            params,
-            InnerAlgorithm::FastQc(config.branching),
-            DcConfig::basic(),
-            num_threads,
-            deadline,
-        ),
-        Algorithm::QuickPlus => crate::dc::run_dc_parallel(
-            g,
-            params,
-            InnerAlgorithm::QuickPlus,
-            DcConfig::basic(),
-            num_threads,
-            deadline,
-        ),
-        _ => solve_s1(g, config),
+    let Some((inner, dc)) = dc_setup(config) else {
+        return enumerate_mqcs(g, config);
     };
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let s1_start = Instant::now();
+    let factory = || config.s2_backend.new_engine();
+    let (outcome, mut engines) = run_dc_parallel_streaming(
+        g,
+        config.params,
+        inner,
+        dc,
+        num_threads,
+        deadline,
+        Some(&factory),
+    );
     let s1_time = s1_start.elapsed();
+    // Merge the per-thread engines: drain each into the first. Re-adding
+    // re-probes, so sets retained by one worker but dominated by another
+    // worker's results are dropped here. The merge is S2 work: it runs
+    // under the same single graced deadline as the final compaction.
     let s2_start = Instant::now();
-    let mqcs = filter_maximal(&outcome.outputs);
-    let s2_time = s2_start.elapsed();
-    let mut qcs = outcome.outputs;
-    qcs.sort();
-    qcs.dedup();
-    MqceResult {
-        qcs,
-        mqcs,
-        stats: outcome.stats,
-        s1_time,
-        s2_time,
+    let s2_dl = s2_deadline(deadline, config.time_limit);
+    let mut engine = if engines.is_empty() {
+        config.s2_backend.new_engine()
+    } else {
+        engines.remove(0)
+    };
+    let mut feed_truncated = false;
+    for mut other in engines {
+        if !feed_sets(engine.as_mut(), &other.drain(), s2_dl) {
+            feed_truncated = true;
+        }
     }
+    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
 }
 
 /// Convenience wrapper: enumerate the maximal γ-quasi-cliques of size ≥ θ
@@ -300,6 +401,57 @@ mod tests {
         // limit; in no case may it run for many seconds.
         assert!(start.elapsed() < Duration::from_secs(20));
         let _ = result.timed_out();
+    }
+
+    #[test]
+    fn s2_backends_agree_and_report_stats() {
+        use crate::config::S2Backend;
+        let g = Graph::paper_figure1();
+        let reference = enumerate_mqcs_default(&g, 0.6, 3).unwrap().mqcs;
+        for backend in [
+            S2Backend::Auto,
+            S2Backend::Inverted,
+            S2Backend::Bitset,
+            S2Backend::Extremal,
+        ] {
+            let result = enumerate_mqcs(
+                &g,
+                &MqceConfig::new(0.6, 3).unwrap().with_s2_backend(backend),
+            );
+            assert_eq!(result.mqcs, reference, "{backend:?}");
+            assert!(!result.s2.timed_out);
+            assert!(!result.s2.backend.is_empty());
+            assert_eq!(result.s2.sets_streamed, result.stats.outputs);
+            assert!(result.s2.sets_retained as usize >= result.mqcs.len());
+            // Auto resolves to a concrete backend at finish time.
+            if backend != S2Backend::Auto {
+                assert_eq!(result.s2.backend, backend.name());
+            } else {
+                assert_ne!(result.s2.backend, "auto");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_agrees_across_s2_backends() {
+        use crate::config::S2Backend;
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 100,
+                num_communities: 7,
+                p_intra: 0.9,
+                inter_degree: 1.5,
+            },
+            909,
+        );
+        let reference = enumerate_mqcs(&g, &MqceConfig::new(0.85, 5).unwrap()).mqcs;
+        for backend in [S2Backend::Inverted, S2Backend::Bitset, S2Backend::Extremal] {
+            let config = MqceConfig::new(0.85, 5).unwrap().with_s2_backend(backend);
+            let parallel = enumerate_mqcs_parallel(&g, &config, 4);
+            assert_eq!(parallel.mqcs, reference, "{backend:?}");
+            assert!(!parallel.s2.timed_out);
+        }
     }
 
     #[test]

@@ -22,7 +22,6 @@ use std::time::{Duration, Instant};
 
 use mqce_graph::subgraph::two_hop_neighborhood;
 use mqce_graph::{Graph, VertexId};
-use mqce_settrie::filter_maximal;
 
 use crate::config::{BranchingStrategy, MqceConfig, MqceParams};
 use crate::fastqc::run_fastqc;
@@ -63,6 +62,9 @@ pub struct QueryResult {
     pub universe_size: usize,
     /// Statistics of the branch-and-bound search.
     pub stats: SearchStats,
+    /// Whether the maximality filtering hit the deadline (the MQC list is
+    /// then a sound partial antichain).
+    pub s2_timed_out: bool,
     /// Wall-clock time of the whole query.
     pub elapsed: Duration,
 }
@@ -94,6 +96,7 @@ pub fn find_mqcs_containing(
             mqcs: Vec::new(),
             universe_size: universe.len(),
             stats: SearchStats::default(),
+            s2_timed_out: false,
             elapsed: start.elapsed(),
         });
     }
@@ -130,12 +133,18 @@ pub fn find_mqcs_containing(
             qcs.push(global);
         }
     }
-    let mqcs = filter_maximal(&qcs);
+    // Maximality filtering through the configured S2 engine, honouring what
+    // remains of the time budget (plus the standard grace slice).
+    let mut engine = config.s2_backend.new_engine();
+    let s2_dl = crate::pipeline::s2_deadline(deadline, config.time_limit);
+    let feed_truncated = !crate::pipeline::feed_sets(engine.as_mut(), &qcs, s2_dl);
+    let s2_out = engine.finish_with_deadline(s2_dl);
 
     Ok(QueryResult {
-        mqcs,
+        mqcs: s2_out.mqcs,
         universe_size: universe.len(),
         stats: outcome.stats,
+        s2_timed_out: s2_out.timed_out || feed_truncated,
         elapsed: start.elapsed(),
     })
 }
@@ -161,6 +170,7 @@ pub fn find_mqcs_containing_default(
         algorithm: crate::config::Algorithm::FastQc,
         branching: BranchingStrategy::HybridSe,
         max_round: 2,
+        s2_backend: crate::config::S2Backend::default(),
         time_limit: None,
     };
     find_mqcs_containing(g, query, &config)

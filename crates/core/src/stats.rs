@@ -58,6 +58,39 @@ impl SearchStats {
     }
 }
 
+/// Counters describing the MQCE-S2 maximality-engine stage of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct S2Stats {
+    /// The backend that performed the final compaction (`inverted` /
+    /// `bitset` / `extremal`; `Auto` resolves to its committed choice).
+    pub backend: String,
+    /// Sets fed into the engine (the raw S1 output count).
+    pub sets_streamed: u64,
+    /// Sets retained after on-arrival deduplication and domination checks
+    /// (an upper bound on the final MQC count).
+    pub sets_retained: u64,
+    /// Whether S2 stopped at its deadline. The MQC list is then a *sound
+    /// partial* result: still an antichain (every returned set is maximal
+    /// with respect to the returned collection), but incomplete.
+    pub timed_out: bool,
+}
+
+impl std::fmt::Display for S2Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "backend={} streamed={} retained={}",
+            if self.backend.is_empty() { "?" } else { &self.backend },
+            self.sets_streamed,
+            self.sets_retained
+        )?;
+        if self.timed_out {
+            write!(f, " TIMED_OUT")?;
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for SearchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -113,6 +146,23 @@ mod tests {
         assert_eq!(a.max_depth, 7);
         assert_eq!(a.dc_subproblems, 2);
         assert!(a.timed_out);
+    }
+
+    #[test]
+    fn s2_stats_display() {
+        let mut s2 = S2Stats {
+            backend: "bitset".to_string(),
+            sets_streamed: 100,
+            sets_retained: 40,
+            timed_out: false,
+        };
+        let text = s2.to_string();
+        assert!(text.contains("backend=bitset"));
+        assert!(text.contains("streamed=100"));
+        assert!(!text.contains("TIMED_OUT"));
+        s2.timed_out = true;
+        assert!(s2.to_string().contains("TIMED_OUT"));
+        assert!(S2Stats::default().to_string().contains("backend=?"));
     }
 
     #[test]

@@ -243,26 +243,24 @@ impl AdjacencyMatrix {
 
     /// `δ(u, mask)` — popcount of `row(u) & mask`. Since the matrix has no
     /// self-loops, `u`'s own membership in `mask` never counts.
+    ///
+    /// The popcount loop is batched over 4-word chunks with independent
+    /// accumulators: the chunks have no loop-carried dependency, which lets
+    /// the compiler autovectorise the AND+popcount body (`vpand` +
+    /// `vpopcntq`-class code on AVX-capable targets) instead of chaining
+    /// scalar `popcnt` through one accumulator.
     #[inline]
     pub fn degree_in_mask(&self, u: VertexId, mask: &BitSet) -> usize {
         debug_assert_eq!(mask.capacity(), self.n);
-        self.row(u)
-            .iter()
-            .zip(mask.words())
-            .map(|(r, m)| (r & m).count_ones() as usize)
-            .sum()
+        popcount_and2(self.row(u), mask.words())
     }
 
     /// Number of common neighbours of `u` and `v` within `mask`:
-    /// `|Γ(u) ∩ Γ(v) ∩ mask|`.
+    /// `|Γ(u) ∩ Γ(v) ∩ mask|`. Batched like
+    /// [`degree_in_mask`](Self::degree_in_mask).
     pub fn common_neighbors_in_mask(&self, u: VertexId, v: VertexId, mask: &BitSet) -> usize {
         debug_assert_eq!(mask.capacity(), self.n);
-        self.row(u)
-            .iter()
-            .zip(self.row(v))
-            .zip(mask.words())
-            .map(|((a, b), m)| (a & b & m).count_ones() as usize)
-            .sum()
+        popcount_and3(self.row(u), self.row(v), mask.words())
     }
 
     /// Whether the subgraph induced by `mask` is connected, starting the BFS
@@ -302,6 +300,50 @@ impl AdjacencyMatrix {
         }
         reached == member_count
     }
+}
+
+/// `popcount(a & b)` over equal-length word slices (`b` must be at least as
+/// long as `a`), 4-word-chunked with independent accumulators
+/// (autovectorisation-friendly form; the ROADMAP SIMD item, kept in stable
+/// Rust rather than `std::simd`).
+#[inline]
+pub fn popcount_and2(a: &[u64], b: &[u64]) -> usize {
+    let mut acc = [0u32; 4];
+    let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+    let (b4, b_tail) = b.split_at(a4.len());
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += (ca[0] & cb[0]).count_ones();
+        acc[1] += (ca[1] & cb[1]).count_ones();
+        acc[2] += (ca[2] & cb[2]).count_ones();
+        acc[3] += (ca[3] & cb[3]).count_ones();
+    }
+    let mut total = acc.iter().map(|&c| c as usize).sum::<usize>();
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        total += (x & y).count_ones() as usize;
+    }
+    total
+}
+
+/// `popcount(a & b & c)` over equal-length word slices, 4-word-chunked like
+/// [`popcount_and2`].
+#[inline]
+pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> usize {
+    let mut acc = [0u32; 4];
+    let split = a.len() - a.len() % 4;
+    let (a4, a_tail) = a.split_at(split);
+    let (b4, b_tail) = b.split_at(split);
+    let (c4, c_tail) = c.split_at(split);
+    for ((ca, cb), cc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)).zip(c4.chunks_exact(4)) {
+        acc[0] += (ca[0] & cb[0] & cc[0]).count_ones();
+        acc[1] += (ca[1] & cb[1] & cc[1]).count_ones();
+        acc[2] += (ca[2] & cb[2] & cc[2]).count_ones();
+        acc[3] += (ca[3] & cb[3] & cc[3]).count_ones();
+    }
+    let mut total = acc.iter().map(|&c| c as usize).sum::<usize>();
+    for ((x, y), z) in a_tail.iter().zip(b_tail).zip(c_tail) {
+        total += (x & y & z).count_ones() as usize;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -461,6 +503,33 @@ mod tests {
                 is_connected_subset(&g, &subset),
                 "seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn chunked_popcounts_match_scalar_reference() {
+        // Lengths around the 4-word chunk boundary, including the empty and
+        // remainder-only cases, with irregular bit patterns.
+        let mut x = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in 0..=11usize {
+            let a: Vec<u64> = (0..len).map(|_| next()).collect();
+            let b: Vec<u64> = (0..len).map(|_| next()).collect();
+            let c: Vec<u64> = (0..len).map(|_| next()).collect();
+            let and2: usize = a.iter().zip(&b).map(|(x, y)| (x & y).count_ones() as usize).sum();
+            let and3: usize = a
+                .iter()
+                .zip(&b)
+                .zip(&c)
+                .map(|((x, y), z)| (x & y & z).count_ones() as usize)
+                .sum();
+            assert_eq!(popcount_and2(&a, &b), and2, "and2 len={len}");
+            assert_eq!(popcount_and3(&a, &b, &c), and3, "and3 len={len}");
         }
     }
 

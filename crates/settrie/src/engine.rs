@@ -1,0 +1,1019 @@
+//! The MQCE-S2 maximality-engine subsystem.
+//!
+//! PR 2's bitset kernel made MQCE-S1 fast enough that the batch-at-the-end
+//! maximality filter became the bottleneck on dense workloads: with ~400k
+//! heavily-overlapping quasi-cliques from an INF'd S1 run, the inverted-index
+//! probe of [`filter_maximal`](crate::filter_maximal) degrades superlinearly
+//! (its probe lists grow with the accepted-set count). This module replaces
+//! the single batch filter with a [`MaximalityEngine`] abstraction that
+//!
+//! * **streams**: sets are fed in as the branch-and-bound search produces
+//!   them, so duplicates and dominated sets are dropped on arrival and the
+//!   filtering cost is amortised across the whole run;
+//! * **parallelises**: per-thread engines can be drained and merged;
+//! * **is deadline-aware**: the final compaction honours a wall-clock budget
+//!   and returns a *sound* partial result (an antichain — every returned set
+//!   is maximal w.r.t. the returned collection) instead of blowing through a
+//!   time limit;
+//! * **has three interchangeable backends** plus an adaptive dispatcher:
+//!
+//! | backend | probe structure | wins when |
+//! |---|---|---|
+//! | [`S2Backend::Inverted`] | element → accepted-set id lists, probe the least-frequent element | small or mildly overlapping families |
+//! | [`S2Backend::Bitset`] | element → packed `u64` bitmap over accepted-set slots, word-AND intersection | small universe, heavy overlap (the INF'd-S1 wall shape) |
+//! | [`S2Backend::Extremal`] | Bayardo–Panda-style: cardinality-ascending scan, each live set indexed once under its least-frequent element, subset-kill | large sparse universes |
+//! | [`S2Backend::Auto`] | buffers a prefix, then commits using set count, universe size and mean overlap | the default |
+//!
+//! All backends produce exactly the result of
+//! [`filter_maximal_naive`](crate::filter_maximal_naive): given a processed
+//! prefix of the stream, a set survives iff no strict superset of it was
+//! streamed (duplicates collapse to one copy). Domination is
+//! order-independent, so the engines can only differ in *time*, never in the
+//! final family.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use crate::filter::is_sorted_subset;
+
+/// How often (in processed sets) the compaction loops poll the deadline.
+const DEADLINE_STRIDE: usize = 128;
+
+/// How many sets the [`AutoEngine`] buffers before committing to a backend.
+const AUTO_COMMIT_AT: usize = 4096;
+
+/// The result of finishing a [`MaximalityEngine`].
+#[derive(Clone, Debug, Default)]
+pub struct S2Outcome {
+    /// The maximal sets, sorted lexicographically. When `timed_out` is set
+    /// this is a *partial but sound* result: the sets are still pairwise
+    /// incomparable (each one is maximal within the returned collection),
+    /// but sets whose compaction never ran are missing.
+    pub mqcs: Vec<Vec<u32>>,
+    /// Whether the compaction stopped early because the deadline passed.
+    pub timed_out: bool,
+    /// The backend that performed the compaction (`auto` resolves to the
+    /// backend it committed to).
+    pub backend: &'static str,
+}
+
+/// A streaming maximality filter (MQCE-S2).
+///
+/// Feed sets in any order with [`add`](Self::add); call
+/// [`finish`](Self::finish) (or the deadline-aware variant) to obtain exactly
+/// the maximal sets of everything streamed so far. Engines use *lazy
+/// subset elimination*: `add` drops a set that is dominated by (or equal to) a
+/// set already retained, but a retained set that is dominated by a *later*
+/// arrival is only removed during the final compaction. This keeps `add`
+/// cheap — one superset probe — while `finish` restores the exact semantics
+/// of [`filter_maximal`](crate::filter_maximal).
+pub trait MaximalityEngine: Send {
+    /// The backend name (`inverted`, `bitset`, `extremal`, or `auto`).
+    fn name(&self) -> &'static str;
+
+    /// Streams one set into the engine. Returns `true` when the set was
+    /// retained, `false` when it was recognised on arrival as a duplicate of
+    /// — or dominated by — an already retained set.
+    fn add(&mut self, set: &[u32]) -> bool;
+
+    /// Number of currently retained candidate sets. This is an upper bound
+    /// on the final result size (later arrivals may still dominate earlier
+    /// retained sets).
+    fn live_len(&self) -> usize;
+
+    /// Removes and returns every retained set, leaving the engine empty.
+    /// Used to merge per-thread engines: drain one engine and `add` each set
+    /// into another.
+    fn drain(&mut self) -> Vec<Vec<u32>>;
+
+    /// Compacts the retained sets to exactly the maximal ones (sorted
+    /// lexicographically), consuming the engine.
+    fn finish(self: Box<Self>) -> S2Outcome {
+        self.finish_with_deadline(None)
+    }
+
+    /// Deadline-aware [`finish`](Self::finish): the compaction polls the
+    /// deadline every few hundred sets and stops early once it has passed.
+    /// The partial result is sound — see [`S2Outcome::mqcs`].
+    fn finish_with_deadline(self: Box<Self>, deadline: Option<Instant>) -> S2Outcome;
+}
+
+/// Which S2 backend to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum S2Backend {
+    /// Buffer a prefix of the stream, then commit to the backend predicted
+    /// fastest from the observed set count, universe size and mean overlap.
+    #[default]
+    Auto,
+    /// The inverted-index filter behind
+    /// [`filter_maximal`](crate::filter_maximal), made incremental.
+    Inverted,
+    /// Packed per-element bitmaps over accepted-set slots; superset queries
+    /// are word-parallel bitmap intersections.
+    Bitset,
+    /// Bayardo–Panda-style extremal-sets filtering: cardinality-ascending
+    /// processing, each live set indexed once under its least-frequent
+    /// element, subset-kill on arrival of a superset.
+    Extremal,
+}
+
+impl S2Backend {
+    /// Human-readable backend name (`auto` / `inverted` / `bitset` /
+    /// `extremal`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            S2Backend::Auto => "auto",
+            S2Backend::Inverted => "inverted",
+            S2Backend::Bitset => "bitset",
+            S2Backend::Extremal => "extremal",
+        }
+    }
+
+    /// Creates a fresh engine of this backend.
+    pub fn new_engine(&self) -> Box<dyn MaximalityEngine> {
+        match self {
+            S2Backend::Auto => Box::new(AutoEngine::new()),
+            S2Backend::Inverted => Box::new(StreamingEngine::<InvertedProbe>::new()),
+            S2Backend::Bitset => Box::new(StreamingEngine::<BitmapProbe>::new()),
+            S2Backend::Extremal => Box::new(ExtremalEngine::new()),
+        }
+    }
+
+    /// All concrete (non-auto) backends, for differential tests and benches.
+    pub fn concrete() -> [S2Backend; 3] {
+        [S2Backend::Inverted, S2Backend::Bitset, S2Backend::Extremal]
+    }
+}
+
+/// Runs `sets` through the chosen backend in one batch: the engine equivalent
+/// of [`filter_maximal`](crate::filter_maximal).
+pub fn filter_maximal_with(sets: &[Vec<u32>], backend: S2Backend) -> Vec<Vec<u32>> {
+    let mut engine = backend.new_engine();
+    for set in sets {
+        engine.add(set);
+    }
+    engine.finish().mqcs
+}
+
+/// Picks the backend [`S2Backend::Auto`] commits to, given the observed
+/// stream statistics: retained-set count, distinct-element count (universe)
+/// and the total number of element occurrences across the retained sets.
+///
+/// The heuristic mirrors where each probe structure wins:
+/// * tiny families: the inverted index has no set-up cost;
+/// * small universe *and* high mean overlap (mean element frequency
+///   `total / universe`): the word-parallel bitmaps turn the degenerate
+///   probe lists of the INF'd-S1 shape into `O(live/64)` word scans, and the
+///   `universe × live / 64` words of memory stay modest;
+/// * large universe with sets much smaller than it: the extremal-sets
+///   single-element indexing keeps probe lists short;
+/// * otherwise the inverted index remains the safe default.
+pub fn choose_backend(set_count: usize, universe: usize, total_elements: usize) -> S2Backend {
+    if set_count < 1024 || universe == 0 {
+        return S2Backend::Inverted;
+    }
+    let mean_overlap = total_elements as f64 / universe as f64;
+    if universe <= 2048 && mean_overlap >= 16.0 {
+        return S2Backend::Bitset;
+    }
+    let mean_size = total_elements as f64 / set_count as f64;
+    if mean_size * 4.0 <= universe as f64 {
+        return S2Backend::Extremal;
+    }
+    S2Backend::Inverted
+}
+
+/// Whether a set is already in canonical form (strictly increasing). The
+/// pipeline's S1 outputs always are, so the hot `add` path can hash and
+/// probe the borrowed slice directly and only copy on retention.
+fn is_canonical(set: &[u32]) -> bool {
+    set.windows(2).all(|w| w[0] < w[1])
+}
+
+/// The canonical (sorted, deduplicated) form of a set, borrowing when the
+/// input already is canonical.
+fn canonical(set: &[u32]) -> std::borrow::Cow<'_, [u32]> {
+    if is_canonical(set) {
+        std::borrow::Cow::Borrowed(set)
+    } else {
+        let mut v = set.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        std::borrow::Cow::Owned(v)
+    }
+}
+
+fn set_hash(set: &[u32]) -> u64 {
+    let mut h = DefaultHasher::new();
+    set.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Probe indices: the pluggable superset-query structure shared by the
+// streaming phase and the descending-cardinality compaction.
+// ---------------------------------------------------------------------------
+
+/// A growable index over accepted sets answering "is some accepted set a
+/// (non-strict) superset of the query?". Elements are arbitrary `u32`s;
+/// implementations compress them to dense ids internally.
+trait ProbeIndex: Default + Send {
+    /// The public backend name of the engine built on this probe.
+    const NAME: &'static str;
+
+    /// Whether any indexed set contains every element of `set` (`set` itself
+    /// is never indexed at query time). `accepted` is the backing storage the
+    /// index's ids point into.
+    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool;
+
+    /// Indexes `accepted[slot]` (which must equal `set`).
+    fn insert(&mut self, set: &[u32], slot: usize);
+}
+
+/// Element → list of accepted-set ids, probed at the query's least-frequent
+/// element. The incremental twin of [`filter_maximal`](crate::filter_maximal).
+#[derive(Default)]
+struct InvertedProbe {
+    /// Element value → dense element id.
+    elem_ids: HashMap<u32, usize>,
+    /// `containing[elem_id]` = accepted-set slots containing the element.
+    containing: Vec<Vec<u32>>,
+}
+
+impl ProbeIndex for InvertedProbe {
+    const NAME: &'static str = "inverted";
+
+    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
+        let mut probe: Option<&Vec<u32>> = None;
+        for e in set {
+            let Some(&id) = self.elem_ids.get(e) else {
+                // An element no accepted set contains: nothing can dominate.
+                return false;
+            };
+            let list = &self.containing[id];
+            if probe.is_none_or(|p| list.len() < p.len()) {
+                probe = Some(list);
+            }
+        }
+        let Some(probe) = probe else {
+            // Empty query set: dominated by any accepted set.
+            return !accepted.is_empty();
+        };
+        probe
+            .iter()
+            .any(|&i| is_sorted_subset(set, &accepted[i as usize]))
+    }
+
+    fn insert(&mut self, set: &[u32], slot: usize) {
+        for &e in set {
+            let next = self.containing.len();
+            let id = *self.elem_ids.entry(e).or_insert(next);
+            if id == next {
+                self.containing.push(Vec::new());
+            }
+            self.containing[id].push(slot as u32);
+        }
+    }
+}
+
+/// Element → packed `u64` bitmap over accepted-set slots. A query is
+/// dominated iff the intersection of its elements' bitmaps is non-empty, so
+/// the probe is a word-parallel AND that starts from the least-frequent
+/// element's bitmap and keeps only the surviving non-zero words — on the
+/// degenerate family shapes where every inverted probe list is tens of
+/// thousands of entries long, this replaces per-candidate subset tests with
+/// `O(live / 64)` word operations.
+#[derive(Default)]
+struct BitmapProbe {
+    elem_ids: HashMap<u32, usize>,
+    /// `bitmaps[elem_id]` = bitmap over accepted slots (lazily grown; words
+    /// past the end are implicitly zero).
+    bitmaps: Vec<Vec<u64>>,
+    /// `nonzero[elem_id]` = indices of the non-zero words of the element's
+    /// bitmap. Slots are assigned in increasing order, so this stays sorted
+    /// with amortised O(1) appends — and it lets a probe walk only the
+    /// occupied words of its rarest element instead of the full bitmap width.
+    nonzero: Vec<Vec<u32>>,
+    /// `freq[elem_id]` = number of accepted sets containing the element.
+    freq: Vec<u32>,
+}
+
+impl ProbeIndex for BitmapProbe {
+    const NAME: &'static str = "bitset";
+
+    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
+        let mut ids = Vec::with_capacity(set.len());
+        for e in set {
+            let Some(&id) = self.elem_ids.get(e) else {
+                return false;
+            };
+            if self.freq[id] == 0 {
+                return false;
+            }
+            ids.push(id);
+        }
+        if ids.is_empty() {
+            return !accepted.is_empty();
+        }
+        // Intersect in ascending frequency order so the survivor list
+        // collapses as early as possible.
+        ids.sort_unstable_by_key(|&id| self.freq[id]);
+        if ids.len() == 1 {
+            // A single-element query is dominated by any accepted set
+            // containing the element, and freq > 0 was checked above.
+            return true;
+        }
+        // Seed the survivors from the AND of the two rarest bitmaps, walking
+        // only the rarest element's non-zero words.
+        let (a, b) = (ids[0], ids[1]);
+        let bm_a = &self.bitmaps[a];
+        let bm_b = &self.bitmaps[b];
+        let mut survivors: Vec<(u32, u64)> = Vec::new();
+        for &wi in &self.nonzero[a] {
+            let w = bm_a[wi as usize] & bm_b.get(wi as usize).copied().unwrap_or(0);
+            if w != 0 {
+                survivors.push((wi, w));
+            }
+        }
+        for &id in &ids[2..] {
+            if survivors.is_empty() {
+                return false;
+            }
+            let bm = &self.bitmaps[id];
+            survivors.retain_mut(|(i, w)| {
+                *w &= bm.get(*i as usize).copied().unwrap_or(0);
+                *w != 0
+            });
+        }
+        !survivors.is_empty()
+    }
+
+    fn insert(&mut self, set: &[u32], slot: usize) {
+        let (word, bit) = (slot / 64, slot % 64);
+        for &e in set {
+            let next = self.bitmaps.len();
+            let id = *self.elem_ids.entry(e).or_insert(next);
+            if id == next {
+                self.bitmaps.push(Vec::new());
+                self.nonzero.push(Vec::new());
+                self.freq.push(0);
+            }
+            let bm = &mut self.bitmaps[id];
+            if bm.len() <= word {
+                bm.resize(word + 1, 0);
+            }
+            if bm[word] == 0 {
+                self.nonzero[id].push(word as u32);
+            }
+            bm[word] |= 1u64 << bit;
+            self.freq[id] += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingEngine: the lazy-elimination engine shared by the inverted and
+// bitset backends (they differ only in the probe structure).
+// ---------------------------------------------------------------------------
+
+/// Streaming engine with a pluggable probe index.
+///
+/// `add` keeps a persistent probe index over the retained sets: a new arrival
+/// that is a duplicate of — or a subset of — a retained set is dropped
+/// immediately (the common case on heavily overlapping S1 streams). Retained
+/// sets dominated by *later* arrivals survive until `finish`, which re-runs
+/// the probe over the retained family in descending cardinality order with a
+/// fresh index, exactly like [`filter_maximal`](crate::filter_maximal).
+struct StreamingEngine<P: ProbeIndex> {
+    accepted: Vec<Vec<u32>>,
+    probe: P,
+    /// hash(set) → accepted slots with that hash (exact-duplicate detection).
+    hashes: HashMap<u64, Vec<u32>>,
+    /// Streaming probes attempted / sets they dropped. The on-arrival probe
+    /// is an *optimisation* (the final compaction restores exactness), so
+    /// when the observed drop rate shows it almost never fires — the
+    /// worst-case family where nothing is dominated — the engine stops
+    /// probing and indexing, turning `add` into a cheap dedup-and-buffer.
+    probes: u64,
+    probe_drops: u64,
+    probing: bool,
+}
+
+/// Streaming probes before the drop rate is evaluated.
+const PROBE_REVIEW_AT: u64 = 4096;
+
+/// Streaming probing is disabled below one drop per this many probes.
+const PROBE_MIN_DROP_RATE: u64 = 64;
+
+impl<P: ProbeIndex> StreamingEngine<P> {
+    fn new() -> Self {
+        StreamingEngine {
+            accepted: Vec::new(),
+            probe: P::default(),
+            hashes: HashMap::new(),
+            probes: 0,
+            probe_drops: 0,
+            probing: true,
+        }
+    }
+}
+
+impl<P: ProbeIndex> MaximalityEngine for StreamingEngine<P> {
+    fn name(&self) -> &'static str {
+        P::NAME
+    }
+
+    fn add(&mut self, set: &[u32]) -> bool {
+        let set = canonical(set);
+        let hash = set_hash(&set);
+        if let Some(slots) = self.hashes.get(&hash) {
+            if slots.iter().any(|&s| self.accepted[s as usize] == *set) {
+                return false;
+            }
+        }
+        if set.is_empty() {
+            // The empty set survives only when nothing else does.
+            if !self.accepted.is_empty() {
+                return false;
+            }
+        } else if self.probing {
+            self.probes += 1;
+            if self.probe.dominated(&set, &self.accepted) {
+                self.probe_drops += 1;
+                return false;
+            }
+            if self.probes >= PROBE_REVIEW_AT
+                && self.probe_drops * PROBE_MIN_DROP_RATE < self.probes
+            {
+                // The stream is (so far) domination-free; stop paying for
+                // probes and index maintenance. `finish` compacts exactly.
+                self.probing = false;
+                self.probe = P::default();
+            }
+        }
+        let slot = self.accepted.len();
+        if self.probing {
+            self.probe.insert(&set, slot);
+        }
+        self.hashes.entry(hash).or_default().push(slot as u32);
+        self.accepted.push(set.into_owned());
+        true
+    }
+
+    fn live_len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    fn drain(&mut self) -> Vec<Vec<u32>> {
+        self.probe = P::default();
+        self.hashes.clear();
+        self.probes = 0;
+        self.probe_drops = 0;
+        self.probing = true;
+        std::mem::take(&mut self.accepted)
+    }
+
+    fn finish_with_deadline(self: Box<Self>, deadline: Option<Instant>) -> S2Outcome {
+        let name = self.name();
+        let (mqcs, timed_out) = compact_descending::<P>(self.accepted, deadline);
+        S2Outcome {
+            mqcs,
+            timed_out,
+            backend: name,
+        }
+    }
+}
+
+/// Descending-cardinality compaction with a fresh probe index.
+///
+/// A set can only be strictly contained in a *strictly larger* set, so the
+/// sets are processed one size class at a time: the whole class is probed
+/// against the index first, then the class's survivors are inserted. This
+/// keeps same-size sets — which can never dominate each other — out of each
+/// other's probes; on worst-case families where nothing is dominated, the
+/// largest class probes an empty index for free.
+///
+/// Any strict superset of a set is processed before the set is probed, so
+/// the accepted collection is an antichain after *every* class (and equal
+/// -size survivors are mutually incomparable), which is what makes the
+/// early deadline return sound.
+fn compact_descending<P: ProbeIndex>(
+    mut sets: Vec<Vec<u32>>,
+    deadline: Option<Instant>,
+) -> (Vec<Vec<u32>>, bool) {
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    sets.dedup();
+    let n = sets.len();
+    let mut probe = P::default();
+    let mut accepted: Vec<Vec<u32>> = Vec::new();
+    let mut timed_out = false;
+    let mut processed = 0usize;
+    let mut idx = 0usize;
+    'classes: while idx < n {
+        let class_len = sets[idx].len();
+        let mut end = idx;
+        while end < n && sets[end].len() == class_len {
+            end += 1;
+        }
+        // Probe phase: the index holds only strictly larger sets.
+        let mut kept: Vec<usize> = Vec::new();
+        for (j, set) in sets.iter().enumerate().take(end).skip(idx) {
+            if processed.is_multiple_of(DEADLINE_STRIDE) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        timed_out = true;
+                        break 'classes;
+                    }
+                }
+            }
+            processed += 1;
+            if set.is_empty() {
+                // The empty class is last; it survives only alone.
+                if accepted.is_empty() {
+                    kept.push(j);
+                }
+            } else if !probe.dominated(set, &accepted) {
+                kept.push(j);
+            }
+        }
+        // Insert phase: the class's survivors join the index together.
+        for j in kept {
+            let set = std::mem::take(&mut sets[j]);
+            probe.insert(&set, accepted.len());
+            accepted.push(set);
+        }
+        idx = end;
+    }
+    accepted.sort();
+    (accepted, timed_out)
+}
+
+// ---------------------------------------------------------------------------
+// ExtremalEngine: Bayardo–Panda-style extremal-sets filtering.
+// ---------------------------------------------------------------------------
+
+/// Bayardo–Panda-style extremal-sets backend.
+///
+/// `add` only deduplicates and buffers (this is the batch-oriented backend);
+/// `finish` runs the extremal-sets pass: compute global element frequencies,
+/// process the sets in ascending cardinality order, and for each set *kill*
+/// every live strict subset of it. A live set is indexed exactly once —
+/// under its least-frequent element — so the candidate lists a query set `S`
+/// has to scan (the lists of `S`'s own elements, where any subset of `S` must
+/// appear) stay far shorter than the full inverted index, and the
+/// frequency-ordered indexing concentrates sets under rare elements that few
+/// queries contain. Because processing is cardinality-ascending, the live
+/// *processed* sets form an antichain at every step, so the deadline-aware
+/// early return is sound — note however that, unlike the descending-order
+/// backends, a deadline-cut partial result may retain small sets that an
+/// uncut run would have dominated by a larger, not-yet-processed superset
+/// (the result is an antichain of the processed prefix, not necessarily a
+/// subset of the full maximal family).
+struct ExtremalEngine {
+    sets: Vec<Vec<u32>>,
+    hashes: HashMap<u64, Vec<u32>>,
+}
+
+impl ExtremalEngine {
+    fn new() -> Self {
+        ExtremalEngine {
+            sets: Vec::new(),
+            hashes: HashMap::new(),
+        }
+    }
+}
+
+impl MaximalityEngine for ExtremalEngine {
+    fn name(&self) -> &'static str {
+        "extremal"
+    }
+
+    fn add(&mut self, set: &[u32]) -> bool {
+        let set = canonical(set);
+        let hash = set_hash(&set);
+        if let Some(slots) = self.hashes.get(&hash) {
+            if slots.iter().any(|&s| self.sets[s as usize] == *set) {
+                return false;
+            }
+        }
+        self.hashes.entry(hash).or_default().push(self.sets.len() as u32);
+        self.sets.push(set.into_owned());
+        true
+    }
+
+    fn live_len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn drain(&mut self) -> Vec<Vec<u32>> {
+        self.hashes.clear();
+        std::mem::take(&mut self.sets)
+    }
+
+    fn finish_with_deadline(self: Box<Self>, deadline: Option<Instant>) -> S2Outcome {
+        let mut sets = self.sets;
+        // Ascending cardinality: a set is processed before any of its strict
+        // supersets, which are the only sets that can kill it.
+        sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        sets.dedup();
+
+        // Global element frequencies drive both the per-set probe element
+        // (least frequent first) and how the index concentrates.
+        let mut freq: HashMap<u32, u32> = HashMap::new();
+        for set in &sets {
+            for &e in set {
+                *freq.entry(e).or_insert(0) += 1;
+            }
+        }
+        let least_frequent = |set: &[u32]| -> Option<u32> {
+            set.iter().copied().min_by_key(|e| (freq[e], *e))
+        };
+
+        // index[element] = live processed sets whose least-frequent element
+        // it is. Dead entries are purged lazily while scanning.
+        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut alive = vec![true; sets.len()];
+        let mut processed = 0usize;
+        let mut timed_out = false;
+        for i in 0..sets.len() {
+            if i.is_multiple_of(DEADLINE_STRIDE) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        timed_out = true;
+                        break;
+                    }
+                }
+            }
+            // Kill every live strict subset of sets[i]: any such subset is
+            // indexed under one of sets[i]'s elements. (Equal-cardinality
+            // sets cannot be strict subsets, and duplicates are gone.)
+            for &e in &sets[i] {
+                let Some(list) = index.get_mut(&e) else {
+                    continue;
+                };
+                list.retain(|&cand| {
+                    let cand = cand as usize;
+                    if !alive[cand] {
+                        return false;
+                    }
+                    if is_sorted_subset(&sets[cand], &sets[i]) {
+                        alive[cand] = false;
+                        return false;
+                    }
+                    true
+                });
+            }
+            if let Some(e) = least_frequent(&sets[i]) {
+                index.entry(e).or_default().push(i as u32);
+            }
+            // The empty set has no probe element; it is alive only while
+            // nothing else has been processed, and any non-empty set kills
+            // it. (It cannot kill others: it has no strict subsets.)
+            if sets[i].is_empty() && sets.len() > 1 {
+                alive[i] = false;
+            }
+            processed = i + 1;
+        }
+        let mut mqcs: Vec<Vec<u32>> = sets
+            .into_iter()
+            .take(processed)
+            .zip(alive)
+            .filter_map(|(set, live)| live.then_some(set))
+            .collect();
+        mqcs.sort();
+        S2Outcome {
+            mqcs,
+            timed_out,
+            backend: "extremal",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AutoEngine: adaptive dispatcher.
+// ---------------------------------------------------------------------------
+
+/// The adaptive engine behind [`S2Backend::Auto`]: buffers (and
+/// hash-deduplicates) the first [`AUTO_COMMIT_AT`] retained sets while
+/// tracking the universe size and total element count, then commits to the
+/// backend [`choose_backend`] predicts fastest and replays the buffer into
+/// it. Streams that finish before the threshold choose at `finish` time.
+struct AutoEngine {
+    state: AutoState,
+}
+
+enum AutoState {
+    Buffering {
+        sets: Vec<Vec<u32>>,
+        hashes: HashMap<u64, Vec<u32>>,
+        universe: HashSet<u32>,
+        total_elements: usize,
+    },
+    Committed(Box<dyn MaximalityEngine>),
+}
+
+impl AutoEngine {
+    fn new() -> Self {
+        AutoEngine {
+            state: AutoState::Buffering {
+                sets: Vec::new(),
+                hashes: HashMap::new(),
+                universe: HashSet::new(),
+                total_elements: 0,
+            },
+        }
+    }
+
+    /// Chooses a backend from the buffered statistics and replays the buffer.
+    fn commit(&mut self) -> &mut Box<dyn MaximalityEngine> {
+        if let AutoState::Buffering {
+            sets,
+            universe,
+            total_elements,
+            ..
+        } = &mut self.state
+        {
+            let backend = choose_backend(sets.len(), universe.len(), *total_elements);
+            let mut engine = backend.new_engine();
+            for set in sets.drain(..) {
+                engine.add(&set);
+            }
+            self.state = AutoState::Committed(engine);
+        }
+        match &mut self.state {
+            AutoState::Committed(engine) => engine,
+            AutoState::Buffering { .. } => unreachable!("commit just transitioned the state"),
+        }
+    }
+}
+
+impl MaximalityEngine for AutoEngine {
+    fn name(&self) -> &'static str {
+        match &self.state {
+            AutoState::Buffering { .. } => "auto",
+            AutoState::Committed(engine) => engine.name(),
+        }
+    }
+
+    fn add(&mut self, set: &[u32]) -> bool {
+        match &mut self.state {
+            AutoState::Buffering {
+                sets,
+                hashes,
+                universe,
+                total_elements,
+            } => {
+                let set = canonical(set);
+                let hash = set_hash(&set);
+                if let Some(slots) = hashes.get(&hash) {
+                    if slots.iter().any(|&s| sets[s as usize] == *set) {
+                        return false;
+                    }
+                }
+                hashes.entry(hash).or_default().push(sets.len() as u32);
+                for &e in set.iter() {
+                    universe.insert(e);
+                }
+                *total_elements += set.len();
+                sets.push(set.into_owned());
+                if sets.len() >= AUTO_COMMIT_AT {
+                    self.commit();
+                }
+                true
+            }
+            AutoState::Committed(engine) => engine.add(set),
+        }
+    }
+
+    fn live_len(&self) -> usize {
+        match &self.state {
+            AutoState::Buffering { sets, .. } => sets.len(),
+            AutoState::Committed(engine) => engine.live_len(),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Vec<u32>> {
+        match &mut self.state {
+            AutoState::Buffering {
+                sets,
+                hashes,
+                universe,
+                total_elements,
+            } => {
+                hashes.clear();
+                universe.clear();
+                *total_elements = 0;
+                std::mem::take(sets)
+            }
+            AutoState::Committed(engine) => engine.drain(),
+        }
+    }
+
+    fn finish_with_deadline(mut self: Box<Self>, deadline: Option<Instant>) -> S2Outcome {
+        self.commit();
+        match self.state {
+            AutoState::Committed(engine) => engine.finish_with_deadline(deadline),
+            AutoState::Buffering { .. } => unreachable!("commit just transitioned the state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{filter_maximal, filter_maximal_naive};
+
+    /// Deterministic pseudo-random overlapping set families.
+    fn random_families() -> Vec<Vec<Vec<u32>>> {
+        let mut families = Vec::new();
+        for family in 0..20u64 {
+            let mut sets = Vec::new();
+            let mut x = family.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xDEADBEEF;
+            let n = 10 + (family % 30) as usize;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let len = (x >> 60) as usize % 7;
+                let mut s = Vec::new();
+                for _ in 0..len {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s.push((x >> 33) as u32 % 14);
+                }
+                sets.push(s);
+            }
+            families.push(sets);
+        }
+        families
+    }
+
+    #[test]
+    fn all_backends_match_naive_on_random_families() {
+        for sets in random_families() {
+            let expected = filter_maximal_naive(&sets);
+            for backend in S2Backend::concrete() {
+                assert_eq!(
+                    filter_maximal_with(&sets, backend),
+                    expected,
+                    "{} disagrees on {sets:?}",
+                    backend.name()
+                );
+            }
+            assert_eq!(filter_maximal_with(&sets, S2Backend::Auto), expected);
+        }
+    }
+
+    #[test]
+    fn streaming_add_drops_duplicates_and_subsets() {
+        for backend in [S2Backend::Inverted, S2Backend::Bitset] {
+            let mut engine = backend.new_engine();
+            assert!(engine.add(&[3, 1, 2]));
+            assert!(!engine.add(&[1, 2, 3]), "{}: duplicate retained", backend.name());
+            assert!(!engine.add(&[2, 1]), "{}: subset retained", backend.name());
+            assert!(engine.add(&[1, 2, 3, 4]), "{}: superset dropped", backend.name());
+            assert_eq!(engine.live_len(), 2);
+            let out = engine.finish();
+            assert_eq!(out.mqcs, vec![vec![1, 2, 3, 4]]);
+            assert!(!out.timed_out);
+        }
+    }
+
+    #[test]
+    fn extremal_add_only_deduplicates() {
+        let mut engine = S2Backend::Extremal.new_engine();
+        assert!(engine.add(&[1, 2, 3]));
+        assert!(!engine.add(&[3, 2, 1]));
+        assert!(engine.add(&[1, 2])); // buffered; killed at finish
+        assert_eq!(engine.finish().mqcs, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_set_semantics_match_filter_maximal() {
+        for backend in S2Backend::concrete() {
+            let only_empty = vec![Vec::<u32>::new()];
+            assert_eq!(
+                filter_maximal_with(&only_empty, backend),
+                filter_maximal(&only_empty),
+                "{}",
+                backend.name()
+            );
+            let mixed = vec![vec![], vec![7], vec![]];
+            assert_eq!(
+                filter_maximal_with(&mixed, backend),
+                filter_maximal(&mixed),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn drain_and_merge_equals_batch() {
+        let families = random_families();
+        let sets = &families[3];
+        let (a_half, b_half) = sets.split_at(sets.len() / 2);
+        for backend in S2Backend::concrete() {
+            let mut a = backend.new_engine();
+            let mut b = backend.new_engine();
+            for s in a_half {
+                a.add(s);
+            }
+            for s in b_half {
+                b.add(s);
+            }
+            for s in b.drain() {
+                a.add(&s);
+            }
+            assert_eq!(b.live_len(), 0);
+            assert_eq!(
+                a.finish().mqcs,
+                filter_maximal(sets),
+                "{}: merged engines differ from batch",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_sound_partial_result() {
+        let sets: Vec<Vec<u32>> = (0..2000u32)
+            .map(|i| (0..6).map(|j| (i.wrapping_mul(31).wrapping_add(j * 7)) % 40).collect())
+            .collect();
+        for backend in S2Backend::concrete() {
+            let mut engine = backend.new_engine();
+            for s in &sets {
+                engine.add(s);
+            }
+            let out = engine.finish_with_deadline(Some(Instant::now()));
+            assert!(out.timed_out, "{}", backend.name());
+            // Sound: the partial result is an antichain.
+            for (i, a) in out.mqcs.iter().enumerate() {
+                for (j, b) in out.mqcs.iter().enumerate() {
+                    assert!(
+                        i == j || !is_sorted_subset(a, b),
+                        "{}: partial result contains {a:?} ⊆ {b:?}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_never_times_out() {
+        let sets = vec![vec![1, 2], vec![2, 3], vec![1, 2, 3]];
+        for backend in S2Backend::concrete() {
+            let mut engine = backend.new_engine();
+            for s in &sets {
+                engine.add(s);
+            }
+            let out = engine
+                .finish_with_deadline(Some(Instant::now() + std::time::Duration::from_secs(60)));
+            assert!(!out.timed_out);
+            assert_eq!(out.mqcs, vec![vec![1, 2, 3]]);
+        }
+    }
+
+    #[test]
+    fn auto_commits_to_bitset_on_dense_overlap() {
+        // Small universe, heavy overlap: the INF'd-S1 shape.
+        let mut engine = S2Backend::Auto.new_engine();
+        assert_eq!(engine.name(), "auto");
+        let mut x = 7u64;
+        for _ in 0..AUTO_COMMIT_AT + 10 {
+            let mut s = Vec::new();
+            for _ in 0..12 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s.push((x >> 33) as u32 % 100);
+            }
+            engine.add(&s);
+        }
+        assert_eq!(engine.name(), "bitset");
+    }
+
+    #[test]
+    fn backend_choice_heuristics() {
+        // Tiny inputs stay on the inverted index.
+        assert_eq!(choose_backend(100, 50, 1000), S2Backend::Inverted);
+        assert_eq!(choose_backend(0, 0, 0), S2Backend::Inverted);
+        // Dense small-universe overlap goes to the bitmaps.
+        assert_eq!(choose_backend(400_000, 150, 8_000_000), S2Backend::Bitset);
+        // Sparse big-universe families go to extremal sets.
+        assert_eq!(choose_backend(100_000, 50_000, 500_000), S2Backend::Extremal);
+        // Large universe but sets covering much of it: inverted.
+        assert_eq!(choose_backend(5_000, 4_000, 10_000_000), S2Backend::Inverted);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let mut names: Vec<&str> = S2Backend::concrete().iter().map(|b| b.name()).collect();
+        names.push(S2Backend::Auto.name());
+        for backend in S2Backend::concrete() {
+            assert_eq!(backend.new_engine().name(), backend.name());
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -25,8 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod filter;
 mod trie;
 
+pub use engine::{
+    choose_backend, filter_maximal_with, MaximalityEngine, S2Backend, S2Outcome,
+};
 pub use filter::{filter_maximal, filter_maximal_naive};
 pub use trie::SetTrie;

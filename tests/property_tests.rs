@@ -148,6 +148,23 @@ proptest! {
         prop_assert_eq!(filter_maximal(&sets), filter_maximal_naive(&sets));
     }
 
+    /// Every maximality-engine backend (and the auto dispatcher) agrees with
+    /// the quadratic reference on arbitrary set families.
+    #[test]
+    fn s2_engine_backends_match_naive(sets in proptest::collection::vec(
+        proptest::collection::vec(0u32..15, 0..6), 0..25)) {
+        use mqce::settrie::{filter_maximal_with, S2Backend};
+        let expected = filter_maximal_naive(&sets);
+        for backend in S2Backend::concrete() {
+            prop_assert_eq!(
+                filter_maximal_with(&sets, backend),
+                expected.clone(),
+                "backend {}", backend.name()
+            );
+        }
+        prop_assert_eq!(filter_maximal_with(&sets, S2Backend::Auto), expected);
+    }
+
     /// Core decomposition invariant: every vertex of the k-core has at least k
     /// neighbours inside the k-core, and the degeneracy ordering is a
     /// permutation.

@@ -580,6 +580,7 @@ pub fn s2_stress(opts: ExperimentOptions) -> Vec<RunRecord> {
             },
             branches: 0,
             timed_out,
+            thread_stats: Vec::new(),
             stats: Default::default(),
         });
         families.push((!timed_out).then_some(outcome.mqcs));
@@ -618,10 +619,16 @@ pub fn s2_stress(opts: ExperimentOptions) -> Vec<RunRecord> {
 }
 
 /// **Parallel-scaling sweep** (`experiments threads`): DCFastQC over the
-/// dense-community workloads with 1..N worker threads, recording per-thread
-/// efficiency (the ROADMAP item left open when `--threads 0` landed).
+/// dense-community workloads — including a *skewed* one (a giant planted
+/// community plus a tail of tiny ones, the shape that starves the old
+/// shared-index driver) — with 1..N worker threads. Every multi-thread point
+/// measures both the work-stealing scheduler and the PR-3 shared-atomic-index
+/// baseline, records per-thread busy/steal/idle counters in the JSON rows,
+/// and asserts that the parallel maximal family equals the sequential one
+/// (the CI bench-smoke job runs this at the small preset, so a
+/// parallel-vs-sequential disagreement fails the build).
 pub fn thread_sweep(opts: ExperimentOptions) -> Vec<RunRecord> {
-    use mqce_graph::generators::{community_graph, CommunityGraphParams};
+    use mqce_graph::generators::{community_graph, planted_quasi_cliques, CommunityGraphParams, PlantedGroup};
     let community_250 = community_graph(
         CommunityGraphParams {
             n: 250,
@@ -640,23 +647,43 @@ pub fn thread_sweep(opts: ExperimentOptions) -> Vec<RunRecord> {
         },
         7,
     );
+    // The skewed family: one heavy community dominates the subproblem costs,
+    // so whole-subproblem handout cannot balance it — only intra-subproblem
+    // splitting keeps the other workers fed.
+    let skewed = {
+        let mut groups = vec![PlantedGroup {
+            size: 32,
+            density: 0.9,
+        }];
+        for _ in 0..14 {
+            groups.push(PlantedGroup {
+                size: 8,
+                density: 1.0,
+            });
+        }
+        planted_quasi_cliques(260, 0.01, &groups, 2026)
+    };
     let workloads: Vec<(&'static str, &mqce_graph::Graph, f64, usize)> = vec![
         ("community-250", &community_250, 0.9, 8),
         ("community-400", &community_400, 0.9, 8),
+        ("skewed-giant", &skewed, 0.85, 6),
     ];
+    // Sweep at least up to 4 workers even when the OS reports fewer cores:
+    // oversubscribed points still exercise the scheduler (and record the
+    // per-thread counters); on multi-core machines they show real scaling.
     let max_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(8);
+        .clamp(4, 8);
     let thread_counts: Vec<usize> = (0..)
         .map(|i| 1usize << i)
         .take_while(|&t| t <= max_threads)
         .collect();
     let mut records = Vec::new();
-    println!("\n== Parallel scaling: DCFastQC, 1..{max_threads} threads ==");
+    println!("\n== Parallel scaling: DCFastQC, 1..{max_threads} threads (work-stealing vs shared-index) ==");
     println!(
-        "{:<16} {:>8} {:>12} {:>10} {:>11} {:>8}",
-        "dataset", "threads", "S1 time(ms)", "speedup", "efficiency", "#MQC"
+        "{:<16} {:<24} {:>8} {:>12} {:>10} {:>11} {:>8}",
+        "dataset", "scheduler", "threads", "S1 time(ms)", "speedup", "efficiency", "#MQC"
     );
     for &(name, graph, gamma, theta) in &workloads {
         let mut t1_millis = None;
@@ -673,19 +700,63 @@ pub fn thread_sweep(opts: ExperimentOptions) -> Vec<RunRecord> {
             let t1 = *t1_millis.get_or_insert(rec.s1_millis);
             let speedup = t1 / rec.s1_millis.max(0.01);
             println!(
-                "{:<16} {:>8} {:>12.1} {:>9.2}x {:>10.2}% {:>8}",
+                "{:<16} {:<24} {:>8} {:>12.1} {:>9.2}x {:>10.2}% {:>8}",
                 name,
+                "work-stealing",
                 threads,
                 rec.s1_millis,
                 speedup,
                 100.0 * speedup / threads as f64,
                 rec.mqcs
             );
+            // Per-thread efficiency rows: how each worker's wall-clock split
+            // between executing tasks and hunting for them, and how much it
+            // stole / ran from stolen splits.
+            for t in &rec.thread_stats {
+                println!(
+                    "{:<16} {:<24} {:>8} busy={:<9.1} idle={:<9.1} ({:>3.0}% busy) subproblems={:<5} splits={:<5} steals={}",
+                    "", "", format!("t{}", t.thread),
+                    t.busy_millis,
+                    t.idle_millis,
+                    100.0 * t.busy_fraction(),
+                    t.subproblems,
+                    t.splits,
+                    t.steals
+                );
+            }
             records.push(rec);
+            if threads > 1 {
+                // The PR-3 baseline at the same point, for the speedup story.
+                let mut baseline = crate::runner::measure_threads_with(
+                    name,
+                    graph,
+                    AlgoSpec::dcfastqc(),
+                    gamma,
+                    theta,
+                    opts.time_limit,
+                    threads,
+                    mqce_core::ParallelScheduler::SharedIndex,
+                );
+                baseline.algorithm.push_str("/shared-index");
+                let speedup = t1 / baseline.s1_millis.max(0.01);
+                println!(
+                    "{:<16} {:<24} {:>8} {:>12.1} {:>9.2}x {:>10.2}% {:>8}",
+                    name,
+                    "shared-index",
+                    threads,
+                    baseline.s1_millis,
+                    speedup,
+                    100.0 * speedup / threads as f64,
+                    baseline.mqcs
+                );
+                records.push(baseline);
+            }
         }
     }
-    // The MQC family must be thread-count-invariant.
-    for &(name, ..) in &workloads {
+    // The MQC family must be thread-count- and scheduler-invariant; compare
+    // the actual families (not just counts) at the largest thread count so
+    // the CI smoke run fails loudly on any parallel-vs-sequential drift.
+    for &(name, graph, gamma, theta) in &workloads {
         let counts: Vec<usize> = records
             .iter()
             .filter(|r| r.dataset == name && !r.timed_out)
@@ -693,6 +764,17 @@ pub fn thread_sweep(opts: ExperimentOptions) -> Vec<RunRecord> {
             .collect();
         for pair in counts.windows(2) {
             assert_eq!(pair[0], pair[1], "thread sweep MQC mismatch on {name}");
+        }
+        let config = mqce_core::MqceConfig::new(gamma, theta)
+            .expect("benchmark parameters are valid")
+            .with_time_limit(opts.time_limit);
+        let sequential = mqce_core::enumerate_mqcs(graph, &config);
+        let parallel = mqce_core::enumerate_mqcs_parallel(graph, &config, max_threads);
+        if !sequential.timed_out() && !parallel.timed_out() {
+            assert_eq!(
+                parallel.mqcs, sequential.mqcs,
+                "parallel MQC family differs from sequential on {name}"
+            );
         }
     }
     records

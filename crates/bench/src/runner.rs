@@ -3,9 +3,60 @@
 
 use std::time::Duration;
 
-use mqce_core::{enumerate_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, SearchStats};
+use mqce_core::{
+    enumerate_mqcs, enumerate_mqcs_parallel_with, AdjacencyBackend, Algorithm, BranchingStrategy,
+    MqceConfig, ParallelScheduler, SearchStats, ThreadStats,
+};
 use mqce_graph::Graph;
 use serde::{Deserialize, Serialize};
+
+/// Per-worker counters of a parallel run, the serialisable mirror of
+/// [`mqce_core::ThreadStats`]: what each thread ran, stole and donated, and
+/// how its wall-clock split between busy and hungry. These are the
+/// per-thread efficiency rows of `BENCH_mqce.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadRow {
+    /// Worker index.
+    pub thread: usize,
+    /// Whole per-vertex subproblems this worker ran.
+    pub subproblems: u64,
+    /// Donated split tasks this worker ran.
+    pub splits: u64,
+    /// Tasks stolen from another worker's deque.
+    pub steals: u64,
+    /// Milliseconds spent executing tasks.
+    pub busy_millis: f64,
+    /// Milliseconds spent hungry (looking for work).
+    pub idle_millis: f64,
+}
+
+impl ThreadRow {
+    /// Fraction of this worker's wall-clock spent executing tasks, with the
+    /// same zero-time semantics as [`ThreadStats::busy_fraction`] (a worker
+    /// that recorded no time counts as fully busy) so the bench tables and
+    /// the CLI report the same number.
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy_millis + self.idle_millis;
+        if total <= 0.0 {
+            1.0
+        } else {
+            self.busy_millis / total
+        }
+    }
+}
+
+impl From<&ThreadStats> for ThreadRow {
+    fn from(t: &ThreadStats) -> Self {
+        ThreadRow {
+            thread: t.thread,
+            subproblems: t.subproblems,
+            splits: t.splits,
+            steals: t.steals,
+            busy_millis: t.busy_millis,
+            idle_millis: t.idle_millis,
+        }
+    }
+}
 
 /// One measured run: the row unit of every experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -52,6 +103,11 @@ pub struct RunRecord {
     pub branches: u64,
     /// Whether the run hit the time limit (reported as `INF` in tables).
     pub timed_out: bool,
+    /// Per-thread busy/steal/idle counters (empty for sequential runs).
+    /// `default` so records written before this field existed still parse —
+    /// `append_json` would otherwise discard the whole accumulated file.
+    #[serde(default)]
+    pub thread_stats: Vec<ThreadRow>,
     /// Raw search statistics.
     #[serde(skip)]
     pub stats: SearchStats,
@@ -189,6 +245,32 @@ pub fn measure_threads(
     time_limit: Duration,
     threads: usize,
 ) -> RunRecord {
+    measure_threads_with(
+        dataset,
+        g,
+        spec,
+        gamma,
+        theta,
+        time_limit,
+        threads,
+        ParallelScheduler::WorkStealing,
+    )
+}
+
+/// [`measure_threads`] with an explicit parallel-scheduler choice, used by
+/// the `threads` profile to compare the work-stealing driver against the
+/// shared-atomic-index baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_threads_with(
+    dataset: &str,
+    g: &Graph,
+    spec: AlgoSpec,
+    gamma: f64,
+    theta: usize,
+    time_limit: Duration,
+    threads: usize,
+    scheduler: ParallelScheduler,
+) -> RunRecord {
     let config = MqceConfig::new(gamma, theta)
         .expect("benchmark parameters are valid")
         .with_algorithm(spec.algorithm)
@@ -198,7 +280,7 @@ pub fn measure_threads(
         .with_time_limit(time_limit);
     let threads = threads.max(1);
     let result = if threads > 1 {
-        mqce_core::enumerate_mqcs_parallel(g, &config, threads)
+        enumerate_mqcs_parallel_with(g, &config, threads, scheduler)
     } else {
         enumerate_mqcs(g, &config)
     };
@@ -223,6 +305,7 @@ pub fn measure_threads(
         mqc_avg,
         branches: result.stats.branches,
         timed_out: result.timed_out(),
+        thread_stats: result.thread_stats.iter().map(ThreadRow::from).collect(),
         stats: result.stats,
     }
 }
@@ -351,6 +434,70 @@ mod tests {
         assert_eq!(seq.mqcs, par.mqcs);
         assert!(!par.s2_timed_out);
         assert!(!par.s2_backend.is_empty());
+        // Sequential runs carry no thread rows; parallel runs one per worker.
+        assert!(seq.thread_stats.is_empty());
+        assert_eq!(par.thread_stats.len(), 4);
+        let total: u64 = par.thread_stats.iter().map(|t| t.subproblems).sum();
+        assert_eq!(total, par.stats.dc_subproblems);
+    }
+
+    #[test]
+    fn records_without_thread_stats_still_parse() {
+        // A record in the pre-thread_stats schema must keep parsing
+        // (append_json would otherwise silently discard the whole
+        // accumulated BENCH_mqce.json on the first append after the schema
+        // change).
+        let legacy = r#"[{
+            "dataset": "k5", "algorithm": "Quick+", "branching": "HybridSe",
+            "backend": "auto", "gamma": 0.9, "theta": 2, "max_round": 1,
+            "threads": 1, "s2_backend": "inverted", "s2_timed_out": false,
+            "s1_millis": 1.0, "s2_millis": 0.5, "s1_outputs": 1, "mqcs": 1,
+            "mqc_min": 5, "mqc_max": 5, "mqc_avg": 5.0, "branches": 3,
+            "timed_out": false
+        }]"#;
+        let parsed: Vec<RunRecord> = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].dataset, "k5");
+        assert!(parsed[0].thread_stats.is_empty());
+    }
+
+    #[test]
+    fn thread_rows_survive_json_roundtrip() {
+        let g = Graph::complete(8);
+        let rec = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 2);
+        let dir = std::env::temp_dir().join("mqce_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("thread_rows.json");
+        save_json(&path, std::slice::from_ref(&rec)).unwrap();
+        let parsed: Vec<RunRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed[0].thread_stats.len(), rec.thread_stats.len());
+        assert_eq!(parsed[0].thread_stats[0].thread, 0);
+        assert_eq!(
+            parsed[0].thread_stats.iter().map(|t| t.subproblems).sum::<u64>(),
+            rec.thread_stats.iter().map(|t| t.subproblems).sum::<u64>()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_index_scheduler_measures_identically() {
+        use mqce_core::ParallelScheduler;
+        let g = Graph::complete(8);
+        let ws = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 2);
+        let si = measure_threads_with(
+            "k8",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+            2,
+            ParallelScheduler::SharedIndex,
+        );
+        assert_eq!(ws.mqcs, si.mqcs);
+        // The shared-index baseline records no per-thread counters.
+        assert!(si.thread_stats.is_empty());
     }
 
     #[test]

@@ -74,7 +74,8 @@ mqce — maximal quasi-clique enumeration (FastQC / DCFastQC, SIGMOD'24)
 USAGE:
   mqce stats <graph>
   mqce enumerate <graph> --gamma G --theta T [--algorithm A] [--branching B]
-                 [--max-round N] [--threads N] [--backend K] [--s2-backend F]
+                 [--max-round N] [--threads N] [--steal-granularity N]
+                 [--backend K] [--s2-backend F]
                  [--time-limit-secs S] [--print-sets] [--verify]
   mqce topk <graph> --gamma G [--k K]
   mqce query <graph> --gamma G --theta T --vertices V1,V2,...
@@ -96,7 +97,12 @@ S2 BACKEND (--s2-backend): auto (default; picks from the observed stream),
   extremal (Bayardo-Panda extremal sets). See the README section on S2
   maximality backends.
 THREADS (--threads): worker count for the DC subproblems; 0 auto-detects
-  the available parallelism of the machine. Default 1 (sequential).
+  the available parallelism of the machine. Default 1 (sequential). Workers
+  run a work-stealing scheduler; busy searchers split untaken branches off
+  to idle workers (see the README section on parallel execution).
+STEAL GRANULARITY (--steal-granularity): minimum number of untaken sibling
+  branches a searcher donates per split (default 2); 0 disables
+  intra-subproblem splitting (whole subproblems are still stolen).
 GENERATOR KINDS: er, ba, community, caveman, powerlaw, grid, hub.
 ";
 
@@ -221,6 +227,16 @@ fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
         .with_backend(parse_backend(parsed.get("backend"))?)
         .with_s2_backend(parse_s2_backend(parsed.get("s2-backend"))?)
         .with_max_round(parsed.get_usize("max-round", 2)?);
+    if let Some(raw) = parsed.get("steal-granularity") {
+        let granularity = raw.parse().map_err(|_| {
+            CliError::Args(args::ArgError::BadValue {
+                option: "steal-granularity".to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            })
+        })?;
+        config = config.with_steal_granularity(granularity);
+    }
     let limit = parsed.get_u64("time-limit-secs", 0)?;
     if limit > 0 {
         config = config.with_time_limit(Duration::from_secs(limit));
@@ -260,6 +276,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         "s2-backend",
         "max-round",
         "threads",
+        "steal-granularity",
         "time-limit-secs",
         "print-sets",
         "verify",
@@ -295,6 +312,20 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         result.s2_time.as_secs_f64()
     )
     .map_err(io_err)?;
+    for t in &result.thread_stats {
+        writeln!(
+            out,
+            "thread {:<3}       busy={:.1}ms idle={:.1}ms ({:.0}% busy) subproblems={} splits={} steals={}",
+            t.thread,
+            t.busy_millis,
+            t.idle_millis,
+            100.0 * t.busy_fraction(),
+            t.subproblems,
+            t.splits,
+            t.steals
+        )
+        .map_err(io_err)?;
+    }
     if result.timed_out() {
         writeln!(out, "WARNING          time limit hit; output may be incomplete").map_err(io_err)?;
     }
@@ -617,6 +648,32 @@ mod tests {
                 .to_string()
         };
         assert_eq!(count(&seq), count(&par));
+    }
+
+    #[test]
+    fn steal_granularity_flag_is_accepted_and_reports_threads() {
+        let path = write_paper_graph("steal_gran.txt");
+        let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
+        let par = run_capture(&[
+            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "4",
+            "--steal-granularity", "1",
+        ])
+        .unwrap();
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("maximal qcs"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count(&seq), count(&par));
+        // The parallel run reports one busy/steal line per worker.
+        assert_eq!(par.lines().filter(|l| l.starts_with("thread ")).count(), 4);
+        assert!(seq.lines().all(|l| !l.starts_with("thread ")));
+        // Bad values are rejected.
+        assert!(run_capture(&[
+            "enumerate", &path, "--gamma", "0.6", "--steal-granularity", "soon",
+        ])
+        .is_err());
     }
 
     #[test]

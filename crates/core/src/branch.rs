@@ -30,10 +30,16 @@ use mqce_graph::{Graph, VertexId};
 
 use crate::config::{AdjacencyBackend, MqceParams};
 use crate::quasiclique::{is_quasi_clique_with, no_single_vertex_extension_with, tau, EPS};
-use crate::stats::SearchStats;
+use crate::scheduler::{SplitRequest, SplitSink};
+use crate::stats::{SearchStats, ThreadStats};
 
 /// How often (in explored branches) the wall-clock deadline is polled.
 const TIME_CHECK_INTERVAL: u64 = 1024;
+
+/// Frames deeper than this never donate their untaken sibling branches:
+/// near-leaf subtrees are too small to amortise the fixed cost of rebuilding
+/// a search context, so only the shallow, coarse-grained frontier is split.
+const MAX_SPLIT_DEPTH: u64 = 4;
 
 /// Result of one branch-and-bound search invocation.
 #[derive(Clone, Debug, Default)]
@@ -42,6 +48,9 @@ pub struct SearchOutcome {
     pub outputs: Vec<Vec<VertexId>>,
     /// Search statistics.
     pub stats: SearchStats,
+    /// Per-worker counters (work-stealing parallel driver only; empty for
+    /// sequential runs).
+    pub thread_stats: Vec<ThreadStats>,
 }
 
 /// Mutable search state shared by the branch-and-bound algorithms.
@@ -74,6 +83,10 @@ pub(crate) struct SearchCtx<'g> {
     deadline: Option<Instant>,
     pub(crate) aborted: bool,
     depth: u64,
+    /// Cooperative work-donation hook of the work-stealing parallel driver;
+    /// `None` for sequential searches (the poll then compiles to a branch on
+    /// a constant).
+    splitter: Option<&'g dyn SplitSink>,
 }
 
 impl<'g> SearchCtx<'g> {
@@ -134,6 +147,7 @@ impl<'g> SearchCtx<'g> {
             deadline,
             aborted: false,
             depth: 0,
+            splitter: None,
         };
         for &v in cand {
             debug_assert!(!ctx.in_c[v as usize], "duplicate candidate {v}");
@@ -156,6 +170,12 @@ impl<'g> SearchCtx<'g> {
         ctx
     }
 
+    /// Attaches the work-donation hook of the work-stealing driver.
+    pub(crate) fn with_splitter(mut self, splitter: &'g dyn SplitSink) -> Self {
+        self.splitter = Some(splitter);
+        self
+    }
+
     /// Consumes the context, producing the outcome.
     pub(crate) fn finish(self) -> SearchOutcome {
         let mut stats = self.stats;
@@ -163,6 +183,7 @@ impl<'g> SearchCtx<'g> {
         SearchOutcome {
             outputs: self.outputs,
             stats,
+            thread_stats: Vec::new(),
         }
     }
 
@@ -282,6 +303,28 @@ impl<'g> SearchCtx<'g> {
     /// Leaves a recursive call.
     pub(crate) fn leave_branch(&mut self) {
         self.depth -= 1;
+    }
+
+    /// Whether the current frame should donate its `rest` untaken sibling
+    /// branches to hungry workers. Only shallow frames qualify (see
+    /// [`MAX_SPLIT_DEPTH`]); the final word — is anyone hungry, and is the
+    /// batch coarse enough — belongs to the scheduler's sink.
+    #[inline]
+    pub(crate) fn should_split(&self, rest: usize) -> bool {
+        match self.splitter {
+            Some(sink) if self.depth <= MAX_SPLIT_DEPTH && !self.aborted => sink.want_split(rest),
+            _ => false,
+        }
+    }
+
+    /// Donates self-contained branch descriptions to the scheduler. The
+    /// caller must stop exploring those branches itself — they now belong to
+    /// whichever worker steals them.
+    pub(crate) fn donate(&mut self, branches: Vec<SplitRequest>) {
+        if let Some(sink) = self.splitter {
+            self.stats.split_donated += branches.len() as u64;
+            sink.donate(branches);
+        }
     }
 
     // ---- derived quantities -------------------------------------------------

@@ -31,10 +31,15 @@ impl AdjacencyBackend {
     }
 }
 
+/// Default [`MqceParams::steal_granularity`]: donate only when at least this
+/// many untaken sibling branches are available to package into split tasks.
+pub const DEFAULT_STEAL_GRANULARITY: usize = 2;
+
 /// Problem parameters of MQCE: the density threshold `γ` and the size
 /// threshold `θ` (Problem 1 of the paper), plus the adjacency backend the
-/// searchers should use (an implementation knob, carried here so it reaches
-/// every search entry point without widening their signatures).
+/// searchers should use and the work-stealing split granularity
+/// (implementation knobs, carried here so they reach every search entry
+/// point without widening their signatures).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MqceParams {
     /// Density threshold `γ ∈ [0.5, 1]`: every vertex of a quasi-clique `H`
@@ -45,6 +50,13 @@ pub struct MqceParams {
     pub theta: usize,
     /// Adjacency backend used by the branch-and-bound searchers.
     pub backend: AdjacencyBackend,
+    /// Minimum number of untaken sibling branches a searcher must hold
+    /// before it donates them as split tasks to hungry workers (the
+    /// `--steal-granularity` knob of the work-stealing parallel DC driver).
+    /// `0` disables intra-subproblem splitting entirely (whole subproblems
+    /// are still stolen between workers). Only consulted by the parallel
+    /// driver; sequential runs ignore it.
+    pub steal_granularity: usize,
 }
 
 impl MqceParams {
@@ -65,12 +77,19 @@ impl MqceParams {
             gamma,
             theta,
             backend: AdjacencyBackend::default(),
+            steal_granularity: DEFAULT_STEAL_GRANULARITY,
         })
     }
 
     /// Sets the adjacency backend.
     pub fn with_backend(mut self, backend: AdjacencyBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the work-stealing split granularity (`0` disables splitting).
+    pub fn with_steal_granularity(mut self, granularity: usize) -> Self {
+        self.steal_granularity = granularity;
         self
     }
 }
@@ -210,6 +229,13 @@ impl MqceConfig {
         self
     }
 
+    /// Sets the work-stealing split granularity of the parallel DC driver
+    /// (`0` disables intra-subproblem splitting).
+    pub fn with_steal_granularity(mut self, granularity: usize) -> Self {
+        self.params.steal_granularity = granularity;
+        self
+    }
+
     /// Sets the MQCE-S2 maximality-engine backend.
     pub fn with_s2_backend(mut self, backend: S2Backend) -> Self {
         self.s2_backend = backend;
@@ -266,6 +292,15 @@ mod tests {
         assert_eq!(cfg.params.backend, AdjacencyBackend::Bitset);
         assert_eq!(cfg.s2_backend, S2Backend::Extremal);
         assert!(cfg.time_limit.is_some());
+    }
+
+    #[test]
+    fn steal_granularity_defaults_and_builder() {
+        let p = MqceParams::new(0.9, 2).unwrap();
+        assert_eq!(p.steal_granularity, DEFAULT_STEAL_GRANULARITY);
+        assert_eq!(p.with_steal_granularity(0).steal_granularity, 0);
+        let cfg = MqceConfig::new(0.9, 2).unwrap().with_steal_granularity(7);
+        assert_eq!(cfg.params.steal_granularity, 7);
     }
 
     #[test]

@@ -80,17 +80,17 @@ impl DcConfig {
 }
 
 /// The prepared decomposition: core-reduced graph, vertex ordering and ranks.
-struct DcPlan {
+pub(crate) struct DcPlan {
     /// The ⌈γ(θ−1)⌉-core of the input (or the whole graph), with id mapping.
-    reduced: InducedSubgraph,
+    pub(crate) reduced: InducedSubgraph,
     /// Vertices of the reduced graph in processing order.
-    ordering: Vec<VertexId>,
+    pub(crate) ordering: Vec<VertexId>,
     /// `rank[v]` = position of `v` in `ordering`.
-    rank: Vec<usize>,
+    pub(crate) rank: Vec<usize>,
 }
 
 /// Lines 1-2 of Algorithm 3: core reduction and vertex ordering.
-fn prepare_plan(g: &Graph, params: MqceParams, dc: DcConfig) -> DcPlan {
+pub(crate) fn prepare_plan(g: &Graph, params: MqceParams, dc: DcConfig) -> DcPlan {
     let core_k = required_degree(params.gamma, params.theta);
     let reduced: InducedSubgraph = if dc.core_reduction {
         let keep = k_core_vertices(g, core_k);
@@ -115,19 +115,28 @@ fn prepare_plan(g: &Graph, params: MqceParams, dc: DcConfig) -> DcPlan {
     }
 }
 
-/// Lines 4-8 of Algorithm 3 for a single anchor vertex `vi`: build and prune
-/// `G_i`, run the inner searcher with `S = {v_i}`, and map the outputs back to
-/// the original graph's vertex ids.
-fn solve_subproblem(
+/// The built, pruned subproblem of one anchor vertex, ready for a searcher.
+pub(crate) struct BuiltSubproblem {
+    /// Induced subgraph over `Γ²(v_i) ∩ later-ranked` (local ids), with the
+    /// bitset kernel attached when the backend policy built one.
+    pub(crate) sub: InducedSubgraph,
+    /// Local id of the anchor `v_i`.
+    pub(crate) local_vi: VertexId,
+    /// Pruned candidate set (local ids, anchor excluded).
+    pub(crate) cand: Vec<VertexId>,
+}
+
+/// Lines 4-6 of Algorithm 3 for a single anchor vertex `vi`: build `G_i` and
+/// prune it. Returns `None` (with `stats` still updated) when the subproblem
+/// cannot hold a quasi-clique of size ≥ θ.
+pub(crate) fn build_subproblem(
     plan: &DcPlan,
     vi: VertexId,
     params: MqceParams,
-    inner: InnerAlgorithm,
     dc: DcConfig,
-    deadline: Option<Instant>,
-) -> (Vec<Vec<VertexId>>, SearchStats) {
+    stats: &mut SearchStats,
+) -> Option<BuiltSubproblem> {
     let rg = &plan.reduced.graph;
-    let mut stats = SearchStats::default();
     // V_i = Γ²(v_i) − {v_1..v_{i−1}} (closed 2-hop ball, later-ranked only).
     let ball = two_hop_neighborhood(rg, vi);
     let vertices: Vec<VertexId> = ball
@@ -138,7 +147,7 @@ fn solve_subproblem(
     stats.dc_vertices_before_pruning += vertices.len() as u64;
     if vertices.len() < params.theta {
         stats.dc_vertices_after_pruning += vertices.len() as u64;
-        return (Vec::new(), stats);
+        return None;
     }
 
     // Attach the bitset kernel for dense subproblems: the subgraph is
@@ -160,24 +169,51 @@ fn solve_subproblem(
         .collect();
     stats.dc_vertices_after_pruning += 1 + cand.len() as u64;
     if 1 + cand.len() < params.theta {
-        return (Vec::new(), stats);
+        return None;
     }
+    Some(BuiltSubproblem {
+        sub,
+        local_vi,
+        cand,
+    })
+}
+
+/// Lines 4-8 of Algorithm 3 for a single anchor vertex `vi`: build and prune
+/// `G_i`, run the inner searcher with `S = {v_i}`, and map the outputs back to
+/// the original graph's vertex ids.
+fn solve_subproblem(
+    plan: &DcPlan,
+    vi: VertexId,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+) -> (Vec<Vec<VertexId>>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let Some(built) = build_subproblem(plan, vi, params, dc, &mut stats) else {
+        return (Vec::new(), stats);
+    };
 
     // ---- lines 7-8: run the searcher with S = {v_i} ----
-    let kernel = sub.adjacency.as_ref();
+    let kernel = built.sub.adjacency.as_ref();
     let outcome = match inner {
         InnerAlgorithm::FastQc(branching) => run_fastqc_with_kernel(
-            &sub.graph,
+            &built.sub.graph,
             kernel,
-            &[local_vi],
-            &cand,
+            &[built.local_vi],
+            &built.cand,
             params,
             branching,
             deadline,
         ),
-        InnerAlgorithm::QuickPlus => {
-            run_quickplus_with_kernel(&sub.graph, kernel, &[local_vi], &cand, params, deadline)
-        }
+        InnerAlgorithm::QuickPlus => run_quickplus_with_kernel(
+            &built.sub.graph,
+            kernel,
+            &[built.local_vi],
+            &built.cand,
+            params,
+            deadline,
+        ),
     };
     stats.merge(&outcome.stats);
     let outputs = outcome
@@ -185,7 +221,7 @@ fn solve_subproblem(
         .into_iter()
         .map(|h| {
             // Map local → reduced → original ids.
-            let in_reduced = sub.to_global_set(&h);
+            let in_reduced = built.sub.to_global_set(&h);
             plan.reduced.to_global_set(&in_reduced)
         })
         .collect();
@@ -220,7 +256,11 @@ pub fn run_dc_streaming(
     let mut outputs: Vec<Vec<VertexId>> = Vec::new();
     let plan = prepare_plan(g, params, dc);
     if plan.reduced.graph.num_vertices() == 0 {
-        return SearchOutcome { outputs, stats };
+        return SearchOutcome {
+            outputs,
+            stats,
+            thread_stats: Vec::new(),
+        };
     }
     for &vi in &plan.ordering {
         if let Some(deadline) = deadline {
@@ -241,14 +281,22 @@ pub fn run_dc_streaming(
             break;
         }
     }
-    SearchOutcome { outputs, stats }
+    SearchOutcome {
+        outputs,
+        stats,
+        thread_stats: Vec::new(),
+    }
 }
 
 /// Multi-threaded variant of [`run_dc`]: the per-vertex subproblems are
-/// independent, so they are distributed over `num_threads` OS threads with a
-/// shared atomic work index. This is the "efficient parallel implementation"
-/// the paper lists as future work; results are identical to the sequential
-/// driver (up to output order, which the pipeline sorts anyway).
+/// distributed over `num_threads` OS threads by a work-stealing scheduler
+/// (per-worker deques seeded in descending estimated cost), and busy
+/// searchers cooperatively split untaken branches of their own search trees
+/// off to hungry workers, so even one giant subproblem parallelises. This is
+/// the "efficient parallel implementation" the paper lists as future work;
+/// the maximal-QC family is identical to the sequential driver's (the raw S1
+/// stream may contain a few extra dominated quasi-cliques from split points,
+/// which MQCE-S2 removes).
 pub fn run_dc_parallel(
     g: &Graph,
     params: MqceParams,
@@ -264,9 +312,10 @@ pub fn run_dc_parallel(
 pub type EngineFactory<'a> = &'a (dyn Fn() -> Box<dyn MaximalityEngine> + Sync);
 
 /// [`run_dc_parallel`] with streaming MQCE-S2: when an engine factory is
-/// supplied, every worker thread streams its subproblems' outputs into its
-/// own engine, and the per-thread engines are returned for the caller to
-/// merge (drain each into one and [`MaximalityEngine::add`] the sets back).
+/// supplied, every worker thread streams the outputs of everything it runs —
+/// whole subproblems and stolen split tasks alike — into its own engine, and
+/// the per-thread engines are returned for the caller to merge (drain each
+/// into one and [`MaximalityEngine::add`] the sets back).
 pub fn run_dc_parallel_streaming(
     g: &Graph,
     params: MqceParams,
@@ -290,6 +339,39 @@ pub fn run_dc_parallel_streaming(
                 (outcome, vec![engine])
             }
         };
+    }
+    let plan = prepare_plan(g, params, dc);
+    if plan.reduced.graph.num_vertices() == 0 {
+        return (SearchOutcome::default(), Vec::new());
+    }
+    crate::scheduler::run_dc_work_stealing(
+        &plan,
+        params,
+        inner,
+        dc,
+        num_threads,
+        deadline,
+        engine_factory,
+    )
+}
+
+/// The PR-3 parallel driver: whole subproblems handed out through one shared
+/// atomic index, no stealing and no splitting. Kept as the baseline the
+/// `threads` bench profile compares the work-stealing scheduler against — on
+/// skewed subproblem families this driver idles every worker but the one
+/// holding the heavy subproblem.
+pub fn run_dc_parallel_streaming_shared_index(
+    g: &Graph,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    num_threads: usize,
+    deadline: Option<Instant>,
+    engine_factory: Option<EngineFactory<'_>>,
+) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
+    let num_threads = num_threads.max(1);
+    if num_threads == 1 {
+        return run_dc_parallel_streaming(g, params, inner, dc, 1, deadline, engine_factory);
     }
     let plan = prepare_plan(g, params, dc);
     if plan.reduced.graph.num_vertices() == 0 {
@@ -349,7 +431,14 @@ pub fn run_dc_parallel_streaming(
         outputs.extend(sub_outputs);
         engines.extend(engine);
     }
-    (SearchOutcome { outputs, stats }, engines)
+    (
+        SearchOutcome {
+            outputs,
+            stats,
+            thread_stats: Vec::new(),
+        },
+        engines,
+    )
 }
 
 /// Applies `MAX_ROUND` rounds of one-hop and (optionally) two-hop pruning on

@@ -28,6 +28,7 @@ use mqce_graph::{Graph, VertexId};
 
 use crate::branch::{DegSource, SearchCtx, SearchOutcome};
 use crate::config::{BranchingStrategy, MqceParams};
+use crate::scheduler::{SplitRequest, SplitSink};
 
 /// Runs FastQC on `g` starting from the branch `(s_init, cand, implicit D)`.
 ///
@@ -62,7 +63,42 @@ pub fn run_fastqc_with_kernel(
     branching: BranchingStrategy,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
+    run_fastqc_inner(g, kernel, s_init, cand, params, branching, deadline, None)
+}
+
+/// [`run_fastqc_with_kernel`] wired into the work-stealing scheduler: while
+/// branching at shallow depths the searcher polls `splitter` and, when a
+/// worker is hungry, donates its untaken sibling branches as self-contained
+/// split tasks instead of exploring them itself.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_fastqc_split(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+    splitter: &dyn SplitSink,
+) -> SearchOutcome {
+    run_fastqc_inner(g, kernel, s_init, cand, params, branching, deadline, Some(splitter))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fastqc_inner(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+    splitter: Option<&dyn SplitSink>,
+) -> SearchOutcome {
     let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
+    if let Some(splitter) = splitter {
+        ctx = ctx.with_splitter(splitter);
+    }
     let mut searcher = FastQc {
         ctx: &mut ctx,
         branching,
@@ -299,6 +335,32 @@ impl<'a, 'g> FastQc<'a, 'g> {
         let mut moved_to_s: Vec<VertexId> = Vec::new();
         for i in 0..keep {
             let vi = order[i];
+            // Donate the untaken later branches B_{i+1}..B_keep when a
+            // worker is hungry: branch B_j includes v_1..v_{j-1}, excludes
+            // v_j and keeps C = order[j+1..], which is self-contained as
+            // (S ∪ order[..j], order[j+1..]) — the exclusions are implicit.
+            let rest = keep - i - 1;
+            if rest > 0 && self.ctx.should_split(rest) {
+                let mut s = self.ctx.s_vertices().to_vec();
+                s.push(vi);
+                let mut tasks = Vec::with_capacity(rest);
+                for j in i + 1..keep {
+                    tasks.push(SplitRequest {
+                        s_init: s.clone(),
+                        cand: order[j + 1..].to_vec(),
+                    });
+                    s.push(order[j]);
+                }
+                self.ctx.donate(tasks);
+                // Run the current branch, then stop: the rest of the frame
+                // belongs to the stolen tasks. Whether they find a QC is
+                // unknown here, so the caller may redundantly emit G[S];
+                // the S2 engine drops it as dominated.
+                self.ctx.remove_c(vi);
+                any |= self.recurse(order[i + 1..].to_vec());
+                self.ctx.restore_c(vi);
+                break;
+            }
             // Branch B_i: exclude v_i, include v_1..v_{i-1} (already in S).
             self.ctx.remove_c(vi);
             any |= self.recurse(order[i + 1..].to_vec());
@@ -323,6 +385,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
         let b = (b.max(1) as usize).min(order.len());
         let a = (a.max(0) as usize).min(order.len().saturating_sub(1));
         let mut any = false;
+        let mut donated = false;
 
         // Part 1 — SE branches that exclude the pivot: B̃_i for i = 2..=b,
         // i.e. include v_i, exclude v_1..v_{i-1}.
@@ -330,10 +393,39 @@ impl<'a, 'g> FastQc<'a, 'g> {
         self.ctx.remove_c(pivot);
         excluded.push(pivot);
         for (j, &vj) in order.iter().enumerate().take(b).skip(1) {
+            // Donate the untaken part-1 branches plus the whole Sym-SE part
+            // when a worker is hungry; each branch's exclusion set is
+            // implicit in its (s_init, cand) pair.
+            let rest = (b - j - 1) + a;
+            if rest > 0 && self.ctx.should_split(rest) {
+                let s0 = self.ctx.s_vertices().to_vec();
+                let mut tasks = Vec::with_capacity(rest);
+                // B̃_k for k > j: include v_k, exclude v_1..v_{k-1}.
+                for k in j + 1..b {
+                    let mut s = s0.clone();
+                    s.push(order[k]);
+                    tasks.push(SplitRequest {
+                        s_init: s,
+                        cand: order[k + 1..].to_vec(),
+                    });
+                }
+                // B̈_k: include v_1..v_{k-1} (pivot first), exclude v_k.
+                let mut s = s0.clone();
+                s.push(pivot);
+                for k in 1..=a {
+                    tasks.push(SplitRequest {
+                        s_init: s.clone(),
+                        cand: order[k + 1..].to_vec(),
+                    });
+                    s.push(order[k]);
+                }
+                self.ctx.donate(tasks);
+                donated = true;
+            }
             self.ctx.push_s(vj);
             any |= self.recurse(order[j + 1..].to_vec());
             self.ctx.pop_s(vj);
-            if self.ctx.aborted {
+            if self.ctx.aborted || donated {
                 break;
             }
             self.ctx.remove_c(vj);
@@ -342,7 +434,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in excluded.iter().rev() {
             self.ctx.restore_c(v);
         }
-        if self.ctx.aborted {
+        if self.ctx.aborted || donated {
             return any;
         }
 
@@ -351,6 +443,25 @@ impl<'a, 'g> FastQc<'a, 'g> {
         let mut moved_to_s: Vec<VertexId> = vec![pivot];
         self.ctx.push_s(pivot);
         for (j, &vj) in order.iter().enumerate().take(a + 1).skip(1) {
+            // Donate the untaken later Sym-SE branches.
+            let rest = a - j;
+            if rest > 0 && self.ctx.should_split(rest) {
+                let mut s = self.ctx.s_vertices().to_vec();
+                s.push(vj);
+                let mut tasks = Vec::with_capacity(rest);
+                for k in j + 1..=a {
+                    tasks.push(SplitRequest {
+                        s_init: s.clone(),
+                        cand: order[k + 1..].to_vec(),
+                    });
+                    s.push(order[k]);
+                }
+                self.ctx.donate(tasks);
+                self.ctx.remove_c(vj);
+                any |= self.recurse(order[j + 1..].to_vec());
+                self.ctx.restore_c(vj);
+                break;
+            }
             self.ctx.remove_c(vj);
             any |= self.recurse(order[j + 1..].to_vec());
             self.ctx.restore_c(vj);
@@ -373,6 +484,26 @@ impl<'a, 'g> FastQc<'a, 'g> {
         let mut any = false;
         let mut excluded: Vec<VertexId> = Vec::new();
         for (j, &vj) in order.iter().enumerate() {
+            // Donate the untaken SE branches B_{j+1}.. (include v_k, exclude
+            // v_1..v_{k-1}) when a worker is hungry.
+            let rest = order.len() - j - 1;
+            if rest > 0 && self.ctx.should_split(rest) {
+                let s0 = self.ctx.s_vertices().to_vec();
+                let mut tasks = Vec::with_capacity(rest);
+                for k in j + 1..order.len() {
+                    let mut s = s0.clone();
+                    s.push(order[k]);
+                    tasks.push(SplitRequest {
+                        s_init: s,
+                        cand: order[k + 1..].to_vec(),
+                    });
+                }
+                self.ctx.donate(tasks);
+                self.ctx.push_s(vj);
+                any |= self.recurse(order[j + 1..].to_vec());
+                self.ctx.pop_s(vj);
+                break;
+            }
             self.ctx.push_s(vj);
             any |= self.recurse(order[j + 1..].to_vec());
             self.ctx.pop_s(vj);

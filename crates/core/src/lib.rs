@@ -48,6 +48,7 @@ pub mod pipeline;
 pub mod quasiclique;
 pub mod query;
 pub mod quickplus;
+mod scheduler;
 pub mod stats;
 pub mod topk;
 pub mod verify;
@@ -56,9 +57,12 @@ pub use branch::SearchOutcome;
 pub use config::{
     AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError, S2Backend,
 };
-pub use pipeline::{enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult};
+pub use pipeline::{
+    enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, enumerate_mqcs_parallel_with,
+    solve_s1, MqceResult, ParallelScheduler,
+};
 pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
-pub use stats::{S2Stats, SearchStats};
+pub use stats::{S2Stats, SearchStats, ThreadStats};
 pub use topk::{find_largest_mqcs, TopKResult};
 pub use verify::{verify_exact_against_oracle, verify_mqc_set, verify_s1_output, VerificationReport, Violation};
 
@@ -71,5 +75,5 @@ pub mod prelude {
         enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult,
     };
     pub use crate::quasiclique::is_quasi_clique;
-    pub use crate::stats::{S2Stats, SearchStats};
+    pub use crate::stats::{S2Stats, SearchStats, ThreadStats};
 }

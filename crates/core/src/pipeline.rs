@@ -20,11 +20,14 @@ use mqce_settrie::MaximalityEngine;
 
 use crate::branch::SearchOutcome;
 use crate::config::{Algorithm, MqceConfig, MqceParams};
-use crate::dc::{run_dc_parallel_streaming, run_dc_streaming, DcConfig, InnerAlgorithm};
+use crate::dc::{
+    run_dc_parallel_streaming, run_dc_parallel_streaming_shared_index, run_dc_streaming, DcConfig,
+    EngineFactory, InnerAlgorithm,
+};
 use crate::fastqc::fastqc_whole_graph;
 use crate::naive;
 use crate::quickplus::quickplus_whole_graph;
-use crate::stats::{S2Stats, SearchStats};
+use crate::stats::{S2Stats, SearchStats, ThreadStats};
 
 /// Minimum wall-clock slice MQCE-S2 is granted even when S1 consumed the
 /// whole budget: without it a time-limited run whose S1 was cut off would
@@ -46,6 +49,10 @@ pub struct MqceResult {
     pub mqcs: Vec<Vec<VertexId>>,
     /// Statistics of the S1 search.
     pub stats: SearchStats,
+    /// Per-worker counters of the work-stealing scheduler (empty for
+    /// sequential runs): what each thread ran, stole and donated, and how
+    /// its wall-clock split between busy and hungry.
+    pub thread_stats: Vec<ThreadStats>,
     /// Statistics of the S2 maximality engine.
     pub s2: S2Stats,
     /// Wall-clock time of the MQCE-S1 window. For DC algorithms this
@@ -129,6 +136,7 @@ fn solve_s1_streaming(
                     ..Default::default()
                 },
                 outputs,
+                thread_stats: Vec::new(),
             }
         }
         _ => unreachable!("DC algorithms are handled by dc_setup"),
@@ -197,6 +205,7 @@ fn finalize(
         qcs,
         mqcs: s2_out.mqcs,
         stats: outcome.stats,
+        thread_stats: outcome.thread_stats,
         s2: S2Stats {
             backend: s2_out.backend.to_string(),
             sets_streamed,
@@ -227,27 +236,57 @@ pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
     finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
 }
 
+/// Which parallel DC driver [`enumerate_mqcs_parallel_with`] dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ParallelScheduler {
+    /// The work-stealing scheduler with cooperative intra-subproblem
+    /// splitting (the default).
+    #[default]
+    WorkStealing,
+    /// The PR-3 shared-atomic-index loop, kept as the baseline the `threads`
+    /// bench profile measures the scheduler against.
+    SharedIndex,
+}
+
 /// Multi-threaded variant of [`enumerate_mqcs`]: the divide-and-conquer
-/// subproblems are distributed over `num_threads` OS threads (the parallel
-/// implementation the paper lists as future work), each worker streaming
-/// into its own maximality engine; the per-thread engines are merged before
-/// the final compaction. For algorithms without a DC decomposition this
-/// falls back to the sequential solver.
+/// subproblems are distributed over `num_threads` OS threads by a
+/// work-stealing scheduler (the parallel implementation the paper lists as
+/// future work), each worker streaming everything it runs — whole
+/// subproblems and stolen split tasks alike — into its own maximality
+/// engine; the per-thread engines are merged before the final compaction.
+/// For algorithms without a DC decomposition this falls back to the
+/// sequential solver.
 pub fn enumerate_mqcs_parallel(g: &Graph, config: &MqceConfig, num_threads: usize) -> MqceResult {
+    enumerate_mqcs_parallel_with(g, config, num_threads, ParallelScheduler::WorkStealing)
+}
+
+/// [`enumerate_mqcs_parallel`] with an explicit scheduler choice; only the
+/// bench harness should need anything but the default.
+pub fn enumerate_mqcs_parallel_with(
+    g: &Graph,
+    config: &MqceConfig,
+    num_threads: usize,
+    scheduler: ParallelScheduler,
+) -> MqceResult {
     let Some((inner, dc)) = dc_setup(config) else {
         return enumerate_mqcs(g, config);
     };
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let s1_start = Instant::now();
     let factory = || config.s2_backend.new_engine();
-    let (outcome, mut engines) = run_dc_parallel_streaming(
+    let driver = match scheduler {
+        ParallelScheduler::WorkStealing => run_dc_parallel_streaming,
+        ParallelScheduler::SharedIndex => run_dc_parallel_streaming_shared_index,
+    };
+    let factory_ref: EngineFactory<'_> = &factory;
+    let (outcome, mut engines) = driver(
         g,
         config.params,
         inner,
         dc,
         num_threads,
         deadline,
-        Some(&factory),
+        Some(factory_ref),
     );
     let s1_time = s1_start.elapsed();
     // Merge the per-thread engines: drain each into the first. Re-adding

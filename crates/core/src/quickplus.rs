@@ -24,6 +24,7 @@ use crate::bounds::{branch_bounds, candidate_feasible};
 use crate::branch::{DegSource, SearchCtx, SearchOutcome};
 use crate::config::MqceParams;
 use crate::quasiclique::{required_degree, tau};
+use crate::scheduler::{SplitRequest, SplitSink};
 
 /// Runs Quick+ on `g` starting from the branch `(s_init, cand, implicit D)`.
 pub fn run_quickplus(
@@ -46,7 +47,38 @@ pub fn run_quickplus_with_kernel(
     params: MqceParams,
     deadline: Option<Instant>,
 ) -> SearchOutcome {
+    run_quickplus_inner(g, kernel, s_init, cand, params, deadline, None)
+}
+
+/// [`run_quickplus_with_kernel`] wired into the work-stealing scheduler:
+/// while SE-branching at shallow depths the searcher polls `splitter` and
+/// donates untaken sibling branches to hungry workers (see
+/// [`run_fastqc_split`](crate::fastqc::run_fastqc_split)).
+pub(crate) fn run_quickplus_split(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    deadline: Option<Instant>,
+    splitter: &dyn SplitSink,
+) -> SearchOutcome {
+    run_quickplus_inner(g, kernel, s_init, cand, params, deadline, Some(splitter))
+}
+
+fn run_quickplus_inner(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    deadline: Option<Instant>,
+    splitter: Option<&dyn SplitSink>,
+) -> SearchOutcome {
     let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
+    if let Some(splitter) = splitter {
+        ctx = ctx.with_splitter(splitter);
+    }
     let mut searcher = QuickPlus { ctx: &mut ctx };
     searcher.recurse(cand.to_vec());
     ctx.finish()
@@ -89,8 +121,27 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
         // v_1..v_{i-1}.
         let order = cand;
         let mut any_found = false;
+        let mut donated = false;
         let mut excluded: Vec<VertexId> = Vec::new();
         for (i, &vi) in order.iter().enumerate() {
+            // Donate the untaken SE branches B_{i+1}.. (include v_k, exclude
+            // v_1..v_{k-1}, implicit in the (s_init, cand) pair) when a
+            // worker is hungry, then finish only the current branch here.
+            let rest = order.len() - i - 1;
+            if rest > 0 && self.ctx.should_split(rest) {
+                let s0 = self.ctx.s_vertices().to_vec();
+                let mut tasks = Vec::with_capacity(rest);
+                for k in i + 1..order.len() {
+                    let mut s = s0.clone();
+                    s.push(order[k]);
+                    tasks.push(SplitRequest {
+                        s_init: s,
+                        cand: order[k + 1..].to_vec(),
+                    });
+                }
+                self.ctx.donate(tasks);
+                donated = true;
+            }
             self.ctx.push_s(vi);
             let mut child_cand: Vec<VertexId> = order[i + 1..].to_vec();
 
@@ -112,6 +163,9 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
                     self.ctx.restore_c(v);
                 }
                 return any_found;
+            }
+            if donated {
+                break;
             }
             self.ctx.remove_c(vi);
             excluded.push(vi);

@@ -1,0 +1,658 @@
+//! Work-stealing scheduler for the parallel divide-and-conquer driver.
+//!
+//! The PR-3 parallel driver handed out whole per-vertex subproblems through
+//! a shared atomic index, which wastes cores on skewed subproblem families:
+//! one heavy subproblem (the planted-community shape) pins a worker for the
+//! whole run while the others drain the cheap tail and go idle. This module
+//! replaces it with a classic work-stealing design à la Chase–Lev, adapted
+//! to the vendored-only constraints (no `crossbeam`): per-worker deques with
+//! a `Mutex`-backed queue behind a lock-free atomic-length fast path, plus
+//! **cooperative intra-subproblem splitting** so even a single giant
+//! subproblem parallelises:
+//!
+//! * **Seeding** — subproblems enter the deques in descending estimated
+//!   cost, using the two-hop-pruned candidate-set size `|Γ²(v_i) ∩
+//!   later-ranked|` from the DC plan as the estimate, so heavy subproblems
+//!   start as early as possible (longest-job-first keeps the makespan tail
+//!   short).
+//! * **Stealing** — a worker pops from the front of its own deque (heaviest
+//!   seed first) and steals from the back of a victim's.
+//! * **Splitting** — busy searchers poll the scheduler's hungry-worker
+//!   count at shallow branching frames (see
+//!   [`SearchCtx`](crate::branch::SearchCtx)); when a worker is hungry, the
+//!   searcher packages its untaken sibling branches as self-contained
+//!   [`SplitTask`]s — a shared subgraph handle plus the branch's partial
+//!   set and candidate list (exclusions are implicit: a vertex in neither
+//!   is excluded) — and pushes them onto its own deque for thieves to take.
+//!   Split tasks run in a fresh search context and can themselves split
+//!   further, so one dense community keeps every worker fed.
+//!
+//! Splitting is *output-sound*: a stolen branch reproduces exactly the
+//! outputs the donor's recursion would have produced from the same
+//! `(S, C, D)` state, and the only divergence from the sequential run is
+//! that the donor no longer learns whether a donated branch found a
+//! quasi-clique, so the non-hereditary "additional step" may emit a few
+//! extra *valid* (but dominated) quasi-cliques. The streaming MQCE-S2
+//! engine drops those on arrival or at compaction, so the final maximal
+//! family is identical to the sequential driver's.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mqce_graph::bitset::AdjacencyMatrix;
+use mqce_graph::{Graph, VertexId};
+use mqce_settrie::MaximalityEngine;
+
+use crate::branch::SearchOutcome;
+use crate::config::MqceParams;
+use crate::dc::{build_subproblem, DcConfig, DcPlan, EngineFactory, InnerAlgorithm};
+use crate::fastqc::run_fastqc_split;
+use crate::quickplus::run_quickplus_split;
+use crate::stats::{SearchStats, ThreadStats};
+
+/// Idle spins (yields) before the hungry wait loop starts sleeping.
+const IDLE_SPINS_BEFORE_SLEEP: u32 = 64;
+
+/// Sleep interval of the hungry wait loop once spinning gave up.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// One untaken branch of a running search, expressed in the subproblem's
+/// local vertex ids. The exclusion set is implicit: any vertex of the
+/// subgraph in neither `s_init` nor `cand` is excluded, which is exactly the
+/// `(S, C, D)` convention of [`SearchCtx`](crate::branch::SearchCtx), so the
+/// request rebuilds the donor's branch state verbatim.
+pub(crate) struct SplitRequest {
+    /// The branch's partial set `S`.
+    pub s_init: Vec<VertexId>,
+    /// The branch's candidate set `C`.
+    pub cand: Vec<VertexId>,
+}
+
+/// The donation hook a searcher polls while branching. Implemented by the
+/// scheduler's per-subproblem sink; the searcher only sees this trait so the
+/// sequential drivers pay nothing.
+pub(crate) trait SplitSink {
+    /// Whether a hungry worker exists and `rest` untaken sibling branches
+    /// are enough to be worth packaging (the `--steal-granularity` knob).
+    fn want_split(&self, rest: usize) -> bool;
+
+    /// Donates untaken branches of the current subproblem; they become
+    /// stealable [`SplitTask`]s.
+    fn donate(&self, branches: Vec<SplitRequest>);
+}
+
+/// The shared, immutable context of one DC subproblem: the induced subgraph
+/// (local ids `0..n`), its optional bitset kernel, and the composed
+/// local → original-graph id map. Split tasks hold this behind an [`Arc`] so
+/// a stolen branch is self-contained wherever it runs.
+pub(crate) struct SubShared {
+    /// The pruned subproblem graph over local ids.
+    pub graph: Graph,
+    /// Optional packed adjacency kernel over the local ids.
+    pub kernel: Option<AdjacencyMatrix>,
+    /// `to_orig[local]` = vertex id in the *original* input graph
+    /// (subgraph-local → reduced-graph → original, pre-composed).
+    pub to_orig: Vec<VertexId>,
+}
+
+/// A stolen slice of one subproblem's search tree, run to completion by
+/// whichever worker takes it.
+pub(crate) struct SplitTask {
+    /// Shared subproblem context.
+    pub shared: Arc<SubShared>,
+    /// Partial set of the donated branch (local ids).
+    pub s_init: Vec<VertexId>,
+    /// Candidate set of the donated branch (local ids).
+    pub cand: Vec<VertexId>,
+}
+
+/// A unit of schedulable work.
+enum Task {
+    /// A whole per-vertex subproblem (index into the plan's ordering).
+    Root(usize),
+    /// A donated slice of a running subproblem's search tree.
+    Split(SplitTask),
+}
+
+/// One worker's deque. The owner pops from the front (its seeds are stored
+/// heaviest-first) and thieves steal from the back; both go through the
+/// mutex, but the atomic length lets every reader skip empty deques without
+/// touching the lock — the fast path that matters when most deques are
+/// drained and workers scan for leftovers.
+struct WorkerDeque {
+    queue: Mutex<VecDeque<Task>>,
+    len: AtomicUsize,
+}
+
+impl WorkerDeque {
+    fn new() -> Self {
+        WorkerDeque {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push_back(&self, task: Task) {
+        let mut q = self.queue.lock().expect("deque poisoned");
+        q.push_back(task);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    fn push_front(&self, task: Task) {
+        let mut q = self.queue.lock().expect("deque poisoned");
+        q.push_front(task);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    fn pop_front(&self) -> Option<Task> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().expect("deque poisoned");
+        let task = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        task
+    }
+
+    fn pop_back(&self) -> Option<Task> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().expect("deque poisoned");
+        let task = q.pop_back();
+        self.len.store(q.len(), Ordering::Release);
+        task
+    }
+}
+
+/// The shared scheduler state of one parallel DC run.
+struct Scheduler {
+    deques: Vec<WorkerDeque>,
+    /// Tasks pushed but not yet finished. Workers may exit when this hits 0;
+    /// it is incremented *before* a donated task becomes visible so the
+    /// count never under-reports.
+    outstanding: AtomicUsize,
+    /// Tasks currently sitting in deques (outstanding minus running). Kept
+    /// so donation is demand-bounded: once the queues already hold enough
+    /// work to feed every hungry worker, searchers stop donating instead of
+    /// shredding their trees into far more tasks than there are thieves.
+    queued: AtomicUsize,
+    /// Number of workers currently failing to find work. Searchers poll this
+    /// (through [`SplitSink::want_split`]) to decide when to donate.
+    hungry: AtomicUsize,
+    /// Minimum donatable-branch count before a split happens; 0 disables
+    /// intra-subproblem splitting.
+    granularity: usize,
+}
+
+impl Scheduler {
+    fn new(num_threads: usize, granularity: usize) -> Self {
+        Scheduler {
+            deques: (0..num_threads).map(|_| WorkerDeque::new()).collect(),
+            outstanding: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            hungry: AtomicUsize::new(0),
+            granularity,
+        }
+    }
+
+    /// Pops the worker's own deque, falling back to stealing from the other
+    /// workers (scanning from the next worker around the ring). Returns the
+    /// task and whether it was stolen.
+    fn find_task(&self, worker: usize) -> Option<(Task, bool)> {
+        if let Some(task) = self.deques[worker].pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some((task, false));
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(task) = self.deques[(worker + k) % n].pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    fn donate(&self, worker: usize, shared: &Arc<SubShared>, branches: Vec<SplitRequest>) {
+        self.outstanding.fetch_add(branches.len(), Ordering::SeqCst);
+        self.queued.fetch_add(branches.len(), Ordering::SeqCst);
+        for req in branches {
+            self.deques[worker].push_front(Task::Split(SplitTask {
+                shared: Arc::clone(shared),
+                s_init: req.s_init,
+                cand: req.cand,
+            }));
+        }
+    }
+
+    fn work_remains(&self) -> bool {
+        self.outstanding.load(Ordering::SeqCst) > 0
+    }
+}
+
+/// The per-subproblem [`SplitSink`] a worker hands to its searcher.
+struct SubSink<'a> {
+    sched: &'a Scheduler,
+    shared: Arc<SubShared>,
+    worker: usize,
+}
+
+impl SplitSink for SubSink<'_> {
+    fn want_split(&self, rest: usize) -> bool {
+        if self.sched.granularity == 0 || rest < self.sched.granularity {
+            return false;
+        }
+        // Donate only while demand outstrips the queued supply: hungry
+        // workers scan every deque, so any queued task satisfies one of
+        // them, and donating beyond that just shreds the donor's tree into
+        // more context-rebuild overhead than there are thieves.
+        let hungry = self.sched.hungry.load(Ordering::Relaxed);
+        hungry > 0 && self.sched.queued.load(Ordering::Relaxed) < hungry
+    }
+
+    fn donate(&self, branches: Vec<SplitRequest>) {
+        self.sched.donate(self.worker, &self.shared, branches);
+    }
+}
+
+/// Per-subproblem cost estimate used to seed the deques: the size of the
+/// two-hop-pruned candidate set `|Γ²(v_i) ∩ later-ranked|` (what
+/// `build_subproblem` will materialise), computed with a stamp array so the
+/// whole pass allocates nothing per vertex.
+fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
+    let rg = &plan.reduced.graph;
+    let n = rg.num_vertices();
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+    plan.ordering
+        .iter()
+        .enumerate()
+        .map(|(i, &vi)| {
+            let tag = i as u32;
+            let my_rank = plan.rank[vi as usize];
+            stamp[vi as usize] = tag;
+            let mut count = 1usize;
+            for &u in rg.neighbors(vi) {
+                if stamp[u as usize] != tag {
+                    stamp[u as usize] = tag;
+                    if plan.rank[u as usize] >= my_rank {
+                        count += 1;
+                    }
+                }
+            }
+            for &u in rg.neighbors(vi) {
+                for &w in rg.neighbors(u) {
+                    if stamp[w as usize] != tag {
+                        stamp[w as usize] = tag;
+                        if plan.rank[w as usize] >= my_rank {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            count
+        })
+        .collect()
+}
+
+/// Everything one worker accumulated over the run.
+struct WorkerResult {
+    outputs: Vec<Vec<VertexId>>,
+    stats: SearchStats,
+    engine: Option<Box<dyn MaximalityEngine>>,
+    thread_stats: ThreadStats,
+}
+
+/// Runs the prepared DC plan on `num_threads` workers with work stealing and
+/// cooperative intra-subproblem splitting. Returns the merged outcome (with
+/// per-thread counters) and the per-worker maximality engines.
+pub(crate) fn run_dc_work_stealing(
+    plan: &DcPlan,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    num_threads: usize,
+    deadline: Option<Instant>,
+    engine_factory: Option<EngineFactory<'_>>,
+) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
+    let sched = Scheduler::new(num_threads, params.steal_granularity);
+    let estimates = subproblem_estimates(plan);
+    let mut seeds: Vec<usize> = (0..plan.ordering.len()).collect();
+    // Descending estimated cost; ties broken by ordering position so the
+    // seeding is deterministic.
+    seeds.sort_by(|&a, &b| estimates[b].cmp(&estimates[a]).then(a.cmp(&b)));
+    sched.outstanding.store(seeds.len(), Ordering::SeqCst);
+    sched.queued.store(seeds.len(), Ordering::SeqCst);
+    // Round-robin over the workers keeps each deque individually descending,
+    // so owners pop their heaviest remaining seed first.
+    for (k, &idx) in seeds.iter().enumerate() {
+        sched.deques[k % num_threads].push_back(Task::Root(idx));
+    }
+
+    let sched_ref = &sched;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|id| {
+                scope.spawn(move || {
+                    worker_loop(sched_ref, id, plan, params, inner, dc, deadline, engine_factory)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut stats = SearchStats::default();
+    let mut outputs = Vec::new();
+    let mut engines = Vec::new();
+    let mut thread_stats = Vec::new();
+    for result in results {
+        stats.merge(&result.stats);
+        outputs.extend(result.outputs);
+        engines.extend(result.engine);
+        thread_stats.push(result.thread_stats);
+    }
+    (
+        SearchOutcome {
+            outputs,
+            stats,
+            thread_stats,
+        },
+        engines,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    sched: &Scheduler,
+    id: usize,
+    plan: &DcPlan,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+    engine_factory: Option<EngineFactory<'_>>,
+) -> WorkerResult {
+    let mut result = WorkerResult {
+        outputs: Vec::new(),
+        stats: SearchStats::default(),
+        engine: engine_factory.map(|f| f()),
+        thread_stats: ThreadStats {
+            thread: id,
+            ..Default::default()
+        },
+    };
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            if sched.work_remains() {
+                result.stats.timed_out = true;
+            }
+            break;
+        }
+        match sched.find_task(id) {
+            Some((task, stolen)) => {
+                if stolen {
+                    result.thread_stats.steals += 1;
+                    result.stats.tasks_stolen += 1;
+                }
+                let start = Instant::now();
+                run_task(sched, id, task, plan, params, inner, dc, deadline, &mut result);
+                sched.outstanding.fetch_sub(1, Ordering::SeqCst);
+                result.thread_stats.busy_millis += start.elapsed().as_secs_f64() * 1e3;
+            }
+            None => {
+                if !sched.work_remains() {
+                    break;
+                }
+                // Hungry: advertise it (searchers poll this to donate) and
+                // wait for work to appear or the run to end.
+                let start = Instant::now();
+                sched.hungry.fetch_add(1, Ordering::SeqCst);
+                let mut spins = 0u32;
+                loop {
+                    if !sched.work_remains()
+                        || sched.deques.iter().any(|d| d.len.load(Ordering::Acquire) > 0)
+                        || deadline.is_some_and(|d| Instant::now() >= d)
+                    {
+                        break;
+                    }
+                    spins += 1;
+                    if spins < IDLE_SPINS_BEFORE_SLEEP {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(IDLE_SLEEP);
+                    }
+                }
+                sched.hungry.fetch_sub(1, Ordering::SeqCst);
+                result.thread_stats.idle_millis += start.elapsed().as_secs_f64() * 1e3;
+            }
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    sched: &Scheduler,
+    id: usize,
+    task: Task,
+    plan: &DcPlan,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
+    result: &mut WorkerResult,
+) {
+    match task {
+        Task::Root(idx) => {
+            let vi = plan.ordering[idx];
+            result.thread_stats.subproblems += 1;
+            let Some(built) = build_subproblem(plan, vi, params, dc, &mut result.stats) else {
+                return;
+            };
+            // Pre-compose local → original so split tasks never need the plan.
+            let to_orig: Vec<VertexId> = built
+                .sub
+                .to_global
+                .iter()
+                .map(|&r| plan.reduced.to_global[r as usize])
+                .collect();
+            let shared = Arc::new(SubShared {
+                graph: built.sub.graph,
+                kernel: built.sub.adjacency,
+                to_orig,
+            });
+            execute_branch(sched, id, &shared, &[built.local_vi], &built.cand, params, inner, deadline, result);
+        }
+        Task::Split(split) => {
+            result.thread_stats.splits += 1;
+            result.stats.split_executed += 1;
+            let shared = Arc::clone(&split.shared);
+            execute_branch(sched, id, &shared, &split.s_init, &split.cand, params, inner, deadline, result);
+        }
+    }
+}
+
+/// Runs the configured searcher on one branch of a subproblem (the whole
+/// subproblem when `s_init = [v_i]`), maps the outputs to original-graph
+/// ids, and streams them into the worker's engine.
+#[allow(clippy::too_many_arguments)]
+fn execute_branch(
+    sched: &Scheduler,
+    id: usize,
+    shared: &Arc<SubShared>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    deadline: Option<Instant>,
+    result: &mut WorkerResult,
+) {
+    let sink = SubSink {
+        sched,
+        shared: Arc::clone(shared),
+        worker: id,
+    };
+    let kernel = shared.kernel.as_ref();
+    let outcome = match inner {
+        InnerAlgorithm::FastQc(branching) => run_fastqc_split(
+            &shared.graph,
+            kernel,
+            s_init,
+            cand,
+            params,
+            branching,
+            deadline,
+            &sink,
+        ),
+        InnerAlgorithm::QuickPlus => {
+            run_quickplus_split(&shared.graph, kernel, s_init, cand, params, deadline, &sink)
+        }
+    };
+    result.stats.merge(&outcome.stats);
+    for h in outcome.outputs {
+        let mut set: Vec<VertexId> = h.iter().map(|&l| shared.to_orig[l as usize]).collect();
+        set.sort_unstable();
+        if let Some(engine) = result.engine.as_deref_mut() {
+            engine.add(&set);
+        }
+        result.outputs.push(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BranchingStrategy, MqceParams};
+    use crate::fastqc::run_fastqc_split;
+    use crate::naive;
+    use crate::quickplus::run_quickplus_split;
+    use mqce_settrie::filter_maximal;
+    use std::cell::{Cell, RefCell};
+
+    /// A sink that accepts every offered split: the searcher donates its
+    /// untaken branches at the first opportunity of every shallow frame, so
+    /// the test exercises the branch-packaging arithmetic of all branching
+    /// strategies deterministically (no scheduling races involved).
+    struct GreedySink {
+        queue: RefCell<Vec<SplitRequest>>,
+        donations: Cell<usize>,
+    }
+
+    impl GreedySink {
+        fn new() -> Self {
+            GreedySink {
+                queue: RefCell::new(Vec::new()),
+                donations: Cell::new(0),
+            }
+        }
+    }
+
+    impl SplitSink for GreedySink {
+        fn want_split(&self, _rest: usize) -> bool {
+            true
+        }
+
+        fn donate(&self, branches: Vec<SplitRequest>) {
+            self.donations.set(self.donations.get() + branches.len());
+            self.queue.borrow_mut().extend(branches);
+        }
+    }
+
+    /// Runs a whole-graph search under greedy splitting and then drains the
+    /// donated-task queue to completion (tasks may re-donate), returning the
+    /// union of all outputs.
+    fn run_with_greedy_splits(
+        g: &Graph,
+        params: MqceParams,
+        branching: Option<BranchingStrategy>,
+    ) -> (Vec<Vec<VertexId>>, usize) {
+        let sink = GreedySink::new();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let mut outputs = match branching {
+            Some(b) => run_fastqc_split(g, None, &[], &all, params, b, None, &sink).outputs,
+            None => run_quickplus_split(g, None, &[], &all, params, None, &sink).outputs,
+        };
+        loop {
+            let task = sink.queue.borrow_mut().pop();
+            let Some(task) = task else { break };
+            let outcome = match branching {
+                Some(b) => {
+                    run_fastqc_split(g, None, &task.s_init, &task.cand, params, b, None, &sink)
+                }
+                None => {
+                    run_quickplus_split(g, None, &task.s_init, &task.cand, params, None, &sink)
+                }
+            };
+            outputs.extend(outcome.outputs);
+        }
+        (outputs, sink.donations.get())
+    }
+
+    #[test]
+    fn greedy_splitting_preserves_the_maximal_family() {
+        let graphs = vec![
+            Graph::paper_figure1(),
+            Graph::complete(7),
+            mqce_graph::generators::erdos_renyi_gnm(14, 50, 11),
+        ];
+        let strategies = [
+            Some(BranchingStrategy::HybridSe),
+            Some(BranchingStrategy::SymSe),
+            Some(BranchingStrategy::Se),
+            None, // Quick+
+        ];
+        let mut donations_by_strategy = [0usize; 4];
+        for g in &graphs {
+            for &gamma in &[0.5, 0.6, 0.9] {
+                for theta in 2..=3 {
+                    let params = MqceParams::new(gamma, theta).unwrap();
+                    let expected = naive::all_maximal_quasi_cliques(g, params);
+                    for (k, &branching) in strategies.iter().enumerate() {
+                        let (outputs, donations) = run_with_greedy_splits(g, params, branching);
+                        assert_eq!(
+                            filter_maximal(&outputs),
+                            expected,
+                            "greedy splitting broke {branching:?} at gamma={gamma} theta={theta} \
+                             on {} vertices",
+                            g.num_vertices()
+                        );
+                        donations_by_strategy[k] += donations;
+                    }
+                }
+            }
+        }
+        // Some (graph, γ, θ) combinations terminate without ever branching,
+        // but over the whole grid every strategy must have donated work.
+        for (k, &branching) in strategies.iter().enumerate() {
+            assert!(
+                donations_by_strategy[k] > 0,
+                "{branching:?} never donated despite an always-hungry sink"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_match_subproblem_sizes() {
+        use crate::dc::DcConfig;
+        let g = mqce_graph::generators::erdos_renyi_gnm(40, 160, 3);
+        let params = MqceParams::new(0.9, 3).unwrap();
+        let dc = DcConfig::paper_default();
+        let plan = crate::dc::prepare_plan(&g, params, dc);
+        let estimates = subproblem_estimates(&plan);
+        for (i, &vi) in plan.ordering.iter().enumerate() {
+            let mut stats = SearchStats::default();
+            let before = stats.dc_vertices_before_pruning;
+            let _ = crate::dc::build_subproblem(&plan, vi, params, dc, &mut stats);
+            assert_eq!(
+                estimates[i] as u64,
+                stats.dc_vertices_before_pruning - before,
+                "estimate mismatch at anchor {vi}"
+            );
+        }
+    }
+}

@@ -34,6 +34,14 @@ pub struct SearchStats {
     /// Total number of vertices over all DC subgraphs after pruning
     /// (what the search actually runs on).
     pub dc_vertices_after_pruning: u64,
+    /// Branches donated by busy searchers as self-contained split tasks for
+    /// hungry workers (work-stealing parallel driver only).
+    pub split_donated: u64,
+    /// Donated split tasks executed by workers.
+    pub split_executed: u64,
+    /// Tasks (whole subproblems or split tasks) taken from another worker's
+    /// deque.
+    pub tasks_stolen: u64,
     /// Whether the run stopped early because the time limit was hit.
     pub timed_out: bool,
 }
@@ -54,7 +62,41 @@ impl SearchStats {
         self.dc_subproblems += other.dc_subproblems;
         self.dc_vertices_before_pruning += other.dc_vertices_before_pruning;
         self.dc_vertices_after_pruning += other.dc_vertices_after_pruning;
+        self.split_donated += other.split_donated;
+        self.split_executed += other.split_executed;
+        self.tasks_stolen += other.tasks_stolen;
         self.timed_out |= other.timed_out;
+    }
+}
+
+/// Per-worker counters of one work-stealing parallel run: what each thread
+/// actually did, powering the per-thread efficiency rows of the `threads`
+/// bench profile and the `BENCH_mqce.json` records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Worker index (`0..num_threads`).
+    pub thread: usize,
+    /// Whole per-vertex subproblems this worker ran.
+    pub subproblems: u64,
+    /// Donated split tasks (slices of another search's tree) this worker ran.
+    pub splits: u64,
+    /// Tasks this worker stole from another worker's deque.
+    pub steals: u64,
+    /// Wall-clock milliseconds spent executing tasks.
+    pub busy_millis: f64,
+    /// Wall-clock milliseconds spent hungry (looking for work).
+    pub idle_millis: f64,
+}
+
+impl ThreadStats {
+    /// Fraction of this worker's wall-clock spent executing tasks.
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy_millis + self.idle_millis;
+        if total <= 0.0 {
+            1.0
+        } else {
+            self.busy_millis / total
+        }
     }
 }
 
@@ -113,6 +155,13 @@ impl std::fmt::Display for SearchStats {
                 self.dc_vertices_after_pruning
             )?;
         }
+        if self.split_donated + self.split_executed + self.tasks_stolen > 0 {
+            write!(
+                f,
+                " donated={} splits_run={} stolen={}",
+                self.split_donated, self.split_executed, self.tasks_stolen
+            )?;
+        }
         if self.timed_out {
             write!(f, " TIMED_OUT")?;
         }
@@ -163,6 +212,35 @@ mod tests {
         s2.timed_out = true;
         assert!(s2.to_string().contains("TIMED_OUT"));
         assert!(S2Stats::default().to_string().contains("backend=?"));
+    }
+
+    #[test]
+    fn thread_stats_busy_fraction() {
+        let t = ThreadStats {
+            thread: 1,
+            busy_millis: 75.0,
+            idle_millis: 25.0,
+            ..Default::default()
+        };
+        assert!((t.busy_fraction() - 0.75).abs() < 1e-12);
+        // A thread that recorded no time counts as fully busy, not NaN.
+        assert_eq!(ThreadStats::default().busy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_steal_counters_only_when_present() {
+        let quiet = SearchStats::default();
+        assert!(!quiet.to_string().contains("donated="));
+        let busy = SearchStats {
+            split_donated: 3,
+            split_executed: 2,
+            tasks_stolen: 5,
+            ..Default::default()
+        };
+        let text = busy.to_string();
+        assert!(text.contains("donated=3"));
+        assert!(text.contains("splits_run=2"));
+        assert!(text.contains("stolen=5"));
     }
 
     #[test]

@@ -306,8 +306,20 @@ impl AdjacencyMatrix {
 /// long as `a`), 4-word-chunked with independent accumulators
 /// (autovectorisation-friendly form; the ROADMAP SIMD item, kept in stable
 /// Rust rather than `std::simd`).
+///
+/// # Panics
+/// Panics when `b` is shorter than `a` — callers always derive both slices
+/// from the same graph, so a mismatch means a row and a mask from different
+/// (sub)graphs were mixed.
 #[inline]
 pub fn popcount_and2(a: &[u64], b: &[u64]) -> usize {
+    assert!(
+        b.len() >= a.len(),
+        "popcount_and2: slice length mismatch ({} vs {}); \
+         the row and the mask must come from the same (sub)graph",
+        a.len(),
+        b.len()
+    );
     let mut acc = [0u32; 4];
     let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
     let (b4, b_tail) = b.split_at(a4.len());
@@ -326,8 +338,20 @@ pub fn popcount_and2(a: &[u64], b: &[u64]) -> usize {
 
 /// `popcount(a & b & c)` over equal-length word slices, 4-word-chunked like
 /// [`popcount_and2`].
+///
+/// # Panics
+/// Panics when `b` or `c` is shorter than `a` — a length mismatch means rows
+/// and masks from different (sub)graphs were mixed.
 #[inline]
 pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> usize {
+    assert!(
+        b.len() >= a.len() && c.len() >= a.len(),
+        "popcount_and3: slice length mismatch ({} vs {} vs {}); \
+         the rows and the mask must come from the same (sub)graph",
+        a.len(),
+        b.len(),
+        c.len()
+    );
     let mut acc = [0u32; 4];
     let split = a.len() - a.len() % 4;
     let (a4, a_tail) = a.split_at(split);
@@ -531,6 +555,18 @@ mod tests {
             assert_eq!(popcount_and2(&a, &b), and2, "and2 len={len}");
             assert_eq!(popcount_and3(&a, &b, &c), and3, "and3 len={len}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount_and2: slice length mismatch")]
+    fn popcount_and2_rejects_short_mask() {
+        popcount_and2(&[1, 2, 3], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "popcount_and3: slice length mismatch")]
+    fn popcount_and3_rejects_short_mask() {
+        popcount_and3(&[1, 2], &[1, 2], &[1]);
     }
 
     #[test]

@@ -211,6 +211,44 @@ fn set_hash(set: &[u32]) -> u64 {
     h.finish()
 }
 
+/// Hash-keyed exact-duplicate table shared by the engines' `add` paths:
+/// `hash(set) → slots in the backing store with that hash`.
+#[derive(Default)]
+struct DedupIndex {
+    hashes: HashMap<u64, Vec<u32>>,
+}
+
+impl DedupIndex {
+    /// Canonicalises `set` and probes the table for an exact duplicate among
+    /// `store`. Returns `None` for a duplicate, or the canonical form plus
+    /// its hash for a new set (the caller decides whether to
+    /// [`register`](Self::register) it — the streaming engines may still
+    /// drop the set to a domination probe first).
+    fn admit<'a>(
+        &self,
+        set: &'a [u32],
+        store: &[Vec<u32>],
+    ) -> Option<(std::borrow::Cow<'a, [u32]>, u64)> {
+        let set = canonical(set);
+        let hash = set_hash(&set);
+        if let Some(slots) = self.hashes.get(&hash) {
+            if slots.iter().any(|&s| store[s as usize] == *set) {
+                return None;
+            }
+        }
+        Some((set, hash))
+    }
+
+    /// Records that `store[slot]` holds a set hashing to `hash`.
+    fn register(&mut self, hash: u64, slot: usize) {
+        self.hashes.entry(hash).or_default().push(slot as u32);
+    }
+
+    fn clear(&mut self) {
+        self.hashes.clear();
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Probe indices: the pluggable superset-query structure shared by the
 // streaming phase and the descending-cardinality compaction.
@@ -225,8 +263,9 @@ trait ProbeIndex: Default + Send {
 
     /// Whether any indexed set contains every element of `set` (`set` itself
     /// is never indexed at query time). `accepted` is the backing storage the
-    /// index's ids point into.
-    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool;
+    /// index's ids point into. Takes `&mut self` so implementations can keep
+    /// reusable scratch buffers instead of allocating per probe.
+    fn dominated(&mut self, set: &[u32], accepted: &[Vec<u32>]) -> bool;
 
     /// Indexes `accepted[slot]` (which must equal `set`).
     fn insert(&mut self, set: &[u32], slot: usize);
@@ -245,7 +284,7 @@ struct InvertedProbe {
 impl ProbeIndex for InvertedProbe {
     const NAME: &'static str = "inverted";
 
-    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
+    fn dominated(&mut self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
         let mut probe: Option<&Vec<u32>> = None;
         for e in set {
             let Some(&id) = self.elem_ids.get(e) else {
@@ -298,18 +337,33 @@ struct BitmapProbe {
     nonzero: Vec<Vec<u32>>,
     /// `freq[elem_id]` = number of accepted sets containing the element.
     freq: Vec<u32>,
+    /// Reusable scratch for the query's element ids, so the hot `add` path
+    /// does not allocate per probe.
+    query_ids: Vec<usize>,
+    /// Reusable scratch for the surviving `(word index, word)` pairs.
+    survivors: Vec<(u32, u64)>,
 }
 
 impl ProbeIndex for BitmapProbe {
     const NAME: &'static str = "bitset";
 
-    fn dominated(&self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
-        let mut ids = Vec::with_capacity(set.len());
+    fn dominated(&mut self, set: &[u32], accepted: &[Vec<u32>]) -> bool {
+        // Destructure so the scratch buffers borrow disjointly from the
+        // read-only index structures.
+        let BitmapProbe {
+            elem_ids,
+            bitmaps,
+            nonzero,
+            freq,
+            query_ids: ids,
+            survivors,
+        } = self;
+        ids.clear();
         for e in set {
-            let Some(&id) = self.elem_ids.get(e) else {
+            let Some(&id) = elem_ids.get(e) else {
                 return false;
             };
-            if self.freq[id] == 0 {
+            if freq[id] == 0 {
                 return false;
             }
             ids.push(id);
@@ -319,7 +373,7 @@ impl ProbeIndex for BitmapProbe {
         }
         // Intersect in ascending frequency order so the survivor list
         // collapses as early as possible.
-        ids.sort_unstable_by_key(|&id| self.freq[id]);
+        ids.sort_unstable_by_key(|&id| freq[id]);
         if ids.len() == 1 {
             // A single-element query is dominated by any accepted set
             // containing the element, and freq > 0 was checked above.
@@ -328,10 +382,10 @@ impl ProbeIndex for BitmapProbe {
         // Seed the survivors from the AND of the two rarest bitmaps, walking
         // only the rarest element's non-zero words.
         let (a, b) = (ids[0], ids[1]);
-        let bm_a = &self.bitmaps[a];
-        let bm_b = &self.bitmaps[b];
-        let mut survivors: Vec<(u32, u64)> = Vec::new();
-        for &wi in &self.nonzero[a] {
+        let bm_a = &bitmaps[a];
+        let bm_b = &bitmaps[b];
+        survivors.clear();
+        for &wi in &nonzero[a] {
             let w = bm_a[wi as usize] & bm_b.get(wi as usize).copied().unwrap_or(0);
             if w != 0 {
                 survivors.push((wi, w));
@@ -341,7 +395,7 @@ impl ProbeIndex for BitmapProbe {
             if survivors.is_empty() {
                 return false;
             }
-            let bm = &self.bitmaps[id];
+            let bm = &bitmaps[id];
             survivors.retain_mut(|(i, w)| {
                 *w &= bm.get(*i as usize).copied().unwrap_or(0);
                 *w != 0
@@ -389,8 +443,8 @@ impl ProbeIndex for BitmapProbe {
 struct StreamingEngine<P: ProbeIndex> {
     accepted: Vec<Vec<u32>>,
     probe: P,
-    /// hash(set) → accepted slots with that hash (exact-duplicate detection).
-    hashes: HashMap<u64, Vec<u32>>,
+    /// Exact-duplicate detection over the accepted slots.
+    dedup: DedupIndex,
     /// Streaming probes attempted / sets they dropped. The on-arrival probe
     /// is an *optimisation* (the final compaction restores exactness), so
     /// when the observed drop rate shows it almost never fires — the
@@ -412,7 +466,7 @@ impl<P: ProbeIndex> StreamingEngine<P> {
         StreamingEngine {
             accepted: Vec::new(),
             probe: P::default(),
-            hashes: HashMap::new(),
+            dedup: DedupIndex::default(),
             probes: 0,
             probe_drops: 0,
             probing: true,
@@ -426,13 +480,9 @@ impl<P: ProbeIndex> MaximalityEngine for StreamingEngine<P> {
     }
 
     fn add(&mut self, set: &[u32]) -> bool {
-        let set = canonical(set);
-        let hash = set_hash(&set);
-        if let Some(slots) = self.hashes.get(&hash) {
-            if slots.iter().any(|&s| self.accepted[s as usize] == *set) {
-                return false;
-            }
-        }
+        let Some((set, hash)) = self.dedup.admit(set, &self.accepted) else {
+            return false;
+        };
         if set.is_empty() {
             // The empty set survives only when nothing else does.
             if !self.accepted.is_empty() {
@@ -457,7 +507,7 @@ impl<P: ProbeIndex> MaximalityEngine for StreamingEngine<P> {
         if self.probing {
             self.probe.insert(&set, slot);
         }
-        self.hashes.entry(hash).or_default().push(slot as u32);
+        self.dedup.register(hash, slot);
         self.accepted.push(set.into_owned());
         true
     }
@@ -468,7 +518,7 @@ impl<P: ProbeIndex> MaximalityEngine for StreamingEngine<P> {
 
     fn drain(&mut self) -> Vec<Vec<u32>> {
         self.probe = P::default();
-        self.hashes.clear();
+        self.dedup.clear();
         self.probes = 0;
         self.probe_drops = 0;
         self.probing = true;
@@ -573,14 +623,14 @@ fn compact_descending<P: ProbeIndex>(
 /// subset of the full maximal family).
 struct ExtremalEngine {
     sets: Vec<Vec<u32>>,
-    hashes: HashMap<u64, Vec<u32>>,
+    dedup: DedupIndex,
 }
 
 impl ExtremalEngine {
     fn new() -> Self {
         ExtremalEngine {
             sets: Vec::new(),
-            hashes: HashMap::new(),
+            dedup: DedupIndex::default(),
         }
     }
 }
@@ -591,14 +641,10 @@ impl MaximalityEngine for ExtremalEngine {
     }
 
     fn add(&mut self, set: &[u32]) -> bool {
-        let set = canonical(set);
-        let hash = set_hash(&set);
-        if let Some(slots) = self.hashes.get(&hash) {
-            if slots.iter().any(|&s| self.sets[s as usize] == *set) {
-                return false;
-            }
-        }
-        self.hashes.entry(hash).or_default().push(self.sets.len() as u32);
+        let Some((set, hash)) = self.dedup.admit(set, &self.sets) else {
+            return false;
+        };
+        self.dedup.register(hash, self.sets.len());
         self.sets.push(set.into_owned());
         true
     }
@@ -608,7 +654,7 @@ impl MaximalityEngine for ExtremalEngine {
     }
 
     fn drain(&mut self) -> Vec<Vec<u32>> {
-        self.hashes.clear();
+        self.dedup.clear();
         std::mem::take(&mut self.sets)
     }
 
@@ -707,7 +753,7 @@ struct AutoEngine {
 enum AutoState {
     Buffering {
         sets: Vec<Vec<u32>>,
-        hashes: HashMap<u64, Vec<u32>>,
+        dedup: DedupIndex,
         universe: HashSet<u32>,
         total_elements: usize,
     },
@@ -719,7 +765,7 @@ impl AutoEngine {
         AutoEngine {
             state: AutoState::Buffering {
                 sets: Vec::new(),
-                hashes: HashMap::new(),
+                dedup: DedupIndex::default(),
                 universe: HashSet::new(),
                 total_elements: 0,
             },
@@ -761,18 +807,14 @@ impl MaximalityEngine for AutoEngine {
         match &mut self.state {
             AutoState::Buffering {
                 sets,
-                hashes,
+                dedup,
                 universe,
                 total_elements,
             } => {
-                let set = canonical(set);
-                let hash = set_hash(&set);
-                if let Some(slots) = hashes.get(&hash) {
-                    if slots.iter().any(|&s| sets[s as usize] == *set) {
-                        return false;
-                    }
-                }
-                hashes.entry(hash).or_default().push(sets.len() as u32);
+                let Some((set, hash)) = dedup.admit(set, sets) else {
+                    return false;
+                };
+                dedup.register(hash, sets.len());
                 for &e in set.iter() {
                     universe.insert(e);
                 }
@@ -798,11 +840,11 @@ impl MaximalityEngine for AutoEngine {
         match &mut self.state {
             AutoState::Buffering {
                 sets,
-                hashes,
+                dedup,
                 universe,
                 total_elements,
             } => {
-                hashes.clear();
+                dedup.clear();
                 universe.clear();
                 *total_elements = 0;
                 std::mem::take(sets)

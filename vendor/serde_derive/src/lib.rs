@@ -1,7 +1,10 @@
 //! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
 //! `#[derive(Deserialize)]` for structs with named fields, honouring the
 //! `#[serde(skip)]` field attribute (skipped fields are omitted from the
-//! output and rebuilt with `Default::default()` on deserialisation).
+//! output and rebuilt with `Default::default()` on deserialisation) and
+//! `#[serde(default)]` (serialised normally, but a missing field falls back
+//! to `Default::default()` instead of erroring — schema-evolution support
+//! for records written before the field existed).
 //!
 //! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
 //! which are equally unavailable offline), so it intentionally supports
@@ -12,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Struct {
@@ -58,8 +62,9 @@ fn parse_struct(input: TokenStream) -> Result<Struct, String> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Field attributes: detect #[serde(skip)].
+        // Field attributes: detect #[serde(skip)] and #[serde(default)].
         let mut skip = false;
+        let mut default = false;
         while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             iter.next();
             if let Some(TokenTree::Group(g)) = iter.next() {
@@ -67,12 +72,14 @@ fn parse_struct(input: TokenStream) -> Result<Struct, String> {
                 if matches!(&inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
                 {
                     if let Some(TokenTree::Group(args)) = inner.next() {
-                        if args
-                            .stream()
-                            .into_iter()
-                            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
-                        {
-                            skip = true;
+                        for t in args.stream() {
+                            if let TokenTree::Ident(id) = &t {
+                                match id.to_string().as_str() {
+                                    "skip" => skip = true,
+                                    "default" => default = true,
+                                    _ => {}
+                                }
+                            }
                         }
                     }
                 }
@@ -112,7 +119,11 @@ fn parse_struct(input: TokenStream) -> Result<Struct, String> {
             }
             iter.next();
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     Ok(Struct { name, fields })
 }
@@ -164,6 +175,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             inits.push_str(&format!(
                 "{}: ::std::default::Default::default(),\n",
                 field.name
+            ));
+        } else if field.default {
+            inits.push_str(&format!(
+                "{}: match value.field({:?}) {{\n\
+                     ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                 }},\n",
+                field.name, field.name
             ));
         } else {
             inits.push_str(&format!(

@@ -33,10 +33,7 @@ fn bench_query_vs_full(c: &mut Criterion) {
             |b, g| {
                 b.iter(|| {
                     let all = enumerate_mqcs(g, &config);
-                    all.mqcs
-                        .iter()
-                        .filter(|m| m.contains(&hub))
-                        .count()
+                    all.mqcs.iter().filter(|m| m.contains(&hub)).count()
                 })
             },
         );

@@ -18,7 +18,10 @@ fn bench_substrate(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2));
 
-    for dataset in [social_sparse(SuiteScale::Small), social_large(SuiteScale::Small)] {
+    for dataset in [
+        social_sparse(SuiteScale::Small),
+        social_large(SuiteScale::Small),
+    ] {
         let g = &dataset.graph;
         group.bench_with_input(
             BenchmarkId::new("core_decomposition", dataset.name),

@@ -23,9 +23,11 @@ fn bench_settrie(c: &mut Criterion) {
             .with_time_limit(Duration::from_secs(10));
         let s1 = solve_s1(&dataset.graph, &config).outputs;
 
-        group.bench_with_input(BenchmarkId::new("set_trie", dataset.name), &s1, |b, sets| {
-            b.iter(|| filter_maximal(sets))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("set_trie", dataset.name),
+            &s1,
+            |b, sets| b.iter(|| filter_maximal(sets)),
+        );
         group.bench_with_input(
             BenchmarkId::new("quadratic_reference", dataset.name),
             &s1,

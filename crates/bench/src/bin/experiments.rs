@@ -6,13 +6,17 @@
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
 //! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `s2-stress`,
-//! `threads`, `all`.
+//! `s2-calibrate`, `threads`, `all`.
 //!
 //! `quick` is the backend-comparison profile (bitset kernel vs sorted
 //! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
 //! job and the perf trajectory can pick the records up. `s2-stress` (the
-//! maximality-engine backends on a large overlapping family) and `threads`
-//! (the parallel-scaling sweep) *append* their rows to the same file.
+//! maximality-engine backends on large overlapping families; restrict it to
+//! one backend with `--s2-backend`, as the CI matrix does), `s2-calibrate`
+//! (fits the S2 cost model from measured timings; `--emit <path>` writes the
+//! fitted table, e.g. over `crates/settrie/src/s2_cost_model.tsv`) and
+//! `threads` (the parallel-scaling sweep) *append* their rows to the same
+//! file.
 //!
 //! `--quick` runs the reduced-scale suite with a short time limit (useful for
 //! smoke-testing the harness); the default is the full laptop-scale suite.
@@ -25,8 +29,9 @@ use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|threads|all> \
-         [--quick] [--time-limit <seconds>] [--json <path>]"
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|all> \
+         [--quick] [--time-limit <seconds>] [--json <path>] \
+         [--s2-backend <inverted|bitset|extremal>] [--emit <path>]"
     );
     std::process::exit(2);
 }
@@ -39,15 +44,14 @@ fn main() {
     let mut experiment: Option<String> = None;
     let mut opts = ExperimentOptions::default();
     let mut json_path: Option<PathBuf> = None;
+    let mut emit_path: Option<PathBuf> = None;
 
     let mut i = 0;
     let mut time_limit_set = false;
+    let mut quick = false;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => {
-                opts = ExperimentOptions::quick();
-                time_limit_set = true;
-            }
+            "--quick" => quick = true,
             "--time-limit" => {
                 i += 1;
                 let secs: u64 = args
@@ -59,7 +63,24 @@ fn main() {
             }
             "--json" => {
                 i += 1;
-                json_path = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+                json_path = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--emit" => {
+                i += 1;
+                emit_path = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--s2-backend" => {
+                i += 1;
+                opts.s2_backend = match args.get(i).map(String::as_str) {
+                    Some("inverted") => Some(mqce_settrie::S2Backend::Inverted),
+                    Some("bitset") => Some(mqce_settrie::S2Backend::Bitset),
+                    Some("extremal") => Some(mqce_settrie::S2Backend::Extremal),
+                    _ => usage(),
+                };
             }
             name if experiment.is_none() && !name.starts_with('-') => {
                 experiment = Some(name.to_string());
@@ -69,11 +90,27 @@ fn main() {
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
+    // `--quick` switches to the small-scale suite; an explicit
+    // `--time-limit` wins over quick's short default regardless of the
+    // order the two flags appeared in.
+    if quick {
+        let mut quick_opts = ExperimentOptions::quick();
+        quick_opts.s2_backend = opts.s2_backend;
+        if time_limit_set {
+            quick_opts.time_limit = opts.time_limit;
+        } else {
+            time_limit_set = true;
+        }
+        opts = quick_opts;
+    }
     // The perf profiles are the per-PR smoke signal: bounded time limits and
     // always a machine-readable artifact. `quick` starts the file fresh;
-    // `s2-stress` and `threads` append so one CI job can accumulate all
-    // three into a single BENCH_mqce.json.
-    let perf_profile = matches!(experiment.as_str(), "quick" | "s2-stress" | "threads");
+    // `s2-stress`, `s2-calibrate` and `threads` append so one CI job can
+    // accumulate them into a single BENCH_mqce.json.
+    let perf_profile = matches!(
+        experiment.as_str(),
+        "quick" | "s2-stress" | "s2-calibrate" | "threads"
+    );
     if perf_profile {
         if !time_limit_set {
             opts.time_limit = Duration::from_secs(10);
@@ -97,13 +134,24 @@ fn main() {
         "s2" => experiments::s2_cost(opts),
         "quick" => experiments::quick_backends(opts),
         "s2-stress" => experiments::s2_stress(opts),
+        "s2-calibrate" => {
+            let (records, model) = experiments::s2_calibrate(opts);
+            if let Some(path) = &emit_path {
+                std::fs::write(path, model.to_table_string()).expect("write fitted cost model");
+                println!("wrote fitted cost model to {}", path.display());
+            }
+            records
+        }
         "threads" => experiments::thread_sweep(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };
 
     if let Some(path) = json_path {
-        if matches!(experiment.as_str(), "s2-stress" | "threads") {
+        if matches!(
+            experiment.as_str(),
+            "s2-stress" | "s2-calibrate" | "threads"
+        ) {
             append_json(&path, &records).expect("append JSON results");
             println!("\nappended {} records to {}", records.len(), path.display());
         } else {

@@ -81,6 +81,13 @@ pub struct RunRecord {
     pub s2_backend: String,
     /// Whether S2 hit its deadline (the MQC count is then a partial result).
     pub s2_timed_out: bool,
+    /// The auto dispatcher's predicted compaction cost per concrete backend
+    /// (`[inverted, bitset, extremal]` milliseconds), empty when a concrete
+    /// backend was requested or the small-family fallback fired — the raw
+    /// material for auditing cost-model mispredictions against `s2_millis`.
+    /// `default` so pre-cost-model records still parse.
+    #[serde(default)]
+    pub s2_predicted_millis: Vec<f64>,
     /// Wall-clock time of the MQCE-S1 window in milliseconds. Since the
     /// streaming-S2 rework this includes the engine `add` probes that run
     /// inline with the DC search (the filtering work deliberately overlapped
@@ -296,6 +303,12 @@ pub fn measure_threads_with(
         threads,
         s2_backend: result.s2.backend.clone(),
         s2_timed_out: result.s2.timed_out,
+        s2_predicted_millis: result
+            .s2
+            .decision
+            .filter(|d| d.modeled)
+            .map(|d| d.predicted_millis.to_vec())
+            .unwrap_or_default(),
         s1_millis: result.s1_time.as_secs_f64() * 1e3,
         s2_millis: result.s2_time.as_secs_f64() * 1e3,
         s1_outputs: result.qcs.len(),
@@ -315,7 +328,15 @@ pub fn print_table(title: &str, records: &[RunRecord]) {
     println!("\n== {title} ==");
     println!(
         "{:<14} {:<22} {:>6} {:>5} {:>12} {:>12} {:>10} {:>8} {:>12}",
-        "dataset", "algorithm", "gamma", "theta", "S1 time(ms)", "S2 time(ms)", "#S1 out", "#MQC", "branches"
+        "dataset",
+        "algorithm",
+        "gamma",
+        "theta",
+        "S1 time(ms)",
+        "S2 time(ms)",
+        "#S1 out",
+        "#MQC",
+        "branches"
     );
     for r in records {
         println!(
@@ -412,7 +433,14 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let g = Graph::complete(5);
-        let rec = measure("k5", &g, AlgoSpec::quickplus(), 0.9, 2, Duration::from_secs(5));
+        let rec = measure(
+            "k5",
+            &g,
+            AlgoSpec::quickplus(),
+            0.9,
+            2,
+            Duration::from_secs(5),
+        );
         let dir = std::env::temp_dir().join("mqce_bench_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("records.json");
@@ -427,8 +455,23 @@ mod tests {
     #[test]
     fn measure_threads_matches_sequential() {
         let g = Graph::complete(8);
-        let seq = measure("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5));
-        let par = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 4);
+        let seq = measure(
+            "k8",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+        );
+        let par = measure_threads(
+            "k8",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+            4,
+        );
         assert_eq!(seq.threads, 1);
         assert_eq!(par.threads, 4);
         assert_eq!(seq.mqcs, par.mqcs);
@@ -464,7 +507,15 @@ mod tests {
     #[test]
     fn thread_rows_survive_json_roundtrip() {
         let g = Graph::complete(8);
-        let rec = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 2);
+        let rec = measure_threads(
+            "k8",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+            2,
+        );
         let dir = std::env::temp_dir().join("mqce_bench_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("thread_rows.json");
@@ -474,7 +525,11 @@ mod tests {
         assert_eq!(parsed[0].thread_stats.len(), rec.thread_stats.len());
         assert_eq!(parsed[0].thread_stats[0].thread, 0);
         assert_eq!(
-            parsed[0].thread_stats.iter().map(|t| t.subproblems).sum::<u64>(),
+            parsed[0]
+                .thread_stats
+                .iter()
+                .map(|t| t.subproblems)
+                .sum::<u64>(),
             rec.thread_stats.iter().map(|t| t.subproblems).sum::<u64>()
         );
         std::fs::remove_file(&path).ok();
@@ -484,7 +539,15 @@ mod tests {
     fn shared_index_scheduler_measures_identically() {
         use mqce_core::ParallelScheduler;
         let g = Graph::complete(8);
-        let ws = measure_threads("k8", &g, AlgoSpec::dcfastqc(), 0.9, 3, Duration::from_secs(5), 2);
+        let ws = measure_threads(
+            "k8",
+            &g,
+            AlgoSpec::dcfastqc(),
+            0.9,
+            3,
+            Duration::from_secs(5),
+            2,
+        );
         let si = measure_threads_with(
             "k8",
             &g,
@@ -503,7 +566,14 @@ mod tests {
     #[test]
     fn append_json_accumulates_records() {
         let g = Graph::complete(5);
-        let rec = measure("k5", &g, AlgoSpec::quickplus(), 0.9, 2, Duration::from_secs(5));
+        let rec = measure(
+            "k5",
+            &g,
+            AlgoSpec::quickplus(),
+            0.9,
+            2,
+            Duration::from_secs(5),
+        );
         let dir = std::env::temp_dir().join("mqce_bench_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("append.json");

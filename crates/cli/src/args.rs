@@ -48,7 +48,11 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingValue(opt) => write!(f, "option --{opt} needs a value"),
             ArgError::Duplicate(opt) => write!(f, "option --{opt} was given twice"),
             ArgError::Unknown(opt) => write!(f, "unknown option --{opt}"),
-            ArgError::BadValue { option, value, expected } => {
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{option}: {value:?} is not {expected}")
             }
             ArgError::MissingPositional(name) => write!(f, "missing required argument <{name}>"),
@@ -194,7 +198,14 @@ mod tests {
 
     #[test]
     fn parses_positionals_and_options() {
-        let p = parse(&argv(&["enumerate", "graph.txt", "--gamma", "0.9", "--theta=5"])).unwrap();
+        let p = parse(&argv(&[
+            "enumerate",
+            "graph.txt",
+            "--gamma",
+            "0.9",
+            "--theta=5",
+        ]))
+        .unwrap();
         assert_eq!(p.positional, vec!["enumerate", "graph.txt"]);
         assert_eq!(p.get("gamma"), Some("0.9"));
         assert_eq!(p.get("theta"), Some("5"));
@@ -205,7 +216,14 @@ mod tests {
 
     #[test]
     fn switches_do_not_consume_values() {
-        let p = parse(&argv(&["enumerate", "g.txt", "--print-sets", "--gamma", "0.8"])).unwrap();
+        let p = parse(&argv(&[
+            "enumerate",
+            "g.txt",
+            "--print-sets",
+            "--gamma",
+            "0.8",
+        ]))
+        .unwrap();
         assert!(p.switch("print-sets"));
         assert_eq!(p.get_f64("gamma", 0.5).unwrap(), 0.8);
         assert!(!p.switch("verify"));
@@ -228,8 +246,14 @@ mod tests {
     #[test]
     fn bad_values_are_reported() {
         let p = parse(&argv(&["x", "--gamma", "abc", "--theta", "-3"])).unwrap();
-        assert!(matches!(p.get_f64("gamma", 0.5), Err(ArgError::BadValue { .. })));
-        assert!(matches!(p.get_usize("theta", 1), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            p.get_f64("gamma", 0.5),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            p.get_usize("theta", 1),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -247,15 +271,22 @@ mod tests {
         assert!(p.restrict_options(&["gamma"]).is_err());
         assert!(p.restrict_options(&["weird"]).is_ok());
         assert_eq!(p.positional(0, "command").unwrap(), "stats");
-        assert!(matches!(p.positional(5, "x"), Err(ArgError::MissingPositional("x"))));
+        assert!(matches!(
+            p.positional(5, "x"),
+            Err(ArgError::MissingPositional("x"))
+        ));
         assert!(p.no_extra_positionals(2).is_err());
         assert!(p.no_extra_positionals(3).is_ok());
     }
 
     #[test]
     fn error_display() {
-        assert!(ArgError::Unknown("foo".into()).to_string().contains("--foo"));
-        assert!(ArgError::MissingPositional("input").to_string().contains("<input>"));
+        assert!(ArgError::Unknown("foo".into())
+            .to_string()
+            .contains("--foo"));
+        assert!(ArgError::MissingPositional("input")
+            .to_string()
+            .contains("<input>"));
         let bad = ArgError::BadValue {
             option: "gamma".into(),
             value: "x".into(),

@@ -75,7 +75,7 @@ USAGE:
   mqce stats <graph>
   mqce enumerate <graph> --gamma G --theta T [--algorithm A] [--branching B]
                  [--max-round N] [--threads N] [--steal-granularity N]
-                 [--backend K] [--s2-backend F]
+                 [--backend K] [--s2-backend F] [--s2-model PATH]
                  [--time-limit-secs S] [--print-sets] [--verify]
   mqce topk <graph> --gamma G [--k K]
   mqce query <graph> --gamma G --theta T --vertices V1,V2,...
@@ -94,8 +94,11 @@ BACKEND (--backend): auto (default; bitset kernel on dense subproblems),
   slice (CSR binary search only), bitset (force the kernel when it fits).
 S2 BACKEND (--s2-backend): auto (default; picks from the observed stream),
   inverted (inverted-index filter), bitset (word-parallel bitmap probes),
-  extremal (Bayardo-Panda extremal sets). See the README section on S2
+  extremal (full Bayardo-Panda extremal sets). See the README section on S2
   maximality backends.
+S2 MODEL (--s2-model): path to a fitted cost-model table for the auto
+  dispatcher (the format `experiments s2-calibrate --emit` writes); defaults
+  to the calibrated table checked in with the settrie crate.
 THREADS (--threads): worker count for the DC subproblems; 0 auto-detects
   the available parallelism of the machine. Default 1 (sequential). Workers
   run a work-stealing scheduler; busy searchers split untaken branches off
@@ -183,7 +186,9 @@ fn parse_branching(raw: Option<&str>) -> Result<BranchingStrategy, CliError> {
         "hybrid" | "hybrid-se" => Ok(BranchingStrategy::HybridSe),
         "sym" | "sym-se" => Ok(BranchingStrategy::SymSe),
         "se" => Ok(BranchingStrategy::Se),
-        other => Err(CliError::Params(format!("unknown branching strategy {other:?}"))),
+        other => Err(CliError::Params(format!(
+            "unknown branching strategy {other:?}"
+        ))),
     }
 }
 
@@ -192,7 +197,9 @@ fn parse_backend(raw: Option<&str>) -> Result<AdjacencyBackend, CliError> {
         "auto" => Ok(AdjacencyBackend::Auto),
         "slice" | "csr" => Ok(AdjacencyBackend::Slice),
         "bitset" | "bitmatrix" => Ok(AdjacencyBackend::Bitset),
-        other => Err(CliError::Params(format!("unknown adjacency backend {other:?}"))),
+        other => Err(CliError::Params(format!(
+            "unknown adjacency backend {other:?}"
+        ))),
     }
 }
 
@@ -227,6 +234,13 @@ fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
         .with_backend(parse_backend(parsed.get("backend"))?)
         .with_s2_backend(parse_s2_backend(parsed.get("s2-backend"))?)
         .with_max_round(parsed.get_usize("max-round", 2)?);
+    if let Some(path) = parsed.get("s2-model") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read S2 cost model {path}: {e}")))?;
+        let model = mqce_core::S2CostModel::from_table_str(&text)
+            .map_err(|e| CliError::Params(format!("invalid S2 cost model {path}: {e}")))?;
+        config = config.with_s2_model(model);
+    }
     if let Some(raw) = parsed.get("steal-granularity") {
         let granularity = raw.parse().map_err(|_| {
             CliError::Args(args::ArgError::BadValue {
@@ -256,7 +270,12 @@ fn cmd_stats<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError>
     writeln!(out, "edge density     {:.3}", stats.edge_density).map_err(io_err)?;
     writeln!(out, "max degree       {}", stats.max_degree).map_err(io_err)?;
     writeln!(out, "degeneracy       {}", stats.degeneracy).map_err(io_err)?;
-    writeln!(out, "triangles        {}", mqce_graph::stats::triangle_count(&g)).map_err(io_err)?;
+    writeln!(
+        out,
+        "triangles        {}",
+        mqce_graph::stats::triangle_count(&g)
+    )
+    .map_err(io_err)?;
     writeln!(
         out,
         "clustering coeff {:.4}",
@@ -274,6 +293,7 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         "branching",
         "backend",
         "s2-backend",
+        "s2-model",
         "max-round",
         "threads",
         "steal-granularity",
@@ -327,7 +347,11 @@ fn cmd_enumerate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliEr
         .map_err(io_err)?;
     }
     if result.timed_out() {
-        writeln!(out, "WARNING          time limit hit; output may be incomplete").map_err(io_err)?;
+        writeln!(
+            out,
+            "WARNING          time limit hit; output may be incomplete"
+        )
+        .map_err(io_err)?;
     }
     if result.s2_timed_out() {
         writeln!(
@@ -367,8 +391,14 @@ fn cmd_topk<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
     for (i, mqc) in top.mqcs.iter().enumerate() {
         if parsed.switch("print-sets") {
             let formatted: Vec<String> = mqc.iter().map(|v| v.to_string()).collect();
-            writeln!(out, "#{:<3} size={:<4} {}", i + 1, mqc.len(), formatted.join(" "))
-                .map_err(io_err)?;
+            writeln!(
+                out,
+                "#{:<3} size={:<4} {}",
+                i + 1,
+                mqc.len(),
+                formatted.join(" ")
+            )
+            .map_err(io_err)?;
         } else {
             writeln!(out, "#{:<3} size={}", i + 1, mqc.len()).map_err(io_err)?;
         }
@@ -377,14 +407,26 @@ fn cmd_topk<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> 
 }
 
 fn cmd_query<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
-    parsed.restrict_options(&["gamma", "theta", "vertices", "branching", "backend", "s2-backend", "time-limit-secs", "print-sets"])?;
+    parsed.restrict_options(&[
+        "gamma",
+        "theta",
+        "vertices",
+        "branching",
+        "backend",
+        "s2-backend",
+        "s2-model",
+        "time-limit-secs",
+        "print-sets",
+    ])?;
     parsed.no_extra_positionals(2)?;
     let path = parsed.positional(1, "graph")?;
     let g = load_graph(path)?;
     let config = build_config(parsed)?;
     let query = parsed.get_vertex_list("vertices")?;
     if query.is_empty() {
-        return Err(CliError::Params("--vertices must list at least one vertex".to_string()));
+        return Err(CliError::Params(
+            "--vertices must list at least one vertex".to_string(),
+        ));
     }
     let result =
         find_mqcs_containing(&g, &query, &config).map_err(|e| CliError::Other(e.to_string()))?;
@@ -456,7 +498,10 @@ fn cmd_generate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliErr
             parsed.get_f64("beta", 2.5)?,
             seed,
         ),
-        "grid" => generators::grid(parsed.get_usize("rows", 100)?, parsed.get_usize("cols", 100)?),
+        "grid" => generators::grid(
+            parsed.get_usize("rows", 100)?,
+            parsed.get_usize("cols", 100)?,
+        ),
         "hub" => generators::hub_graph(
             n,
             parsed.get_usize("edges", 4 * n)?,
@@ -464,7 +509,11 @@ fn cmd_generate<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliErr
             parsed.get_f64("hub-bias", 0.5)?,
             seed,
         ),
-        other => return Err(CliError::Params(format!("unknown generator kind {other:?}"))),
+        other => {
+            return Err(CliError::Params(format!(
+                "unknown generator kind {other:?}"
+            )))
+        }
     };
     save_graph(&g, output)?;
     writeln!(
@@ -576,12 +625,21 @@ mod tests {
     #[test]
     fn topk_and_query_commands() {
         let path = write_paper_graph("topk.txt");
-        let topk = run_capture(&["topk", &path, "--gamma", "0.6", "--k", "2", "--print-sets"]).unwrap();
+        let topk =
+            run_capture(&["topk", &path, "--gamma", "0.6", "--k", "2", "--print-sets"]).unwrap();
         assert!(topk.contains("requested k      2"));
         assert!(topk.contains("#1"));
-        let query =
-            run_capture(&["query", &path, "--gamma", "0.6", "--theta", "3", "--vertices", "0,2"])
-                .unwrap();
+        let query = run_capture(&[
+            "query",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--vertices",
+            "0,2",
+        ])
+        .unwrap();
         assert!(query.contains("query vertices"));
         assert!(query.contains("maximal qcs"));
         assert!(run_capture(&["query", &path, "--gamma", "0.6", "--theta", "3"]).is_err());
@@ -591,7 +649,15 @@ mod tests {
     fn generate_and_convert_roundtrip() {
         let edge_path = temp_path("generated.txt");
         let out = run_capture(&[
-            "generate", "er", &edge_path, "--n", "100", "--density", "3", "--seed", "7",
+            "generate",
+            "er",
+            &edge_path,
+            "--n",
+            "100",
+            "--density",
+            "3",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert!(out.contains("100 vertices"));
@@ -604,7 +670,10 @@ mod tests {
         // METIS roundtrip too.
         let metis_path = temp_path("generated.metis");
         run_capture(&["convert", &edge_path, &metis_path]).unwrap();
-        assert_eq!(load_graph(&metis_path).unwrap().num_edges(), g_orig.num_edges());
+        assert_eq!(
+            load_graph(&metis_path).unwrap().num_edges(),
+            g_orig.num_edges()
+        );
     }
 
     #[test]
@@ -638,7 +707,14 @@ mod tests {
         let path = write_paper_graph("parallel.txt");
         let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
         let par = run_capture(&[
-            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "4",
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--threads",
+            "4",
         ])
         .unwrap();
         let count = |s: &str| {
@@ -655,8 +731,16 @@ mod tests {
         let path = write_paper_graph("steal_gran.txt");
         let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
         let par = run_capture(&[
-            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "4",
-            "--steal-granularity", "1",
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--threads",
+            "4",
+            "--steal-granularity",
+            "1",
         ])
         .unwrap();
         let count = |s: &str| {
@@ -671,7 +755,12 @@ mod tests {
         assert!(seq.lines().all(|l| !l.starts_with("thread ")));
         // Bad values are rejected.
         assert!(run_capture(&[
-            "enumerate", &path, "--gamma", "0.6", "--steal-granularity", "soon",
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--steal-granularity",
+            "soon",
         ])
         .is_err());
     }
@@ -684,7 +773,14 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         let path = write_paper_graph("threads0.txt");
         let auto = run_capture(&[
-            "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--threads", "0",
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--threads",
+            "0",
         ])
         .unwrap();
         let seq = run_capture(&["enumerate", &path, "--gamma", "0.6", "--theta", "3"]).unwrap();
@@ -703,12 +799,23 @@ mod tests {
         let mut outputs = Vec::new();
         for backend in ["auto", "inverted", "bitset", "extremal"] {
             let out = run_capture(&[
-                "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--s2-backend", backend,
-                "--verify", "--print-sets",
+                "enumerate",
+                &path,
+                "--gamma",
+                "0.6",
+                "--theta",
+                "3",
+                "--s2-backend",
+                backend,
+                "--verify",
+                "--print-sets",
             ])
             .unwrap();
             assert!(out.contains("verification     ok"), "{backend}: {out}");
-            assert!(out.contains("s2 engine        backend="), "{backend}: {out}");
+            assert!(
+                out.contains("s2 engine        backend="),
+                "{backend}: {out}"
+            );
             let sets: Vec<&str> = out
                 .lines()
                 .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
@@ -722,13 +829,59 @@ mod tests {
     }
 
     #[test]
+    fn s2_model_flag_loads_a_fitted_table() {
+        let path = write_paper_graph("s2_model.txt");
+        // A custom (here: identity-coefficient) model table round-trips
+        // through the flag; the tiny graph falls back below the model's
+        // range, so the output is unchanged either way.
+        let model_path = temp_path("custom_model.tsv");
+        std::fs::write(
+            &model_path,
+            mqce_core::S2CostModel::checked_in().to_table_string(),
+        )
+        .unwrap();
+        let out = run_capture(&[
+            "enumerate",
+            &path,
+            "--gamma",
+            "0.6",
+            "--theta",
+            "3",
+            "--s2-model",
+            &model_path,
+            "--verify",
+        ])
+        .unwrap();
+        assert!(out.contains("verification     ok"));
+        // Missing and malformed tables are rejected with a clear error.
+        assert!(matches!(
+            run_capture(&["enumerate", &path, "--s2-model", "/nonexistent/model.tsv"]),
+            Err(CliError::Io(_))
+        ));
+        let broken = temp_path("broken_model.tsv");
+        std::fs::write(&broken, "inverted 1 2\n").unwrap();
+        assert!(matches!(
+            run_capture(&["enumerate", &path, "--s2-model", &broken]),
+            Err(CliError::Params(_))
+        ));
+    }
+
+    #[test]
     fn backend_flag_is_accepted_and_consistent() {
         let path = write_paper_graph("backend.txt");
         let mut outputs = Vec::new();
         for backend in ["auto", "slice", "bitset"] {
             let out = run_capture(&[
-                "enumerate", &path, "--gamma", "0.6", "--theta", "3", "--backend", backend,
-                "--verify", "--print-sets",
+                "enumerate",
+                &path,
+                "--gamma",
+                "0.6",
+                "--theta",
+                "3",
+                "--backend",
+                backend,
+                "--verify",
+                "--print-sets",
             ])
             .unwrap();
             assert!(out.contains("verification     ok"), "{backend}: {out}");

@@ -22,7 +22,7 @@
 //!   be dropped from `C` (Type I).
 //!
 //! All routines work on exact integer comparisons via
-//! [`required_degree`](crate::quasiclique::required_degree), so the epsilon
+//! [`required_degree`], so the epsilon
 //! handling matches the rest of the crate.
 
 use crate::quasiclique::required_degree;
@@ -41,7 +41,9 @@ fn feasible(gamma: f64, s_size: usize, ind: usize, ext: usize, t: usize) -> bool
 pub fn max_addable(gamma: f64, s_size: usize, ind: usize, ext: usize, cap: usize) -> Option<usize> {
     // Feasibility is unimodal in t (the slack grows while t ≤ ext and then
     // shrinks), so scanning downwards stops at the true maximum.
-    (0..=cap).rev().find(|&t| feasible(gamma, s_size, ind, ext, t))
+    (0..=cap)
+        .rev()
+        .find(|&t| feasible(gamma, s_size, ind, ext, t))
 }
 
 /// The smallest number of candidates `t ∈ 0..=cap` that must be added before

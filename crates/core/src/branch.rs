@@ -292,7 +292,8 @@ impl<'g> SearchCtx<'g> {
             return false;
         }
         if let Some(deadline) = self.deadline {
-            if self.stats.branches.is_multiple_of(TIME_CHECK_INTERVAL) && Instant::now() >= deadline {
+            if self.stats.branches.is_multiple_of(TIME_CHECK_INTERVAL) && Instant::now() >= deadline
+            {
                 self.aborted = true;
                 return false;
             }
@@ -468,8 +469,14 @@ impl<'g> SearchCtx<'g> {
                 }
             };
             let pool = self.g.vertices();
-            if !no_single_vertex_extension_with(self.g, self.adjacency(), h, &degs, pool, self.gamma)
-            {
+            if !no_single_vertex_extension_with(
+                self.g,
+                self.adjacency(),
+                h,
+                &degs,
+                pool,
+                self.gamma,
+            ) {
                 self.stats.outputs_suppressed_by_maximality += 1;
                 return false;
             }
@@ -577,7 +584,10 @@ mod tests {
         let g = Graph::complete(4);
         let cand: Vec<VertexId> = (0..4).collect();
         let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None);
-        assert!(!ctx.emit(&[0, 1], DegSource::Recompute, false), "below theta");
+        assert!(
+            !ctx.emit(&[0, 1], DegSource::Recompute, false),
+            "below theta"
+        );
         assert!(ctx.emit(&[0, 1, 2, 3], DegSource::Recompute, false));
         assert_eq!(ctx.stats.outputs, 1);
         assert_eq!(ctx.stats.outputs_rejected, 0);

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-pub use mqce_settrie::S2Backend;
+pub use mqce_settrie::{S2Backend, S2CostModel};
 
 /// Which adjacency representation the branch-and-bound searchers use for
 /// edge tests, subset-degree counts and the QC predicate.
@@ -183,6 +183,11 @@ pub struct MqceConfig {
     /// Which maximality-engine backend runs MQCE-S2. `Auto` (the default)
     /// commits to a backend from the observed stream statistics.
     pub s2_backend: S2Backend,
+    /// The measured cost model the `Auto` S2 dispatcher consults (defaults
+    /// to the calibrated table checked in with the settrie crate; replace it
+    /// with [`S2CostModel::from_table_str`] output — e.g. the CLI's
+    /// `--s2-model` — after re-calibrating on new hardware).
+    pub s2_model: S2CostModel,
     /// Optional wall-clock budget; when exceeded the search stops early and
     /// the result is flagged as timed out. The budget covers the whole
     /// pipeline: S1 stops at the deadline and S2 compacts within the
@@ -201,6 +206,7 @@ impl MqceConfig {
             branching: BranchingStrategy::default(),
             max_round: 2,
             s2_backend: S2Backend::default(),
+            s2_model: S2CostModel::default(),
             time_limit: None,
         })
     }
@@ -239,6 +245,12 @@ impl MqceConfig {
     /// Sets the MQCE-S2 maximality-engine backend.
     pub fn with_s2_backend(mut self, backend: S2Backend) -> Self {
         self.s2_backend = backend;
+        self
+    }
+
+    /// Sets the cost model the `Auto` S2 dispatcher consults.
+    pub fn with_s2_model(mut self, model: S2CostModel) -> Self {
+        self.s2_model = model;
         self
     }
 
@@ -323,10 +335,17 @@ mod tests {
     #[test]
     fn algorithm_names_are_distinct() {
         use Algorithm::*;
-        let names: Vec<_> = [DcFastQc, FastQc, BasicDcFastQc, QuickPlus, QuickPlusRaw, Naive]
-            .iter()
-            .map(|a| a.name())
-            .collect();
+        let names: Vec<_> = [
+            DcFastQc,
+            FastQc,
+            BasicDcFastQc,
+            QuickPlus,
+            QuickPlusRaw,
+            Naive,
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -336,6 +355,8 @@ mod tests {
     #[test]
     fn param_error_display() {
         assert!(ParamError::ThetaZero.to_string().contains("theta"));
-        assert!(ParamError::GammaOutOfRange(2.0).to_string().contains("gamma"));
+        assert!(ParamError::GammaOutOfRange(2.0)
+            .to_string()
+            .contains("gamma"));
     }
 }

@@ -551,7 +551,13 @@ mod tests {
 
     fn check_dc_against_oracle(g: &Graph, gamma: f64, theta: usize, dc: DcConfig) {
         let p = params(gamma, theta);
-        let outcome = run_dc(g, p, InnerAlgorithm::FastQc(BranchingStrategy::HybridSe), dc, None);
+        let outcome = run_dc(
+            g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            dc,
+            None,
+        );
         assert_eq!(outcome.stats.outputs_rejected, 0);
         for h in &outcome.outputs {
             assert!(crate::quasiclique::is_quasi_clique(g, h, gamma));
@@ -560,7 +566,8 @@ mod tests {
         let filtered = filter_maximal(&outcome.outputs);
         let expected = naive::all_maximal_quasi_cliques(g, p);
         assert_eq!(
-            filtered, expected,
+            filtered,
+            expected,
             "DC mismatch gamma={gamma} theta={theta} dc={dc:?} (n={}, m={})",
             g.num_vertices(),
             g.num_edges()
@@ -635,7 +642,10 @@ mod tests {
             None,
         );
         assert_eq!(outcome.stats.dc_subproblems, 6);
-        assert_eq!(filter_maximal(&outcome.outputs), vec![vec![0, 1, 2, 3, 4, 5]]);
+        assert_eq!(
+            filter_maximal(&outcome.outputs),
+            vec![vec![0, 1, 2, 3, 4, 5]]
+        );
     }
 
     #[test]
@@ -664,7 +674,10 @@ mod tests {
         let g = planted_quasi_cliques(
             60,
             0.05,
-            &[PlantedGroup { size: 10, density: 1.0 }],
+            &[PlantedGroup {
+                size: 10,
+                density: 1.0,
+            }],
             3,
         );
         let p = params(0.9, 8);
@@ -683,7 +696,10 @@ mod tests {
             None,
         );
         assert!(paper.stats.dc_vertices_after_pruning <= basic.stats.dc_vertices_after_pruning);
-        assert_eq!(filter_maximal(&paper.outputs), filter_maximal(&basic.outputs));
+        assert_eq!(
+            filter_maximal(&paper.outputs),
+            filter_maximal(&basic.outputs)
+        );
     }
 
     #[test]
@@ -720,7 +736,10 @@ mod tests {
                 filter_maximal(&sequential.outputs),
                 "parallel ({threads} threads) differs from sequential"
             );
-            assert_eq!(parallel.stats.dc_subproblems, sequential.stats.dc_subproblems);
+            assert_eq!(
+                parallel.stats.dc_subproblems,
+                sequential.stats.dc_subproblems
+            );
         }
     }
 

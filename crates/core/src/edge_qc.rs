@@ -80,7 +80,10 @@ pub fn is_edge_quasi_clique(g: &Graph, h: &[VertexId], gamma: f64) -> bool {
 /// Panics if the graph has more than 24 vertices.
 pub fn all_maximal_edge_quasi_cliques(g: &Graph, gamma: f64, theta: usize) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
-    assert!(n <= 24, "exhaustive edge-QC enumeration is limited to tiny graphs");
+    assert!(
+        n <= 24,
+        "exhaustive edge-QC enumeration is limited to tiny graphs"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -176,11 +179,12 @@ mod tests {
         assert!(is_edge_quasi_clique(&g, &[2], 1.0));
         assert!(!is_edge_quasi_clique(&g, &[], 0.5));
         // Disconnected sets are rejected even if dense on average.
-        let two_triangles = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
-        );
-        assert!(!is_edge_quasi_clique(&two_triangles, &[0, 1, 2, 3, 4, 5], 0.5));
+        let two_triangles = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert!(!is_edge_quasi_clique(
+            &two_triangles,
+            &[0, 1, 2, 3, 4, 5],
+            0.5
+        ));
         assert!(is_edge_quasi_clique(&two_triangles, &[0, 1, 2], 1.0));
     }
 

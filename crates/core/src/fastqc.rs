@@ -81,7 +81,16 @@ pub(crate) fn run_fastqc_split(
     deadline: Option<Instant>,
     splitter: &dyn SplitSink,
 ) -> SearchOutcome {
-    run_fastqc_inner(g, kernel, s_init, cand, params, branching, deadline, Some(splitter))
+    run_fastqc_inner(
+        g,
+        kernel,
+        s_init,
+        cand,
+        params,
+        branching,
+        deadline,
+        Some(splitter),
+    )
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -43,7 +43,12 @@ impl KernelConfig {
     /// # Errors
     /// Returns an error if either threshold is outside `[0.5, 1]`, if
     /// `gamma_prime < gamma`, or if `min_kernel_size` is zero.
-    pub fn new(gamma: f64, gamma_prime: f64, min_kernel_size: usize, k: usize) -> Result<Self, ParamError> {
+    pub fn new(
+        gamma: f64,
+        gamma_prime: f64,
+        min_kernel_size: usize,
+        k: usize,
+    ) -> Result<Self, ParamError> {
         // Reuse the parameter validation for both thresholds.
         crate::config::MqceParams::new(gamma, min_kernel_size.max(1))?;
         crate::config::MqceParams::new(gamma_prime, min_kernel_size.max(1))?;
@@ -74,7 +79,10 @@ pub struct KernelExpansionResult {
 }
 
 /// Runs the kernel-expansion heuristic.
-pub fn expand_kernels(g: &Graph, config: KernelConfig) -> Result<KernelExpansionResult, ParamError> {
+pub fn expand_kernels(
+    g: &Graph,
+    config: KernelConfig,
+) -> Result<KernelExpansionResult, ParamError> {
     if config.k == 0 || g.num_vertices() == 0 {
         return Ok(KernelExpansionResult::default());
     }
@@ -129,7 +137,11 @@ fn expand_one(g: &Graph, kernel: &[VertexId], gamma: f64) -> Vec<VertexId> {
             if !is_quasi_clique(g, &grown, gamma) {
                 continue;
             }
-            let min_deg = grown.iter().map(|&v| g.degree_in(v, &grown)).min().unwrap_or(0);
+            let min_deg = grown
+                .iter()
+                .map(|&v| g.degree_in(v, &grown))
+                .min()
+                .unwrap_or(0);
             let key = (min_deg, w);
             if best.is_none_or(|(bd, bw)| key > (bd, bw)) {
                 best = Some(key);
@@ -156,7 +168,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(KernelConfig::new(0.7, 0.9, 3, 5).is_ok());
-        assert!(KernelConfig::new(0.9, 0.7, 3, 5).is_err(), "gamma' below gamma");
+        assert!(
+            KernelConfig::new(0.9, 0.7, 3, 5).is_err(),
+            "gamma' below gamma"
+        );
         assert!(KernelConfig::new(0.3, 0.9, 3, 5).is_err());
         assert!(KernelConfig::new(0.7, 1.2, 3, 5).is_err());
         assert!(KernelConfig::new(0.7, 0.9, 0, 5).is_err());
@@ -170,7 +185,10 @@ mod tests {
         let g = planted_quasi_cliques(
             60,
             0.02,
-            &[PlantedGroup { size: 12, density: 0.9 }],
+            &[PlantedGroup {
+                size: 12,
+                density: 0.9,
+            }],
             5,
         );
         let config = KernelConfig::new(0.7, 0.95, 3, 4).unwrap();
@@ -183,7 +201,11 @@ mod tests {
         }
         // The best expanded QC is at least as large as the largest kernel.
         assert!(result.qcs[0].len() >= result.largest_kernel);
-        assert!(result.qcs[0].len() >= 10, "expansion too small: {}", result.qcs[0].len());
+        assert!(
+            result.qcs[0].len() >= 10,
+            "expansion too small: {}",
+            result.qcs[0].len()
+        );
     }
 
     #[test]
@@ -192,8 +214,14 @@ mod tests {
             40,
             0.05,
             &[
-                PlantedGroup { size: 9, density: 1.0 },
-                PlantedGroup { size: 6, density: 1.0 },
+                PlantedGroup {
+                    size: 9,
+                    density: 1.0,
+                },
+                PlantedGroup {
+                    size: 6,
+                    density: 1.0,
+                },
             ],
             23,
         );

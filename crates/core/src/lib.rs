@@ -36,8 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod branch;
 pub mod bounds;
+mod branch;
 pub mod config;
 pub mod dc;
 pub mod edge_qc;
@@ -56,7 +56,9 @@ pub mod verify;
 pub use branch::SearchOutcome;
 pub use config::{
     AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError, S2Backend,
+    S2CostModel,
 };
+pub use mqce_settrie::S2Decision;
 pub use pipeline::{
     enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, enumerate_mqcs_parallel_with,
     solve_s1, MqceResult, ParallelScheduler,
@@ -64,12 +66,15 @@ pub use pipeline::{
 pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
 pub use stats::{S2Stats, SearchStats, ThreadStats};
 pub use topk::{find_largest_mqcs, TopKResult};
-pub use verify::{verify_exact_against_oracle, verify_mqc_set, verify_s1_output, VerificationReport, Violation};
+pub use verify::{
+    verify_exact_against_oracle, verify_mqc_set, verify_s1_output, VerificationReport, Violation,
+};
 
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
     pub use crate::config::{
         AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, S2Backend,
+        S2CostModel,
     };
     pub use crate::pipeline::{
         enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, solve_s1, MqceResult,

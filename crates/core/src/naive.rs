@@ -52,13 +52,7 @@ pub fn all_quasi_cliques(g: &Graph, params: MqceParams) -> Vec<Vec<VertexId>> {
 pub fn all_maximal_quasi_cliques(g: &Graph, params: MqceParams) -> Vec<Vec<VertexId>> {
     // Collect every QC regardless of size so that maximality is judged
     // against the full set, then keep the large maximal ones.
-    let all = all_quasi_cliques(
-        g,
-        MqceParams {
-            theta: 1,
-            ..params
-        },
-    );
+    let all = all_quasi_cliques(g, MqceParams { theta: 1, ..params });
     let is_subset = |a: &[VertexId], b: &[VertexId]| -> bool {
         let mut j = 0;
         for &x in a {

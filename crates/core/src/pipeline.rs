@@ -211,6 +211,7 @@ fn finalize(
             sets_streamed,
             sets_retained,
             timed_out: s2_out.timed_out || feed_truncated,
+            decision: s2_out.decision,
         },
         s1_time,
         s2_time,
@@ -221,7 +222,7 @@ fn finalize(
 /// configuration.
 pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
-    let mut engine = config.s2_backend.new_engine();
+    let mut engine = config.s2_backend.new_engine_with_model(config.s2_model);
     let s1_start = Instant::now();
     let (outcome, fed_inline) = solve_s1_streaming(g, config, deadline, Some(engine.as_mut()));
     let s1_time = s1_start.elapsed();
@@ -273,7 +274,7 @@ pub fn enumerate_mqcs_parallel_with(
     };
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let s1_start = Instant::now();
-    let factory = || config.s2_backend.new_engine();
+    let factory = || config.s2_backend.new_engine_with_model(config.s2_model);
     let driver = match scheduler {
         ParallelScheduler::WorkStealing => run_dc_parallel_streaming,
         ParallelScheduler::SharedIndex => run_dc_parallel_streaming_shared_index,
@@ -296,7 +297,7 @@ pub fn enumerate_mqcs_parallel_with(
     let s2_start = Instant::now();
     let s2_dl = s2_deadline(deadline, config.time_limit);
     let mut engine = if engines.is_empty() {
-        config.s2_backend.new_engine()
+        config.s2_backend.new_engine_with_model(config.s2_model)
     } else {
         engines.remove(0)
     };
@@ -311,7 +312,11 @@ pub fn enumerate_mqcs_parallel_with(
 
 /// Convenience wrapper: enumerate the maximal γ-quasi-cliques of size ≥ θ
 /// using the paper's default algorithm (DCFastQC with Hybrid-SE branching).
-pub fn enumerate_mqcs_default(g: &Graph, gamma: f64, theta: usize) -> Result<MqceResult, crate::config::ParamError> {
+pub fn enumerate_mqcs_default(
+    g: &Graph,
+    gamma: f64,
+    theta: usize,
+) -> Result<MqceResult, crate::config::ParamError> {
     let config = MqceConfig::new(gamma, theta)?;
     Ok(enumerate_mqcs(g, &config))
 }
@@ -368,8 +373,14 @@ mod tests {
             80,
             0.02,
             &[
-                PlantedGroup { size: 10, density: 1.0 },
-                PlantedGroup { size: 8, density: 1.0 },
+                PlantedGroup {
+                    size: 10,
+                    density: 1.0,
+                },
+                PlantedGroup {
+                    size: 8,
+                    density: 1.0,
+                },
             ],
             77,
         );
@@ -377,9 +388,10 @@ mod tests {
         let group1: Vec<VertexId> = (0..10).collect();
         let group2: Vec<VertexId> = (10..18).collect();
         let covers = |planted: &Vec<VertexId>| {
-            result.mqcs.iter().any(|mqc| {
-                planted.iter().all(|v| mqc.contains(v))
-            })
+            result
+                .mqcs
+                .iter()
+                .any(|mqc| planted.iter().all(|v| mqc.contains(v)))
         };
         assert!(covers(&group1), "planted 10-clique not recovered");
         assert!(covers(&group2), "planted 8-clique not recovered");
@@ -413,8 +425,14 @@ mod tests {
             100,
             0.02,
             &[
-                PlantedGroup { size: 10, density: 0.95 },
-                PlantedGroup { size: 8, density: 1.0 },
+                PlantedGroup {
+                    size: 10,
+                    density: 0.95,
+                },
+                PlantedGroup {
+                    size: 8,
+                    density: 1.0,
+                },
             ],
             55,
         );
@@ -507,7 +525,9 @@ mod tests {
         );
         let reference = enumerate_mqcs(
             &g,
-            &MqceConfig::new(0.8, 5).unwrap().with_algorithm(Algorithm::DcFastQc),
+            &MqceConfig::new(0.8, 5)
+                .unwrap()
+                .with_algorithm(Algorithm::DcFastQc),
         )
         .mqcs;
         for branching in [BranchingStrategy::SymSe, BranchingStrategy::Se] {

@@ -94,7 +94,7 @@ pub fn is_quasi_clique_with(
 /// Whether `G[h]` is a *maximal* γ-quasi-clique, decided by brute force:
 /// `h` is a QC and no superset of `h` (within the whole graph) is a QC.
 ///
-/// Checking maximality exactly is NP-hard in general (the paper cites [35]),
+/// Checking maximality exactly is NP-hard in general (the paper cites \[35\]),
 /// so this routine enumerates supersets only up to the 2-hop neighbourhood
 /// closure and is intended for *small test graphs only* (it is exponential).
 pub fn is_maximal_quasi_clique_bruteforce(g: &Graph, h: &[VertexId], gamma: f64) -> bool {
@@ -229,7 +229,9 @@ mod tests {
     fn tau_consistent_with_required_degree() {
         // Lemma 1: Δ(H) ≤ τ(|H|) ⇔ every vertex has δ(v,H) ≥ ⌈γ(|H|−1)⌉,
         // i.e. |H| − required_degree(γ,|H|) == τ(γ,|H|).
-        for &gamma in &[0.5, 0.51, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.96, 0.99, 1.0] {
+        for &gamma in &[
+            0.5, 0.51, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.96, 0.99, 1.0,
+        ] {
             for size in 1..60usize {
                 assert_eq!(
                     size as i64 - required_degree(gamma, size) as i64,
@@ -318,7 +320,11 @@ mod tests {
     #[test]
     fn maximality_bruteforce() {
         let g = Graph::complete(5);
-        assert!(is_maximal_quasi_clique_bruteforce(&g, &[0, 1, 2, 3, 4], 0.9));
+        assert!(is_maximal_quasi_clique_bruteforce(
+            &g,
+            &[0, 1, 2, 3, 4],
+            0.9
+        ));
         assert!(!is_maximal_quasi_clique_bruteforce(&g, &[0, 1, 2, 3], 0.9));
         // Not a QC at all.
         let p = Graph::path(4);
@@ -334,7 +340,13 @@ mod tests {
         assert!(!no_single_vertex_extension(&g, &h, &deg, 0..5u32, 0.9));
         let full = [0u32, 1, 2, 3, 4];
         let deg_full: Vec<u32> = (0..5).map(|v| g.degree_in(v, &full) as u32).collect();
-        assert!(no_single_vertex_extension(&g, &full, &deg_full, 0..5u32, 0.9));
+        assert!(no_single_vertex_extension(
+            &g,
+            &full,
+            &deg_full,
+            0..5u32,
+            0.9
+        ));
     }
 
     #[test]
@@ -353,7 +365,16 @@ mod tests {
         // the square and gains 1 from vertex 4 → extension exists.
         let g = Graph::from_edges(
             5,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (4, 1), (4, 2), (4, 3)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 0),
+                (4, 1),
+                (4, 2),
+                (4, 3),
+            ],
         );
         let h = [0u32, 1, 2, 3];
         let deg: Vec<u32> = (0..5).map(|v| g.degree_in(v, &h) as u32).collect();

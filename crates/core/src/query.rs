@@ -135,7 +135,7 @@ pub fn find_mqcs_containing(
     }
     // Maximality filtering through the configured S2 engine, honouring what
     // remains of the time budget (plus the standard grace slice).
-    let mut engine = config.s2_backend.new_engine();
+    let mut engine = config.s2_backend.new_engine_with_model(config.s2_model);
     let s2_dl = crate::pipeline::s2_deadline(deadline, config.time_limit);
     let feed_truncated = !crate::pipeline::feed_sets(engine.as_mut(), &qcs, s2_dl);
     let s2_out = engine.finish_with_deadline(s2_dl);
@@ -171,6 +171,7 @@ pub fn find_mqcs_containing_default(
         branching: BranchingStrategy::HybridSe,
         max_round: 2,
         s2_backend: crate::config::S2Backend::default(),
+        s2_model: crate::config::S2CostModel::default(),
         time_limit: None,
     };
     find_mqcs_containing(g, query, &config)
@@ -228,7 +229,12 @@ mod tests {
 
     /// Reference implementation: full enumeration followed by a containment
     /// filter.
-    fn reference_query(g: &Graph, query: &[VertexId], gamma: f64, theta: usize) -> Vec<Vec<VertexId>> {
+    fn reference_query(
+        g: &Graph,
+        query: &[VertexId],
+        gamma: f64,
+        theta: usize,
+    ) -> Vec<Vec<VertexId>> {
         let all = enumerate_mqcs_default(g, gamma, theta).unwrap().mqcs;
         all.into_iter()
             .filter(|mqc| query.iter().all(|q| mqc.contains(q)))
@@ -256,7 +262,10 @@ mod tests {
         let g = planted_quasi_cliques(
             70,
             0.02,
-            &[PlantedGroup { size: 10, density: 1.0 }],
+            &[PlantedGroup {
+                size: 10,
+                density: 1.0,
+            }],
             31,
         );
         for q in [0u32, 4, 9] {

@@ -5,7 +5,7 @@
 //! fixes of Guo et al. / Khalil et al. [19, 24]). It uses plain
 //! set-enumeration (SE) branching and prunes with *Type I* rules (removing
 //! candidates) and *Type II* rules (terminating branches). The paper
-//! deliberately leaves the rule list to [24]; this implementation contains the
+//! deliberately leaves the rule list to \[24\]; this implementation contains the
 //! core degree- and bound-based subset of those rules (see `DESIGN.md` §3),
 //! which keeps the baseline correct (verified against the exhaustive oracle)
 //! and preserves its defining characteristics: SE branching and no worst-case
@@ -312,7 +312,8 @@ mod tests {
         let filtered = filter_maximal(&outcome.outputs);
         let expected = naive::all_maximal_quasi_cliques(g, p);
         assert_eq!(
-            filtered, expected,
+            filtered,
+            expected,
             "Quick+ mismatch for gamma={gamma} theta={theta} on {} vertices",
             g.num_vertices()
         );

@@ -258,43 +258,98 @@ impl SplitSink for SubSink<'_> {
     }
 }
 
-/// Per-subproblem cost estimate used to seed the deques: the size of the
-/// two-hop-pruned candidate set `|Γ²(v_i) ∩ later-ranked|` (what
-/// `build_subproblem` will materialise), computed with a stamp array so the
-/// whole pass allocates nothing per vertex.
-fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
+/// One anchor's cost estimate: the size of the two-hop-pruned candidate set
+/// `|Γ²(v_i) ∩ later-ranked|` (what `build_subproblem` will materialise).
+/// `tag` must be unique per call within one `stamp` array's lifetime so the
+/// pass allocates nothing per vertex.
+fn two_hop_estimate(plan: &DcPlan, stamp: &mut [u32], tag: u32, vi: mqce_graph::VertexId) -> usize {
     let rg = &plan.reduced.graph;
-    let n = rg.num_vertices();
-    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+    let my_rank = plan.rank[vi as usize];
+    stamp[vi as usize] = tag;
+    let mut count = 1usize;
+    for &u in rg.neighbors(vi) {
+        if stamp[u as usize] != tag {
+            stamp[u as usize] = tag;
+            if plan.rank[u as usize] >= my_rank {
+                count += 1;
+            }
+        }
+    }
+    for &u in rg.neighbors(vi) {
+        for &w in rg.neighbors(u) {
+            if stamp[w as usize] != tag {
+                stamp[w as usize] = tag;
+                if plan.rank[w as usize] >= my_rank {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-subproblem cost estimates used to seed the deques (the sequential
+/// pass, kept as the `num_threads == 1` case and the differential reference).
+fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
+    let mut stamp: Vec<u32> = vec![u32::MAX; plan.reduced.graph.num_vertices()];
     plan.ordering
         .iter()
         .enumerate()
-        .map(|(i, &vi)| {
-            let tag = i as u32;
-            let my_rank = plan.rank[vi as usize];
-            stamp[vi as usize] = tag;
-            let mut count = 1usize;
-            for &u in rg.neighbors(vi) {
-                if stamp[u as usize] != tag {
-                    stamp[u as usize] = tag;
-                    if plan.rank[u as usize] >= my_rank {
-                        count += 1;
-                    }
-                }
-            }
-            for &u in rg.neighbors(vi) {
-                for &w in rg.neighbors(u) {
-                    if stamp[w as usize] != tag {
-                        stamp[w as usize] = tag;
-                        if plan.rank[w as usize] >= my_rank {
-                            count += 1;
-                        }
-                    }
-                }
-            }
-            count
-        })
+        .map(|(i, &vi)| two_hop_estimate(plan, &mut stamp, i as u32, vi))
         .collect()
+}
+
+/// Parallel variant of [`subproblem_estimates`]: the ordering is split into
+/// one contiguous chunk per worker and each chunk runs on its own scoped
+/// thread with a private stamp array. On very large graphs this pass used to
+/// be a single-threaded serial section before the workers even started.
+///
+/// Returns the estimates plus each worker's wall-clock milliseconds, which
+/// the caller folds into the matching worker's [`ThreadStats`] busy time so
+/// the per-thread accounting covers the whole parallel region.
+fn subproblem_estimates_parallel(plan: &DcPlan, num_threads: usize) -> (Vec<usize>, Vec<f64>) {
+    let n = plan.ordering.len();
+    if num_threads <= 1 || n < 2 {
+        let start = Instant::now();
+        let estimates = subproblem_estimates(plan);
+        return (estimates, vec![start.elapsed().as_secs_f64() * 1e3]);
+    }
+    let chunk_len = n.div_ceil(num_threads);
+    let chunks: Vec<(usize, &[mqce_graph::VertexId])> = plan
+        .ordering
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(k, chunk)| (k * chunk_len, chunk))
+        .collect();
+    let num_vertices = plan.reduced.graph.num_vertices();
+    let results: Vec<(usize, Vec<usize>, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(offset, chunk)| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut stamp: Vec<u32> = vec![u32::MAX; num_vertices];
+                    let estimates: Vec<usize> = chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &vi)| two_hop_estimate(plan, &mut stamp, i as u32, vi))
+                        .collect();
+                    (offset, estimates, start.elapsed().as_secs_f64() * 1e3)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("estimate thread panicked"))
+            .collect()
+    });
+    let mut estimates = vec![0usize; n];
+    let mut millis = vec![0.0f64; num_threads];
+    for (worker, (offset, chunk_estimates, elapsed)) in results.into_iter().enumerate() {
+        estimates[offset..offset + chunk_estimates.len()].copy_from_slice(&chunk_estimates);
+        millis[worker] = elapsed;
+    }
+    (estimates, millis)
 }
 
 /// Everything one worker accumulated over the run.
@@ -318,7 +373,10 @@ pub(crate) fn run_dc_work_stealing(
     engine_factory: Option<EngineFactory<'_>>,
 ) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
     let sched = Scheduler::new(num_threads, params.steal_granularity);
-    let estimates = subproblem_estimates(plan);
+    // The cost-estimate pass parallelises over the same worker count; its
+    // per-chunk wall-clock is folded into the matching worker's busy time
+    // below so ThreadStats covers the whole parallel region.
+    let (estimates, estimate_millis) = subproblem_estimates_parallel(plan, num_threads);
     let mut seeds: Vec<usize> = (0..plan.ordering.len()).collect();
     // Descending estimated cost; ties broken by ordering position so the
     // seeding is deterministic.
@@ -336,7 +394,16 @@ pub(crate) fn run_dc_work_stealing(
         let handles: Vec<_> = (0..num_threads)
             .map(|id| {
                 scope.spawn(move || {
-                    worker_loop(sched_ref, id, plan, params, inner, dc, deadline, engine_factory)
+                    worker_loop(
+                        sched_ref,
+                        id,
+                        plan,
+                        params,
+                        inner,
+                        dc,
+                        deadline,
+                        engine_factory,
+                    )
                 })
             })
             .collect();
@@ -350,7 +417,8 @@ pub(crate) fn run_dc_work_stealing(
     let mut outputs = Vec::new();
     let mut engines = Vec::new();
     let mut thread_stats = Vec::new();
-    for result in results {
+    for (worker, mut result) in results.into_iter().enumerate() {
+        result.thread_stats.busy_millis += estimate_millis.get(worker).copied().unwrap_or(0.0);
         stats.merge(&result.stats);
         outputs.extend(result.outputs);
         engines.extend(result.engine);
@@ -400,7 +468,17 @@ fn worker_loop(
                     result.stats.tasks_stolen += 1;
                 }
                 let start = Instant::now();
-                run_task(sched, id, task, plan, params, inner, dc, deadline, &mut result);
+                run_task(
+                    sched,
+                    id,
+                    task,
+                    plan,
+                    params,
+                    inner,
+                    dc,
+                    deadline,
+                    &mut result,
+                );
                 sched.outstanding.fetch_sub(1, Ordering::SeqCst);
                 result.thread_stats.busy_millis += start.elapsed().as_secs_f64() * 1e3;
             }
@@ -415,7 +493,10 @@ fn worker_loop(
                 let mut spins = 0u32;
                 loop {
                     if !sched.work_remains()
-                        || sched.deques.iter().any(|d| d.len.load(Ordering::Acquire) > 0)
+                        || sched
+                            .deques
+                            .iter()
+                            .any(|d| d.len.load(Ordering::Acquire) > 0)
                         || deadline.is_some_and(|d| Instant::now() >= d)
                     {
                         break;
@@ -466,13 +547,33 @@ fn run_task(
                 kernel: built.sub.adjacency,
                 to_orig,
             });
-            execute_branch(sched, id, &shared, &[built.local_vi], &built.cand, params, inner, deadline, result);
+            execute_branch(
+                sched,
+                id,
+                &shared,
+                &[built.local_vi],
+                &built.cand,
+                params,
+                inner,
+                deadline,
+                result,
+            );
         }
         Task::Split(split) => {
             result.thread_stats.splits += 1;
             result.stats.split_executed += 1;
             let shared = Arc::clone(&split.shared);
-            execute_branch(sched, id, &shared, &split.s_init, &split.cand, params, inner, deadline, result);
+            execute_branch(
+                sched,
+                id,
+                &shared,
+                &split.s_init,
+                &split.cand,
+                params,
+                inner,
+                deadline,
+                result,
+            );
         }
     }
 }
@@ -584,9 +685,7 @@ mod tests {
                 Some(b) => {
                     run_fastqc_split(g, None, &task.s_init, &task.cand, params, b, None, &sink)
                 }
-                None => {
-                    run_quickplus_split(g, None, &task.s_init, &task.cand, params, None, &sink)
-                }
+                None => run_quickplus_split(g, None, &task.s_init, &task.cand, params, None, &sink),
             };
             outputs.extend(outcome.outputs);
         }
@@ -633,6 +732,25 @@ mod tests {
                 donations_by_strategy[k] > 0,
                 "{branching:?} never donated despite an always-hungry sink"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_estimates_match_sequential() {
+        use crate::dc::DcConfig;
+        for (n, m, seed) in [(40usize, 160usize, 3u64), (120, 900, 8), (7, 10, 1)] {
+            let g = mqce_graph::generators::erdos_renyi_gnm(n, m, seed);
+            let params = MqceParams::new(0.9, 3).unwrap();
+            let plan = crate::dc::prepare_plan(&g, params, DcConfig::paper_default());
+            let sequential = subproblem_estimates(&plan);
+            for threads in [1usize, 2, 3, 8, 64] {
+                let (parallel, millis) = subproblem_estimates_parallel(&plan, threads);
+                assert_eq!(parallel, sequential, "threads={threads} n={n}");
+                // One timing slot per worker (a single slot when the
+                // sequential path was taken), all finite and non-negative.
+                assert!(millis.len() <= threads.max(1));
+                assert!(millis.iter().all(|ms| ms.is_finite() && *ms >= 0.0));
+            }
         }
     }
 

@@ -101,7 +101,7 @@ impl ThreadStats {
 }
 
 /// Counters describing the MQCE-S2 maximality-engine stage of one run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct S2Stats {
     /// The backend that performed the final compaction (`inverted` /
     /// `bitset` / `extremal`; `Auto` resolves to its committed choice).
@@ -115,6 +115,10 @@ pub struct S2Stats {
     /// partial* result: still an antichain (every returned set is maximal
     /// with respect to the returned collection), but incomplete.
     pub timed_out: bool,
+    /// The auto dispatcher's decision record (observed stream shape plus
+    /// per-backend predicted costs), for auditing mispredictions against
+    /// measured times. `None` when a concrete backend was requested.
+    pub decision: Option<mqce_settrie::S2Decision>,
 }
 
 impl std::fmt::Display for S2Stats {
@@ -122,10 +126,25 @@ impl std::fmt::Display for S2Stats {
         write!(
             f,
             "backend={} streamed={} retained={}",
-            if self.backend.is_empty() { "?" } else { &self.backend },
+            if self.backend.is_empty() {
+                "?"
+            } else {
+                &self.backend
+            },
             self.sets_streamed,
             self.sets_retained
         )?;
+        if let Some(d) = &self.decision {
+            if d.modeled {
+                write!(
+                    f,
+                    " model[inv/bs/ex]={:.1}/{:.1}/{:.1}ms",
+                    d.predicted_millis[0], d.predicted_millis[1], d.predicted_millis[2]
+                )?;
+            } else {
+                write!(f, " model=small-family-fallback")?;
+            }
+        }
         if self.timed_out {
             write!(f, " TIMED_OUT")?;
         }
@@ -204,14 +223,22 @@ mod tests {
             sets_streamed: 100,
             sets_retained: 40,
             timed_out: false,
+            decision: None,
         };
         let text = s2.to_string();
         assert!(text.contains("backend=bitset"));
         assert!(text.contains("streamed=100"));
         assert!(!text.contains("TIMED_OUT"));
+        assert!(!text.contains("model"));
         s2.timed_out = true;
         assert!(s2.to_string().contains("TIMED_OUT"));
         assert!(S2Stats::default().to_string().contains("backend=?"));
+        // A modeled decision surfaces the per-backend predictions.
+        s2.decision = Some(mqce_settrie::S2CostModel::checked_in().decide(10_000, 100, 150_000));
+        assert!(s2.to_string().contains("model[inv/bs/ex]="));
+        // The small-family fallback is labelled as such.
+        s2.decision = Some(mqce_settrie::S2CostModel::checked_in().decide(10, 5, 30));
+        assert!(s2.to_string().contains("model=small-family-fallback"));
     }
 
     #[test]

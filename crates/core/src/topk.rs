@@ -96,9 +96,18 @@ mod tests {
             60,
             0.01,
             &[
-                PlantedGroup { size: 12, density: 1.0 },
-                PlantedGroup { size: 8, density: 1.0 },
-                PlantedGroup { size: 6, density: 1.0 },
+                PlantedGroup {
+                    size: 12,
+                    density: 1.0,
+                },
+                PlantedGroup {
+                    size: 8,
+                    density: 1.0,
+                },
+                PlantedGroup {
+                    size: 6,
+                    density: 1.0,
+                },
             ],
             19,
         );
@@ -122,7 +131,10 @@ mod tests {
         let g = Graph::complete(4);
         assert!(find_largest_mqcs(&g, 0.9, 0, None).unwrap().mqcs.is_empty());
         let empty = Graph::empty(0);
-        assert!(find_largest_mqcs(&empty, 0.9, 3, None).unwrap().mqcs.is_empty());
+        assert!(find_largest_mqcs(&empty, 0.9, 3, None)
+            .unwrap()
+            .mqcs
+            .is_empty());
     }
 
     #[test]

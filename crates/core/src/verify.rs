@@ -131,7 +131,11 @@ fn check_well_formed(g: &Graph, set: &[VertexId], report: &mut Vec<Violation>) -
 
 /// Checks the MQCE-S1 contract: every emitted set is a γ-quasi-clique with at
 /// least θ vertices (non-maximal members are allowed).
-pub fn verify_s1_output(g: &Graph, outputs: &[Vec<VertexId>], params: MqceParams) -> VerificationReport {
+pub fn verify_s1_output(
+    g: &Graph,
+    outputs: &[Vec<VertexId>],
+    params: MqceParams,
+) -> VerificationReport {
     let mut violations = Vec::new();
     for set in outputs {
         if !check_well_formed(g, set, &mut violations) {
@@ -156,11 +160,7 @@ pub fn verify_s1_output(g: &Graph, outputs: &[Vec<VertexId>], params: MqceParams
 /// Returns a vertex whose addition to `set` keeps it a γ-quasi-clique, if one
 /// exists. Only vertices adjacent to at least one member are tried (adding a
 /// disconnected vertex can never produce a connected QC).
-pub fn find_single_vertex_extension(
-    g: &Graph,
-    set: &[VertexId],
-    gamma: f64,
-) -> Option<VertexId> {
+pub fn find_single_vertex_extension(g: &Graph, set: &[VertexId], gamma: f64) -> Option<VertexId> {
     find_single_vertex_extension_with(g, None, set, gamma)
 }
 
@@ -266,9 +266,19 @@ pub fn verify_exact_against_oracle(
     got.sort();
     got.dedup();
     if got != expected {
-        let missing: Vec<_> = expected.iter().filter(|m| !got.contains(m)).cloned().collect();
-        let spurious: Vec<_> = got.iter().filter(|m| !expected.contains(m)).cloned().collect();
-        report.violations.push(Violation::OracleMismatch { missing, spurious });
+        let missing: Vec<_> = expected
+            .iter()
+            .filter(|m| !got.contains(m))
+            .cloned()
+            .collect();
+        let spurious: Vec<_> = got
+            .iter()
+            .filter(|m| !expected.contains(m))
+            .cloned()
+            .collect();
+        report
+            .violations
+            .push(Violation::OracleMismatch { missing, spurious });
     }
     report.checked = report.checked.max(expected.len());
     report
@@ -300,7 +310,10 @@ mod tests {
         let bogus = vec![vec![0u32, 1, 2, 3]];
         let report = verify_s1_output(&g, &bogus, params(0.9, 2));
         assert!(!report.is_ok());
-        assert!(matches!(report.violations[0], Violation::NotAQuasiClique { .. }));
+        assert!(matches!(
+            report.violations[0],
+            Violation::NotAQuasiClique { .. }
+        ));
     }
 
     #[test]
@@ -308,7 +321,10 @@ mod tests {
         let g = Graph::complete(4);
         let outputs = vec![vec![0u32, 1], vec![0, 9], vec![1, 1, 2]];
         let report = verify_s1_output(&g, &outputs, params(0.9, 3));
-        assert!(report.violations.iter().any(|v| matches!(v, Violation::TooSmall { .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TooSmall { .. })));
         assert!(report
             .violations
             .iter()

@@ -151,13 +151,10 @@ impl BitSet {
     pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.words.iter().enumerate().flat_map(|(i, &word)| {
             let base = (i * WORD_BITS) as u32;
-            std::iter::successors(
-                (word != 0).then_some(word),
-                |w| {
-                    let next = w & (w - 1);
-                    (next != 0).then_some(next)
-                },
-            )
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
             .map(move |w| base + w.trailing_zeros())
         })
     }
@@ -357,7 +354,11 @@ pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> usize {
     let (a4, a_tail) = a.split_at(split);
     let (b4, b_tail) = b.split_at(split);
     let (c4, c_tail) = c.split_at(split);
-    for ((ca, cb), cc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)).zip(c4.chunks_exact(4)) {
+    for ((ca, cb), cc) in a4
+        .chunks_exact(4)
+        .zip(b4.chunks_exact(4))
+        .zip(c4.chunks_exact(4))
+    {
         acc[0] += (ca[0] & cb[0] & cc[0]).count_ones();
         acc[1] += (ca[1] & cb[1] & cc[1]).count_ones();
         acc[2] += (ca[2] & cb[2] & cc[2]).count_ones();
@@ -545,7 +546,11 @@ mod tests {
             let a: Vec<u64> = (0..len).map(|_| next()).collect();
             let b: Vec<u64> = (0..len).map(|_| next()).collect();
             let c: Vec<u64> = (0..len).map(|_| next()).collect();
-            let and2: usize = a.iter().zip(&b).map(|(x, y)| (x & y).count_ones() as usize).sum();
+            let and2: usize = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum();
             let and3: usize = a
                 .iter()
                 .zip(&b)

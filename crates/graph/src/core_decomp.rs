@@ -206,7 +206,16 @@ mod tests {
         // Each vertex has at most `degeneracy` neighbours later in the order.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
         );
         let d = core_decomposition(&g);
         let pos: Vec<usize> = {

@@ -118,7 +118,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, EdgeListEr
 
 /// Writes the graph as an edge list (`u v` per line, compacted ids).
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;
     }

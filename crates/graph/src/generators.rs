@@ -492,8 +492,14 @@ mod tests {
     #[test]
     fn planted_groups_are_dense() {
         let groups = [
-            PlantedGroup { size: 12, density: 1.0 },
-            PlantedGroup { size: 8, density: 1.0 },
+            PlantedGroup {
+                size: 12,
+                density: 1.0,
+            },
+            PlantedGroup {
+                size: 8,
+                density: 1.0,
+            },
         ];
         let g = planted_quasi_cliques(100, 0.01, &groups, 9);
         // First group is a clique, so each member sees >= 11 neighbours inside.
@@ -552,7 +558,11 @@ mod tests {
     fn hub_graph_has_high_max_degree() {
         let g = hub_graph(500, 1500, 5, 0.6, 21);
         assert_eq!(g.num_vertices(), 500);
-        assert!(g.max_degree() >= 50, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() >= 50,
+            "max degree {} too small",
+            g.max_degree()
+        );
     }
 
     #[test]
@@ -594,11 +604,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 40);
         // Some edge must leave the first cave with 15% rewiring over 28 edges.
         let first_cave: Vec<VertexId> = (0..8).collect();
-        let crossing = g
-            .edges()
-            .filter(|&(u, v)| (u < 8) != (v < 8))
-            .count();
-        assert!(crossing > 0, "no inter-cave edges; first cave {first_cave:?}");
+        let crossing = g.edges().filter(|&(u, v)| (u < 8) != (v < 8)).count();
+        assert!(
+            crossing > 0,
+            "no inter-cave edges; first cave {first_cave:?}"
+        );
     }
 
     #[test]
@@ -608,7 +618,11 @@ mod tests {
         let avg = 2.0 * g.num_edges() as f64 / 2000.0;
         assert!(avg > 2.0 && avg < 12.0, "average degree {avg}");
         // Vertex 0 has the largest expected weight: clearly a hub.
-        assert!(g.degree(0) > 5 * (avg as usize + 1), "hub degree {}", g.degree(0));
+        assert!(
+            g.degree(0) > 5 * (avg as usize + 1),
+            "hub degree {}",
+            g.degree(0)
+        );
         assert_eq!(g, chung_lu_power_law(2000, 6.0, 2.5, 17));
     }
 

@@ -173,7 +173,16 @@ mod tests {
     fn two_hop_matches_bfs() {
         let g = Graph::from_edges(
             9,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (6, 7), (7, 8)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (0, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
         );
         for v in 0..9u32 {
             let dist = bfs_distances(&g, v);

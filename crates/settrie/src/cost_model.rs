@@ -1,0 +1,419 @@
+//! Measured cost model behind the [`S2Backend::Auto`] dispatcher.
+//!
+//! The first streaming-engine iteration dispatched with hand-tuned
+//! thresholds (`universe <= 2048 && overlap >= 16 → bitset`, …). Those
+//! cliffs were guessed from two recorded workloads and aged badly the moment
+//! the extremal backend stopped degenerating: the regime boundaries between
+//! three sub-quadratic algorithms are smooth functions of the family shape,
+//! not axis-aligned boxes. This module replaces the guesses with a small
+//! *measured* model:
+//!
+//! * each concrete backend gets a log-linear cost surface
+//!   `ln(millis) = c₀ + c₁·ln(sets) + c₂·ln(universe) + c₃·ln(overlap)`
+//!   (where `overlap = total element occurrences / universe` is the mean
+//!   element frequency — the knob that made the old extremal backend
+//!   degenerate);
+//! * the coefficients are **fitted from timings**, not tuned: the
+//!   `experiments s2-calibrate` profile replays a grid of synthetic set
+//!   families through every backend, fits each surface by least squares
+//!   ([`fit_log_linear`]), and emits the result in the table format of
+//!   [`S2CostModel::to_table_string`];
+//! * the fitted table is checked in as `s2_cost_model.tsv` next to this file
+//!   and parsed once into [`S2CostModel::checked_in`] — the dispatcher
+//!   consults the table, so re-calibrating on new hardware is editing one
+//!   data file (or passing `--s2-model` on the CLI), not re-tuning code;
+//! * every dispatch is recorded as an [`S2Decision`] (observed stream shape
+//!   plus the per-backend predictions) and surfaced through `S2Stats`, so
+//!   the bench profiles can audit mispredictions against measured times.
+//!
+//! Families smaller than [`MODEL_MIN_SETS`] skip the model entirely: below
+//! the fitted range the asymptotics the surfaces describe are noise next to
+//! per-engine set-up cost, and the inverted index is the cheapest to stand
+//! up.
+
+use std::sync::OnceLock;
+
+use crate::engine::S2Backend;
+
+/// Families with fewer retained sets than this bypass the model and use the
+/// inverted index (set-up cost dominates below the calibrated range).
+pub const MODEL_MIN_SETS: usize = 1024;
+
+/// The calibrated table this build ships with (regenerate with
+/// `experiments s2-calibrate --emit crates/settrie/src/s2_cost_model.tsv`).
+const CHECKED_IN_TABLE: &str = include_str!("s2_cost_model.tsv");
+
+/// One dispatch decision of the auto engine: the observed stream shape, the
+/// per-backend cost predictions, and the committed backend. Carried on
+/// `S2Outcome`/`S2Stats` so benches can compare the prediction against the
+/// measured per-backend times and audit mispredictions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct S2Decision {
+    /// Retained (deduplicated) sets at decision time.
+    pub set_count: usize,
+    /// Distinct elements across the retained sets.
+    pub universe: usize,
+    /// Total element occurrences across the retained sets.
+    pub total_elements: usize,
+    /// Predicted compaction cost in milliseconds per concrete backend, in
+    /// [`S2Backend::concrete`] order (inverted, bitset, extremal). All zero
+    /// when `modeled` is false.
+    pub predicted_millis: [f64; 3],
+    /// The backend the dispatcher committed to.
+    pub chosen: S2Backend,
+    /// Whether the cost model made the choice. `false` means the
+    /// small-family fallback fired and `predicted_millis` is meaningless.
+    pub modeled: bool,
+}
+
+/// Per-backend log-linear cost surfaces fitted by `experiments s2-calibrate`.
+///
+/// `coeffs[k]` holds `[c₀, c₁, c₂, c₃]` for the `k`-th backend of
+/// [`S2Backend::concrete`]; the predicted compaction cost is
+/// `exp(c₀ + c₁·ln(sets) + c₂·ln(universe) + c₃·ln(overlap))` milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct S2CostModel {
+    /// Fitted coefficients, one row per concrete backend.
+    pub coeffs: [[f64; 4]; 3],
+}
+
+impl Default for S2CostModel {
+    fn default() -> Self {
+        Self::checked_in()
+    }
+}
+
+/// The feature vector of a family shape: `[1, ln n, ln u, ln(m/u)]`, with
+/// every argument clamped to ≥ 1 so degenerate shapes stay finite.
+fn features(set_count: usize, universe: usize, total_elements: usize) -> [f64; 4] {
+    let n = set_count.max(1) as f64;
+    let u = universe.max(1) as f64;
+    let overlap = (total_elements as f64 / u).max(1.0);
+    [1.0, n.ln(), u.ln(), overlap.ln()]
+}
+
+impl S2CostModel {
+    /// The model parsed from the checked-in `s2_cost_model.tsv` (parsed once,
+    /// then copied — the struct is `Copy`).
+    pub fn checked_in() -> Self {
+        static MODEL: OnceLock<S2CostModel> = OnceLock::new();
+        *MODEL.get_or_init(|| {
+            S2CostModel::from_table_str(CHECKED_IN_TABLE)
+                .expect("the checked-in s2_cost_model.tsv is valid (see its header comment)")
+        })
+    }
+
+    /// Parses the table format emitted by [`Self::to_table_string`]: `#`
+    /// comment lines, then one `backend\tc0\tc1\tc2\tc3` row per concrete
+    /// backend (any run of whitespace separates columns).
+    pub fn from_table_str(text: &str) -> Result<Self, String> {
+        let mut coeffs = [[f64::NAN; 4]; 3];
+        let mut seen = [false; 3];
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let name = cols.next().expect("non-empty line has a first column");
+            let slot = S2Backend::concrete()
+                .iter()
+                .position(|b| b.name() == name)
+                .ok_or_else(|| format!("line {}: unknown backend {name:?}", lineno + 1))?;
+            for (k, item) in coeffs[slot].iter_mut().enumerate() {
+                let raw = cols
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing coefficient {k}", lineno + 1))?;
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("line {}: bad coefficient {raw:?}", lineno + 1))?;
+                if !value.is_finite() {
+                    return Err(format!(
+                        "line {}: non-finite coefficient {raw:?}",
+                        lineno + 1
+                    ));
+                }
+                *item = value;
+            }
+            if let Some(extra) = cols.next() {
+                return Err(format!("line {}: trailing column {extra:?}", lineno + 1));
+            }
+            if seen[slot] {
+                return Err(format!("line {}: duplicate backend {name:?}", lineno + 1));
+            }
+            seen[slot] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!(
+                "no row for backend {:?}",
+                S2Backend::concrete()[missing].name()
+            ));
+        }
+        Ok(S2CostModel { coeffs })
+    }
+
+    /// Serialises the model in the checked-in table format (the exact bytes
+    /// `s2-calibrate --emit` writes).
+    pub fn to_table_string(&self) -> String {
+        let mut out = String::from(
+            "# S2 maximality-backend cost model, fitted by `experiments s2-calibrate`.\n\
+             # ln(millis) = c0 + c1*ln(sets) + c2*ln(universe) + c3*ln(overlap)\n\
+             # where overlap = total element occurrences / universe.\n\
+             # backend\tc0\tc1\tc2\tc3\n",
+        );
+        for (k, backend) in S2Backend::concrete().iter().enumerate() {
+            out.push_str(backend.name());
+            for c in self.coeffs[k] {
+                out.push('\t');
+                out.push_str(&format!("{c:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Predicted compaction cost in milliseconds for one concrete backend on
+    /// a family with `set_count` sets over `universe` distinct elements and
+    /// `total_elements` element occurrences. `None` for [`S2Backend::Auto`].
+    pub fn predict_millis(
+        &self,
+        backend: S2Backend,
+        set_count: usize,
+        universe: usize,
+        total_elements: usize,
+    ) -> Option<f64> {
+        let slot = S2Backend::concrete().iter().position(|b| *b == backend)?;
+        let x = features(set_count, universe, total_elements);
+        let ln_cost: f64 = self.coeffs[slot].iter().zip(x).map(|(c, x)| c * x).sum();
+        Some(ln_cost.exp())
+    }
+
+    /// Dispatches a family shape: the backend with the lowest predicted cost,
+    /// or the inverted-index fallback below [`MODEL_MIN_SETS`]. Returns the
+    /// full decision record (shape, predictions, choice).
+    pub fn decide(&self, set_count: usize, universe: usize, total_elements: usize) -> S2Decision {
+        let mut decision = S2Decision {
+            set_count,
+            universe,
+            total_elements,
+            predicted_millis: [0.0; 3],
+            chosen: S2Backend::Inverted,
+            modeled: false,
+        };
+        if set_count < MODEL_MIN_SETS || universe == 0 {
+            return decision;
+        }
+        decision.modeled = true;
+        let mut best = 0usize;
+        for (k, backend) in S2Backend::concrete().iter().enumerate() {
+            let cost = self
+                .predict_millis(*backend, set_count, universe, total_elements)
+                .expect("concrete backends always have a prediction");
+            decision.predicted_millis[k] = cost;
+            if cost < decision.predicted_millis[best] {
+                best = k;
+            }
+        }
+        decision.chosen = S2Backend::concrete()[best];
+        decision
+    }
+}
+
+/// Least-squares fit of one backend's log-linear cost surface from measured
+/// samples `(set_count, universe, total_elements, millis)`. Returns the
+/// `[c₀, c₁, c₂, c₃]` row, or `None` when the samples cannot pin the surface
+/// down (fewer than 4, non-positive timings, or a degenerate design matrix —
+/// e.g. every sample sharing one universe).
+pub fn fit_log_linear(samples: &[(usize, usize, usize, f64)]) -> Option<[f64; 4]> {
+    if samples.len() < 4 {
+        return None;
+    }
+    // Normal equations XᵀX β = Xᵀy over the 4 features.
+    let mut xtx = [[0.0f64; 4]; 4];
+    let mut xty = [0.0f64; 4];
+    for &(n, u, m, millis) in samples {
+        if millis <= 0.0 || !millis.is_finite() {
+            return None;
+        }
+        let x = features(n, u, m);
+        let y = millis.ln();
+        for i in 0..4 {
+            for j in 0..4 {
+                xtx[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * y;
+        }
+    }
+    solve4(xtx, xty)
+}
+
+/// Solves the 4×4 linear system `a·β = b` by Gaussian elimination with
+/// partial pivoting; `None` for (numerically) singular systems.
+fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> Option<[f64; 4]> {
+    for col in 0..4 {
+        let pivot = (col..4).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("pivot magnitudes are finite")
+        })?;
+        if a[pivot][col].abs() < 1e-9 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..4 {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            for (x, &p) in rest[0].iter_mut().zip(pivot_rows[col].iter()).skip(col) {
+                *x -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut beta = [0.0f64; 4];
+    for col in (0..4).rev() {
+        let mut acc = b[col];
+        for k in col + 1..4 {
+            acc -= a[col][k] * beta[k];
+        }
+        beta[col] = acc / a[col][col];
+    }
+    Some(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_in_table_parses_and_round_trips() {
+        let model = S2CostModel::checked_in();
+        let rebuilt = S2CostModel::from_table_str(&model.to_table_string()).unwrap();
+        for (a, b) in model
+            .coeffs
+            .iter()
+            .flatten()
+            .zip(rebuilt.coeffs.iter().flatten())
+        {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn table_parse_rejects_malformed_input() {
+        assert!(S2CostModel::from_table_str("").is_err());
+        assert!(S2CostModel::from_table_str("inverted 1 2 3").is_err());
+        assert!(S2CostModel::from_table_str("alien 1 2 3 4").is_err());
+        assert!(S2CostModel::from_table_str("inverted 1 2 3 x").is_err());
+        assert!(S2CostModel::from_table_str(
+            "inverted 1 2 3 4\nbitset 1 2 3 4\nextremal 1 2 3 4\ninverted 0 0 0 0"
+        )
+        .is_err());
+        assert!(S2CostModel::from_table_str("inverted 1 2 3 4 5").is_err());
+        // Non-finite coefficients would silently neuter the dispatcher
+        // (every NaN comparison is false), so they are rejected at parse.
+        assert!(S2CostModel::from_table_str(
+            "inverted NaN 2 3 4\nbitset 1 2 3 4\nextremal 1 2 3 4"
+        )
+        .is_err());
+        assert!(S2CostModel::from_table_str(
+            "inverted 1 2 3 inf\nbitset 1 2 3 4\nextremal 1 2 3 4"
+        )
+        .is_err());
+        let ok = S2CostModel::from_table_str(
+            "# comment\ninverted 1 2 3 4\n\nbitset 1 2 3 4\nextremal -1 0.5 0 2\n",
+        )
+        .unwrap();
+        assert_eq!(ok.coeffs[2], [-1.0, 0.5, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn small_families_bypass_the_model() {
+        let model = S2CostModel::checked_in();
+        let d = model.decide(MODEL_MIN_SETS - 1, 50, 5000);
+        assert_eq!(d.chosen, S2Backend::Inverted);
+        assert!(!d.modeled);
+        assert_eq!(d.predicted_millis, [0.0; 3]);
+        let d = model.decide(1_000_000, 0, 0);
+        assert!(!d.modeled);
+        assert_eq!(d.chosen, S2Backend::Inverted);
+    }
+
+    #[test]
+    fn decide_picks_the_cheapest_prediction() {
+        // A synthetic model where the universe term alone separates the
+        // backends: tiny universes → bitset, huge → extremal.
+        let model = S2CostModel {
+            coeffs: [
+                [0.0, 0.0, 0.5, 0.0],  // inverted: middling everywhere
+                [-2.0, 0.0, 1.0, 0.0], // bitset: cheap only when u is small
+                [4.0, 0.0, 0.0, 0.0],  // extremal: flat
+            ],
+        };
+        let d = model.decide(10_000, 16, 200_000);
+        assert!(d.modeled);
+        assert_eq!(d.chosen, S2Backend::Bitset);
+        let d = model.decide(10_000, 1_000_000, 200_000);
+        assert_eq!(d.chosen, S2Backend::Extremal);
+        assert_eq!(d.set_count, 10_000);
+        // The recorded predictions are consistent with the choice.
+        let best: f64 = d
+            .predicted_millis
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let chosen_slot = S2Backend::concrete()
+            .iter()
+            .position(|b| *b == d.chosen)
+            .unwrap();
+        assert_eq!(d.predicted_millis[chosen_slot], best);
+    }
+
+    #[test]
+    fn fit_recovers_a_known_surface() {
+        let truth = [-3.0, 1.2, 0.3, 0.7];
+        let mut samples = Vec::new();
+        for &n in &[2000usize, 8000, 30000, 120000] {
+            for &u in &[64usize, 512, 4096] {
+                for &mean_size in &[8usize, 20] {
+                    let m = n * mean_size;
+                    let x = features(n, u, m);
+                    let ln_cost: f64 = truth.iter().zip(x).map(|(c, x)| c * x).sum();
+                    samples.push((n, u, m, ln_cost.exp()));
+                }
+            }
+        }
+        let fitted = fit_log_linear(&samples).unwrap();
+        for (f, t) in fitted.iter().zip(truth) {
+            assert!((f - t).abs() < 1e-6, "fitted {f} vs true {t}");
+        }
+        // Predictions come back in the original (non-log) scale.
+        let model = S2CostModel {
+            coeffs: [fitted, fitted, fitted],
+        };
+        let (n, u, m) = (5000usize, 256usize, 5000 * 12);
+        let x = features(n, u, m);
+        let expected: f64 = truth.iter().zip(x).map(|(c, x)| c * x).sum::<f64>().exp();
+        let got = model.predict_millis(S2Backend::Inverted, n, u, m).unwrap();
+        assert!((got / expected - 1.0).abs() < 1e-6);
+        assert!(model.predict_millis(S2Backend::Auto, n, u, m).is_none());
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_samples() {
+        assert!(fit_log_linear(&[]).is_none());
+        assert!(fit_log_linear(&[(1000, 10, 10000, 5.0)]).is_none());
+        // All samples share every feature: the design matrix is singular.
+        let flat = vec![(1000, 10, 10000, 5.0); 10];
+        assert!(fit_log_linear(&flat).is_none());
+        // Non-positive timings cannot be log-fitted.
+        let bad = vec![
+            (1000, 10, 10000, 0.0),
+            (2000, 20, 30000, 1.0),
+            (4000, 40, 90000, 2.0),
+            (8000, 80, 270000, 3.0),
+        ];
+        assert!(fit_log_linear(&bad).is_none());
+    }
+}

@@ -21,8 +21,8 @@
 //! |---|---|---|
 //! | [`S2Backend::Inverted`] | element → accepted-set id lists, probe the least-frequent element | small or mildly overlapping families |
 //! | [`S2Backend::Bitset`] | element → packed `u64` bitmap over accepted-set slots, word-AND intersection | small universe, heavy overlap (the INF'd-S1 wall shape) |
-//! | [`S2Backend::Extremal`] | Bayardo–Panda-style: cardinality-ascending scan, each live set indexed once under its least-frequent element, subset-kill | large sparse universes |
-//! | [`S2Backend::Auto`] | buffers a prefix, then commits using set count, universe size and mean overlap | the default |
+//! | [`S2Backend::Extremal`] | full Bayardo–Panda: frequency-ordered column reindexing, lexicographically sorted family, prefix-sharing subsumption pass | wide — sparse universes *and* heavily shared prefixes |
+//! | [`S2Backend::Auto`] | buffers a prefix, then commits to the backend the measured [`S2CostModel`] predicts fastest | the default |
 //!
 //! All backends produce exactly the result of
 //! [`filter_maximal_naive`](crate::filter_maximal_naive): given a processed
@@ -36,6 +36,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
+use crate::cost_model::{S2CostModel, S2Decision};
 use crate::filter::is_sorted_subset;
 
 /// How often (in processed sets) the compaction loops poll the deadline.
@@ -57,6 +58,10 @@ pub struct S2Outcome {
     /// The backend that performed the compaction (`auto` resolves to the
     /// backend it committed to).
     pub backend: &'static str,
+    /// The dispatch decision of the auto engine (observed stream shape plus
+    /// per-backend cost predictions); `None` when a concrete backend was
+    /// requested directly.
+    pub decision: Option<S2Decision>,
 }
 
 /// A streaming maximality filter (MQCE-S2).
@@ -103,8 +108,9 @@ pub trait MaximalityEngine: Send {
 /// Which S2 backend to use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum S2Backend {
-    /// Buffer a prefix of the stream, then commit to the backend predicted
-    /// fastest from the observed set count, universe size and mean overlap.
+    /// Buffer a prefix of the stream, then commit to the backend the
+    /// measured cost model ([`S2CostModel`]) predicts fastest for the
+    /// observed set count, universe size and mean overlap.
     #[default]
     Auto,
     /// The inverted-index filter behind
@@ -113,9 +119,10 @@ pub enum S2Backend {
     /// Packed per-element bitmaps over accepted-set slots; superset queries
     /// are word-parallel bitmap intersections.
     Bitset,
-    /// Bayardo–Panda-style extremal-sets filtering: cardinality-ascending
-    /// processing, each live set indexed once under its least-frequent
-    /// element, subset-kill on arrival of a superset.
+    /// Full Bayardo–Panda extremal-sets filtering: elements reindexed by
+    /// ascending global frequency, sets sorted lexicographically under that
+    /// order, and a prefix-sharing subsumption pass in which sets sharing a
+    /// prefix reuse each other's superset-probe intersections.
     Extremal,
 }
 
@@ -131,10 +138,17 @@ impl S2Backend {
         }
     }
 
-    /// Creates a fresh engine of this backend.
+    /// Creates a fresh engine of this backend; the auto dispatcher consults
+    /// the checked-in cost model.
     pub fn new_engine(&self) -> Box<dyn MaximalityEngine> {
+        self.new_engine_with_model(S2CostModel::checked_in())
+    }
+
+    /// Creates a fresh engine of this backend with an explicit cost model
+    /// for the auto dispatcher (concrete backends ignore it).
+    pub fn new_engine_with_model(&self, model: S2CostModel) -> Box<dyn MaximalityEngine> {
         match self {
-            S2Backend::Auto => Box::new(AutoEngine::new()),
+            S2Backend::Auto => Box::new(AutoEngine::new(model)),
             S2Backend::Inverted => Box::new(StreamingEngine::<InvertedProbe>::new()),
             S2Backend::Bitset => Box::new(StreamingEngine::<BitmapProbe>::new()),
             S2Backend::Extremal => Box::new(ExtremalEngine::new()),
@@ -161,28 +175,15 @@ pub fn filter_maximal_with(sets: &[Vec<u32>], backend: S2Backend) -> Vec<Vec<u32
 /// stream statistics: retained-set count, distinct-element count (universe)
 /// and the total number of element occurrences across the retained sets.
 ///
-/// The heuristic mirrors where each probe structure wins:
-/// * tiny families: the inverted index has no set-up cost;
-/// * small universe *and* high mean overlap (mean element frequency
-///   `total / universe`): the word-parallel bitmaps turn the degenerate
-///   probe lists of the INF'd-S1 shape into `O(live/64)` word scans, and the
-///   `universe × live / 64` words of memory stay modest;
-/// * large universe with sets much smaller than it: the extremal-sets
-///   single-element indexing keeps probe lists short;
-/// * otherwise the inverted index remains the safe default.
+/// Since the measured-cost-model rework this is a thin wrapper over the
+/// checked-in [`S2CostModel`]: the backend with the lowest predicted
+/// compaction cost wins, with an inverted-index fallback for families too
+/// small for the fitted surfaces (see
+/// [`MODEL_MIN_SETS`](crate::cost_model::MODEL_MIN_SETS)).
 pub fn choose_backend(set_count: usize, universe: usize, total_elements: usize) -> S2Backend {
-    if set_count < 1024 || universe == 0 {
-        return S2Backend::Inverted;
-    }
-    let mean_overlap = total_elements as f64 / universe as f64;
-    if universe <= 2048 && mean_overlap >= 16.0 {
-        return S2Backend::Bitset;
-    }
-    let mean_size = total_elements as f64 / set_count as f64;
-    if mean_size * 4.0 <= universe as f64 {
-        return S2Backend::Extremal;
-    }
-    S2Backend::Inverted
+    S2CostModel::checked_in()
+        .decide(set_count, universe, total_elements)
+        .chosen
 }
 
 /// Whether a set is already in canonical form (strictly increasing). The
@@ -532,6 +533,7 @@ impl<P: ProbeIndex> MaximalityEngine for StreamingEngine<P> {
             mqcs,
             timed_out,
             backend: name,
+            decision: None,
         }
     }
 }
@@ -601,29 +603,185 @@ fn compact_descending<P: ProbeIndex>(
 }
 
 // ---------------------------------------------------------------------------
-// ExtremalEngine: Bayardo–Panda-style extremal-sets filtering.
+// ExtremalEngine: full Bayardo–Panda extremal-sets filtering.
 // ---------------------------------------------------------------------------
 
-/// Bayardo–Panda-style extremal-sets backend.
+/// The full Bayardo–Panda extremal-sets backend.
 ///
 /// `add` only deduplicates and buffers (this is the batch-oriented backend);
-/// `finish` runs the extremal-sets pass: compute global element frequencies,
-/// process the sets in ascending cardinality order, and for each set *kill*
-/// every live strict subset of it. A live set is indexed exactly once —
-/// under its least-frequent element — so the candidate lists a query set `S`
-/// has to scan (the lists of `S`'s own elements, where any subset of `S` must
-/// appear) stay far shorter than the full inverted index, and the
-/// frequency-ordered indexing concentrates sets under rare elements that few
-/// queries contain. Because processing is cardinality-ascending, the live
-/// *processed* sets form an antichain at every step, so the deadline-aware
-/// early return is sound — note however that, unlike the descending-order
-/// backends, a deadline-cut partial result may retain small sets that an
-/// uncut run would have dominated by a larger, not-yet-processed superset
-/// (the result is an antichain of the processed prefix, not necessarily a
-/// subset of the full maximal family).
+/// `finish` runs the complete lexicographic prefix-sharing pass from the
+/// extremal-sets literature:
+///
+/// 1. **Column reorder** — elements are re-indexed by ascending global
+///    frequency (ties by value), so every rewritten set leads with its
+///    globally rarest element.
+/// 2. **Lexicographic sort** — the rewritten sets are sorted
+///    lexicographically under that order, which clusters sets sharing rare
+///    prefixes next to each other.
+/// 3. **Prefix-sharing subsumption** — for each set `S` the pass intersects
+///    the occurrence lists of `S`'s elements front to back; `S` is maximal
+///    iff the final intersection is `{S}` itself. The per-prefix
+///    intersections live on a stack keyed by depth, and consecutive sets
+///    reuse every level of their shared prefix — the amortisation that the
+///    earlier least-frequent-element-only variant lacked. On small-universe
+///    heavy-overlap families (where that variant's probe lists all
+///    concentrated under a handful of elements) long shared prefixes make
+///    the expensive first intersections almost free.
+///
+/// The pass answers "is `S` contained in *any* other set" directly (not just
+/// "any already-processed set"), so under a deadline the processed prefix
+/// yields sets that are maximal in the **full** family: the early return is
+/// not merely an antichain but a subset of the true maximal family, matching
+/// the guarantee of the descending-order backends.
 struct ExtremalEngine {
     sets: Vec<Vec<u32>>,
     dedup: DedupIndex,
+}
+
+/// Intersection of two sorted id lists. When one side is much shorter the
+/// pass gallops (binary-searches the longer side); otherwise a linear merge.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    if large.len() / 16 >= small.len() {
+        for &x in small {
+            if large.binary_search(&x).is_ok() {
+                out.push(x);
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The batch Bayardo–Panda pass: returns the maximal sets of `sets` (sorted
+/// lexicographically on the original element values) plus the timed-out
+/// flag. See [`ExtremalEngine`] for the algorithm.
+fn extremal_filter(mut sets: Vec<Vec<u32>>, deadline: Option<Instant>) -> (Vec<Vec<u32>>, bool) {
+    sets.sort();
+    sets.dedup();
+    let n = sets.len();
+    if n <= 1 {
+        return (sets, false);
+    }
+
+    // Column reorder: dense ids in ascending global-frequency order.
+    let mut freq: HashMap<u32, u32> = HashMap::new();
+    for set in &sets {
+        for &e in set {
+            *freq.entry(e).or_insert(0) += 1;
+        }
+    }
+    let mut elems: Vec<u32> = freq.keys().copied().collect();
+    elems.sort_unstable_by_key(|e| (freq[e], *e));
+    let rank: HashMap<u32, u32> = elems
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, i as u32))
+        .collect();
+
+    // Rewrite each set into rank space (rarest element first) and sort the
+    // family lexicographically under the new order.
+    let mut rewritten: Vec<Vec<u32>> = sets
+        .iter()
+        .map(|s| {
+            let mut v: Vec<u32> = s.iter().map(|e| rank[e]).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    rewritten.sort_unstable();
+    drop(sets);
+
+    // occ[rank] = positions (in lex order) of the sets containing the
+    // element; built in position order, so every list is sorted.
+    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); elems.len()];
+    for (i, set) in rewritten.iter().enumerate() {
+        for &r in set {
+            occ[r as usize].push(i as u32);
+        }
+    }
+
+    // Prefix-sharing subsumption. stack[d] = positions of the sets
+    // containing every element of the current set's prefix [0..=d]; a set is
+    // maximal iff the deepest level is the singleton {itself}. Consecutive
+    // lex-sorted sets share prefixes, so the shared levels are reused
+    // verbatim.
+    let mut stack: Vec<Vec<u32>> = Vec::new();
+    let mut maximal = vec![false; n];
+    let mut processed = 0usize;
+    let mut timed_out = false;
+    for i in 0..n {
+        if i.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    timed_out = true;
+                    break;
+                }
+            }
+        }
+        let set = &rewritten[i];
+        processed = i + 1;
+        if set.is_empty() {
+            // n > 1: some other (non-empty) set dominates the empty set.
+            continue;
+        }
+        let shared = if i == 0 {
+            0
+        } else {
+            rewritten[i - 1]
+                .iter()
+                .zip(set.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+        };
+        stack.truncate(shared);
+        for d in stack.len()..set.len() {
+            let list = &occ[set[d] as usize];
+            let next = if d == 0 {
+                list.clone()
+            } else if stack[d - 1].len() == 1 {
+                // Only one set contains this prefix — necessarily set i
+                // itself — so every deeper level is the same singleton.
+                stack[d - 1].clone()
+            } else {
+                intersect_sorted(&stack[d - 1], list)
+            };
+            stack.push(next);
+        }
+        // The final level holds every set containing all of set i's
+        // elements; duplicates are gone, so any second entry is a strict
+        // superset.
+        maximal[i] = stack[set.len() - 1].len() == 1;
+    }
+
+    // Map the survivors back to original element values.
+    let mut mqcs: Vec<Vec<u32>> = rewritten
+        .into_iter()
+        .take(processed)
+        .zip(maximal)
+        .filter_map(|(set, keep)| {
+            keep.then(|| {
+                let mut v: Vec<u32> = set.iter().map(|&r| elems[r as usize]).collect();
+                v.sort_unstable();
+                v
+            })
+        })
+        .collect();
+    mqcs.sort();
+    (mqcs, timed_out)
 }
 
 impl ExtremalEngine {
@@ -659,80 +817,12 @@ impl MaximalityEngine for ExtremalEngine {
     }
 
     fn finish_with_deadline(self: Box<Self>, deadline: Option<Instant>) -> S2Outcome {
-        let mut sets = self.sets;
-        // Ascending cardinality: a set is processed before any of its strict
-        // supersets, which are the only sets that can kill it.
-        sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-        sets.dedup();
-
-        // Global element frequencies drive both the per-set probe element
-        // (least frequent first) and how the index concentrates.
-        let mut freq: HashMap<u32, u32> = HashMap::new();
-        for set in &sets {
-            for &e in set {
-                *freq.entry(e).or_insert(0) += 1;
-            }
-        }
-        let least_frequent = |set: &[u32]| -> Option<u32> {
-            set.iter().copied().min_by_key(|e| (freq[e], *e))
-        };
-
-        // index[element] = live processed sets whose least-frequent element
-        // it is. Dead entries are purged lazily while scanning.
-        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
-        let mut alive = vec![true; sets.len()];
-        let mut processed = 0usize;
-        let mut timed_out = false;
-        for i in 0..sets.len() {
-            if i.is_multiple_of(DEADLINE_STRIDE) {
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        timed_out = true;
-                        break;
-                    }
-                }
-            }
-            // Kill every live strict subset of sets[i]: any such subset is
-            // indexed under one of sets[i]'s elements. (Equal-cardinality
-            // sets cannot be strict subsets, and duplicates are gone.)
-            for &e in &sets[i] {
-                let Some(list) = index.get_mut(&e) else {
-                    continue;
-                };
-                list.retain(|&cand| {
-                    let cand = cand as usize;
-                    if !alive[cand] {
-                        return false;
-                    }
-                    if is_sorted_subset(&sets[cand], &sets[i]) {
-                        alive[cand] = false;
-                        return false;
-                    }
-                    true
-                });
-            }
-            if let Some(e) = least_frequent(&sets[i]) {
-                index.entry(e).or_default().push(i as u32);
-            }
-            // The empty set has no probe element; it is alive only while
-            // nothing else has been processed, and any non-empty set kills
-            // it. (It cannot kill others: it has no strict subsets.)
-            if sets[i].is_empty() && sets.len() > 1 {
-                alive[i] = false;
-            }
-            processed = i + 1;
-        }
-        let mut mqcs: Vec<Vec<u32>> = sets
-            .into_iter()
-            .take(processed)
-            .zip(alive)
-            .filter_map(|(set, live)| live.then_some(set))
-            .collect();
-        mqcs.sort();
+        let (mqcs, timed_out) = extremal_filter(self.sets, deadline);
         S2Outcome {
             mqcs,
             timed_out,
             backend: "extremal",
+            decision: None,
         }
     }
 }
@@ -744,9 +834,23 @@ impl MaximalityEngine for ExtremalEngine {
 /// The adaptive engine behind [`S2Backend::Auto`]: buffers (and
 /// hash-deduplicates) the first [`AUTO_COMMIT_AT`] retained sets while
 /// tracking the universe size and total element count, then commits to the
-/// backend [`choose_backend`] predicts fastest and replays the buffer into
+/// backend its [`S2CostModel`] predicts fastest and replays the buffer into
 /// it. Streams that finish before the threshold choose at `finish` time.
+/// The decision (shape, predictions, choice) is kept and reported on the
+/// outcome so callers can audit mispredictions.
 struct AutoEngine {
+    model: S2CostModel,
+    decision: Option<S2Decision>,
+    /// Full-stream shape statistics, maintained *across* the commit: the
+    /// commit decides from the buffered prefix (the engine cannot see the
+    /// future), but the decision reported at finish re-predicts with these
+    /// totals so the recorded per-backend costs describe the family the
+    /// compaction actually ran on — comparing a 4096-set-prefix prediction
+    /// against a full-stream measured time would make the misprediction
+    /// audit apples-to-oranges.
+    set_count: usize,
+    universe: HashSet<u32>,
+    total_elements: usize,
     state: AutoState,
 }
 
@@ -754,35 +858,43 @@ enum AutoState {
     Buffering {
         sets: Vec<Vec<u32>>,
         dedup: DedupIndex,
-        universe: HashSet<u32>,
-        total_elements: usize,
     },
     Committed(Box<dyn MaximalityEngine>),
 }
 
 impl AutoEngine {
-    fn new() -> Self {
+    fn new(model: S2CostModel) -> Self {
         AutoEngine {
+            model,
+            decision: None,
+            set_count: 0,
+            universe: HashSet::new(),
+            total_elements: 0,
             state: AutoState::Buffering {
                 sets: Vec::new(),
                 dedup: DedupIndex::default(),
-                universe: HashSet::new(),
-                total_elements: 0,
             },
         }
     }
 
-    /// Chooses a backend from the buffered statistics and replays the buffer.
+    /// Records one retained set in the full-stream shape statistics.
+    fn track(&mut self, set: &[u32]) {
+        self.set_count += 1;
+        self.total_elements += set.len();
+        for &e in set {
+            self.universe.insert(e);
+        }
+    }
+
+    /// Chooses a backend from the statistics observed so far and replays the
+    /// buffer into it.
     fn commit(&mut self) -> &mut Box<dyn MaximalityEngine> {
-        if let AutoState::Buffering {
-            sets,
-            universe,
-            total_elements,
-            ..
-        } = &mut self.state
-        {
-            let backend = choose_backend(sets.len(), universe.len(), *total_elements);
-            let mut engine = backend.new_engine();
+        if let AutoState::Buffering { sets, .. } = &mut self.state {
+            let decision =
+                self.model
+                    .decide(self.set_count, self.universe.len(), self.total_elements);
+            let mut engine = decision.chosen.new_engine();
+            self.decision = Some(decision);
             for set in sets.drain(..) {
                 engine.add(&set);
             }
@@ -792,6 +904,24 @@ impl AutoEngine {
             AutoState::Committed(engine) => engine,
             AutoState::Buffering { .. } => unreachable!("commit just transitioned the state"),
         }
+    }
+
+    /// The decision as reported on the outcome: the commit-time choice, with
+    /// the shape, the per-backend predictions and the `modeled` flag
+    /// refreshed to the current stream statistics. Only `chosen` keeps its
+    /// commit-time value (the engine genuinely ran the committed backend),
+    /// so `predicted_millis` may rank another backend first — that is
+    /// exactly the misprediction signal the benches audit. Refreshing
+    /// `modeled` too keeps the record self-consistent (zero predictions ⇔
+    /// not modeled) even for a drained-then-refilled engine whose current
+    /// stream is below the model's range.
+    fn final_decision(&self) -> Option<S2Decision> {
+        let committed = self.decision?;
+        let mut refreshed =
+            self.model
+                .decide(self.set_count, self.universe.len(), self.total_elements);
+        refreshed.chosen = committed.chosen;
+        Some(refreshed)
     }
 }
 
@@ -805,27 +935,33 @@ impl MaximalityEngine for AutoEngine {
 
     fn add(&mut self, set: &[u32]) -> bool {
         match &mut self.state {
-            AutoState::Buffering {
-                sets,
-                dedup,
-                universe,
-                total_elements,
-            } => {
+            AutoState::Buffering { sets, dedup } => {
                 let Some((set, hash)) = dedup.admit(set, sets) else {
                     return false;
                 };
                 dedup.register(hash, sets.len());
+                self.set_count += 1;
+                self.total_elements += set.len();
                 for &e in set.iter() {
-                    universe.insert(e);
+                    self.universe.insert(e);
                 }
-                *total_elements += set.len();
                 sets.push(set.into_owned());
-                if sets.len() >= AUTO_COMMIT_AT {
+                if self.set_count >= AUTO_COMMIT_AT {
                     self.commit();
                 }
                 true
             }
-            AutoState::Committed(engine) => engine.add(set),
+            AutoState::Committed(engine) => {
+                let retained = engine.add(set);
+                if retained {
+                    // The committed engine canonicalised internally; for the
+                    // shape statistics the raw slice's length/elements match
+                    // the canonical form on the pipeline's sorted streams
+                    // and are close enough elsewhere.
+                    self.track(set);
+                }
+                retained
+            }
         }
     }
 
@@ -837,16 +973,12 @@ impl MaximalityEngine for AutoEngine {
     }
 
     fn drain(&mut self) -> Vec<Vec<u32>> {
+        self.set_count = 0;
+        self.universe.clear();
+        self.total_elements = 0;
         match &mut self.state {
-            AutoState::Buffering {
-                sets,
-                dedup,
-                universe,
-                total_elements,
-            } => {
+            AutoState::Buffering { sets, dedup } => {
                 dedup.clear();
-                universe.clear();
-                *total_elements = 0;
                 std::mem::take(sets)
             }
             AutoState::Committed(engine) => engine.drain(),
@@ -855,8 +987,13 @@ impl MaximalityEngine for AutoEngine {
 
     fn finish_with_deadline(mut self: Box<Self>, deadline: Option<Instant>) -> S2Outcome {
         self.commit();
+        let decision = self.final_decision();
         match self.state {
-            AutoState::Committed(engine) => engine.finish_with_deadline(deadline),
+            AutoState::Committed(engine) => {
+                let mut outcome = engine.finish_with_deadline(deadline);
+                outcome.decision = decision;
+                outcome
+            }
             AutoState::Buffering { .. } => unreachable!("commit just transitioned the state"),
         }
     }
@@ -875,11 +1012,15 @@ mod tests {
             let mut x = family.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xDEADBEEF;
             let n = 10 + (family % 30) as usize;
             for _ in 0..n {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let len = (x >> 60) as usize % 7;
                 let mut s = Vec::new();
                 for _ in 0..len {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     s.push((x >> 33) as u32 % 14);
                 }
                 sets.push(s);
@@ -910,9 +1051,17 @@ mod tests {
         for backend in [S2Backend::Inverted, S2Backend::Bitset] {
             let mut engine = backend.new_engine();
             assert!(engine.add(&[3, 1, 2]));
-            assert!(!engine.add(&[1, 2, 3]), "{}: duplicate retained", backend.name());
+            assert!(
+                !engine.add(&[1, 2, 3]),
+                "{}: duplicate retained",
+                backend.name()
+            );
             assert!(!engine.add(&[2, 1]), "{}: subset retained", backend.name());
-            assert!(engine.add(&[1, 2, 3, 4]), "{}: superset dropped", backend.name());
+            assert!(
+                engine.add(&[1, 2, 3, 4]),
+                "{}: superset dropped",
+                backend.name()
+            );
             assert_eq!(engine.live_len(), 2);
             let out = engine.finish();
             assert_eq!(out.mqcs, vec![vec![1, 2, 3, 4]]);
@@ -979,7 +1128,11 @@ mod tests {
     #[test]
     fn expired_deadline_returns_sound_partial_result() {
         let sets: Vec<Vec<u32>> = (0..2000u32)
-            .map(|i| (0..6).map(|j| (i.wrapping_mul(31).wrapping_add(j * 7)) % 40).collect())
+            .map(|i| {
+                (0..6)
+                    .map(|j| (i.wrapping_mul(31).wrapping_add(j * 7)) % 40)
+                    .collect()
+            })
             .collect();
         for backend in S2Backend::concrete() {
             let mut engine = backend.new_engine();
@@ -1017,7 +1170,7 @@ mod tests {
     }
 
     #[test]
-    fn auto_commits_to_bitset_on_dense_overlap() {
+    fn auto_commits_on_dense_overlap_and_records_the_decision() {
         // Small universe, heavy overlap: the INF'd-S1 shape.
         let mut engine = S2Backend::Auto.new_engine();
         assert_eq!(engine.name(), "auto");
@@ -1025,25 +1178,198 @@ mod tests {
         for _ in 0..AUTO_COMMIT_AT + 10 {
             let mut s = Vec::new();
             for _ in 0..12 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 s.push((x >> 33) as u32 % 100);
             }
             engine.add(&s);
         }
-        assert_eq!(engine.name(), "bitset");
+        // Committed to whatever the model predicts fastest — on this shape
+        // the inverted index (whose probe lists all concentrate) never wins.
+        let committed = engine.name();
+        assert_ne!(committed, "auto");
+        assert_ne!(committed, "inverted");
+        let out = engine.finish();
+        let decision = out.decision.expect("auto records its dispatch decision");
+        assert!(decision.modeled);
+        assert_eq!(decision.chosen.name(), committed);
+        assert!(decision.set_count >= AUTO_COMMIT_AT);
+        assert!(decision.universe <= 100);
+    }
+
+    #[test]
+    fn reported_decision_reflects_the_full_stream_not_the_commit_prefix() {
+        // Stream well past the commit point with sets that keep widening the
+        // universe; the decision on the outcome must describe the whole
+        // family (so the recorded predictions are comparable with the
+        // measured full-stream compaction time), while `chosen` stays the
+        // backend committed at the prefix.
+        let mut engine = S2Backend::Auto.new_engine();
+        let n = 3 * AUTO_COMMIT_AT;
+        for i in 0..n as u32 {
+            // Distinct 8-element sets over an ever-growing universe.
+            let s: Vec<u32> = (0..8).map(|j| i * 8 + j).collect();
+            engine.add(&s);
+        }
+        let committed = engine.name().to_string();
+        let out = engine.finish();
+        let d = out.decision.expect("auto records its decision");
+        assert_eq!(d.set_count, n, "decision shape is the full stream");
+        assert_eq!(d.total_elements, n * 8);
+        assert_eq!(d.universe, n * 8, "all elements are distinct");
+        assert_eq!(
+            d.chosen.name(),
+            committed,
+            "chosen stays the committed backend"
+        );
+        assert!(d.modeled);
+    }
+
+    #[test]
+    fn drained_auto_engine_reports_a_consistent_decision() {
+        // Commit (>= AUTO_COMMIT_AT sets), drain, refill with a tiny stream:
+        // the reported decision must describe the *current* stream — below
+        // the model's range, so not modeled and all-zero predictions — while
+        // `chosen` still names the backend the engine genuinely ran.
+        let mut engine = S2Backend::Auto.new_engine();
+        for i in 0..(AUTO_COMMIT_AT + 8) as u32 {
+            let s: Vec<u32> = (0..6).map(|j| i * 6 + j).collect();
+            engine.add(&s);
+        }
+        let committed = engine.name().to_string();
+        assert_ne!(committed, "auto");
+        let _ = engine.drain();
+        engine.add(&[1, 2, 3]);
+        let out = engine.finish();
+        let d = out.decision.expect("commit-time choice is still reported");
+        assert!(
+            !d.modeled,
+            "tiny post-drain stream is below the model range"
+        );
+        assert_eq!(d.predicted_millis, [0.0; 3]);
+        assert_eq!(d.set_count, 1);
+        assert_eq!(d.chosen.name(), committed);
+        assert_eq!(out.mqcs, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn concrete_backends_report_no_decision() {
+        for backend in S2Backend::concrete() {
+            let mut engine = backend.new_engine();
+            engine.add(&[1, 2, 3]);
+            assert!(engine.finish().decision.is_none(), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn small_auto_streams_fall_back_to_inverted_with_a_decision() {
+        let mut engine = S2Backend::Auto.new_engine();
+        for i in 0..50u32 {
+            engine.add(&[i, i + 1, i + 2]);
+        }
+        let out = engine.finish();
+        assert_eq!(out.backend, "inverted");
+        let decision = out.decision.expect("fallback still records the decision");
+        assert!(!decision.modeled);
+        assert_eq!(decision.chosen, S2Backend::Inverted);
     }
 
     #[test]
     fn backend_choice_heuristics() {
-        // Tiny inputs stay on the inverted index.
+        // Tiny inputs stay on the inverted index (below the model's range).
         assert_eq!(choose_backend(100, 50, 1000), S2Backend::Inverted);
         assert_eq!(choose_backend(0, 0, 0), S2Backend::Inverted);
-        // Dense small-universe overlap goes to the bitmaps.
-        assert_eq!(choose_backend(400_000, 150, 8_000_000), S2Backend::Bitset);
-        // Sparse big-universe families go to extremal sets.
-        assert_eq!(choose_backend(100_000, 50_000, 500_000), S2Backend::Extremal);
-        // Large universe but sets covering much of it: inverted.
-        assert_eq!(choose_backend(5_000, 4_000, 10_000_000), S2Backend::Inverted);
+        // Dense small-universe overlap — the shape whose probe lists
+        // degenerate — must leave the inverted index.
+        assert_ne!(choose_backend(400_000, 150, 8_000_000), S2Backend::Inverted);
+        // The wrapper and the checked-in model agree by construction.
+        let model = S2CostModel::checked_in();
+        for &(n, u, m) in &[
+            (400_000usize, 150usize, 8_000_000usize),
+            (100_000, 50_000, 500_000),
+            (5_000, 4_000, 10_000_000),
+            (2_000, 64, 30_000),
+        ] {
+            assert_eq!(choose_backend(n, u, m), model.decide(n, u, m).chosen);
+        }
+    }
+
+    #[test]
+    fn intersect_sorted_handles_both_strategies() {
+        // Merge path: comparable lengths.
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            vec![3, 7]
+        );
+        // Gallop path: one side much shorter than the other.
+        let long: Vec<u32> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(intersect_sorted(&[3, 40, 41, 998], &long,), vec![40, 998]);
+        assert_eq!(intersect_sorted(&long, &[3, 40, 41, 998]), vec![40, 998]);
+        assert_eq!(intersect_sorted(&[], &long), Vec::<u32>::new());
+    }
+
+    /// The regime ROADMAP flagged as degenerate for the old extremal
+    /// variant: a small universe with heavy overlap, where every
+    /// least-frequent-element list concentrates. The prefix-sharing pass
+    /// must return exactly the inverted-reference family.
+    #[test]
+    fn extremal_prefix_sharing_matches_reference_on_heavy_overlap() {
+        let mut x = 99u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        let family: Vec<Vec<u32>> = (0..4000)
+            .map(|_| {
+                let len = 8 + (next() % 7) as usize;
+                let mut s = Vec::with_capacity(len);
+                while s.len() < len {
+                    // Skewed toward low ids, like a community core.
+                    let e = (next() % 40).min(next() % 40);
+                    if !s.contains(&e) {
+                        s.push(e);
+                    }
+                }
+                s
+            })
+            .collect();
+        let reference = filter_maximal(&family);
+        assert_eq!(filter_maximal_with(&family, S2Backend::Extremal), reference);
+        // Plenty of real domination on this shape (subset sets exist), so
+        // the pass is exercised beyond the everything-maximal fast case.
+        assert!(reference.len() < family.len());
+    }
+
+    /// Unlike the pre-rework extremal pass, a deadline-cut run returns a
+    /// subset of the *true* maximal family (each processed set is probed
+    /// against every set, not just the processed prefix).
+    #[test]
+    fn extremal_partial_result_is_subset_of_full_family() {
+        let sets: Vec<Vec<u32>> = (0..30_000u32)
+            .map(|i| {
+                (0..8)
+                    .map(|j| (i.wrapping_mul(37).wrapping_add(j * 11)) % 60)
+                    .collect()
+            })
+            .collect();
+        let full = filter_maximal(&sets);
+        for budget_micros in [0u64, 50, 500, 5_000] {
+            let mut engine = S2Backend::Extremal.new_engine();
+            for s in &sets {
+                engine.add(s);
+            }
+            let deadline = Instant::now() + std::time::Duration::from_micros(budget_micros);
+            let out = engine.finish_with_deadline(Some(deadline));
+            for set in &out.mqcs {
+                assert!(
+                    full.binary_search(set).is_ok(),
+                    "partial extremal result contains non-maximal {set:?}"
+                );
+            }
+        }
     }
 
     #[test]

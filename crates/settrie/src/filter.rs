@@ -38,7 +38,9 @@ pub fn filter_maximal(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
     distinct.sort_unstable();
     distinct.dedup();
     let compress = |x: u32| -> usize {
-        distinct.binary_search(&x).expect("element seen during compression")
+        distinct
+            .binary_search(&x)
+            .expect("element seen during compression")
     };
 
     // containing[compress(x)] = indices (into `accepted`) of accepted sets
@@ -190,7 +192,9 @@ mod tests {
                 let len = (x % 6) as usize + 1;
                 let mut s = Vec::new();
                 for _ in 0..len {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     s.push((x >> 33) as u32 % 12);
                 }
                 sets.push(s);

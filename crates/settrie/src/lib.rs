@@ -4,7 +4,7 @@
 //! quasi-clique enumeration (**MQCE-S2**): given the set `S` of quasi-cliques
 //! produced by the branch-and-bound search (which contains every maximal QC
 //! plus possibly some non-maximal ones), remove the sets that are contained in
-//! another set of `S`. The paper uses the set-trie of Savnik et al. [37],
+//! another set of `S`. The paper uses the set-trie of Savnik et al. \[37\],
 //! which answers `GetAllSubsets` / `ExistsSuperset` queries over a collection
 //! of sets of symbols from an ordered alphabet.
 //!
@@ -25,12 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost_model;
 pub mod engine;
 mod filter;
 mod trie;
 
-pub use engine::{
-    choose_backend, filter_maximal_with, MaximalityEngine, S2Backend, S2Outcome,
-};
+pub use cost_model::{fit_log_linear, S2CostModel, S2Decision};
+pub use engine::{choose_backend, filter_maximal_with, MaximalityEngine, S2Backend, S2Outcome};
 pub use filter::{filter_maximal, filter_maximal_naive};
 pub use trie::SetTrie;

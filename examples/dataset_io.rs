@@ -20,8 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         500,
         0.01,
         &[
-            PlantedGroup { size: 14, density: 0.95 },
-            PlantedGroup { size: 10, density: 1.0 },
+            PlantedGroup {
+                size: 14,
+                density: 0.95,
+            },
+            PlantedGroup {
+                size: 10,
+                density: 1.0,
+            },
         ],
         7,
     );
@@ -39,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     edge_list::save_edge_list(&g, &edge_path)?;
     formats::save_dimacs(&g, &dimacs_path)?;
     formats::save_metis(&g, &metis_path)?;
-    println!("\nwrote {:?}, {:?}, {:?}", edge_path, dimacs_path, metis_path);
+    println!(
+        "\nwrote {:?}, {:?}, {:?}",
+        edge_path, dimacs_path, metis_path
+    );
 
     // Load each one back and mine it with the paper's default algorithm.
     let from_edge_list = edge_list::load_edge_list(&edge_path)?.graph;
@@ -78,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if ids_preserved {
                     assert_eq!(&result.mqcs, expected, "{label} disagrees");
                 } else {
-                    assert_eq!(sizes, reference_sizes, "{label} size distribution disagrees");
+                    assert_eq!(
+                        sizes, reference_sizes,
+                        "{label} size distribution disagrees"
+                    );
                 }
             }
         }
@@ -96,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "planted complex {name} ({} proteins): {}",
             complex.len(),
-            if covered { "recovered" } else { "NOT recovered" }
+            if covered {
+                "recovered"
+            } else {
+                "NOT recovered"
+            }
         );
     }
 

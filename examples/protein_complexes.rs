@@ -23,11 +23,26 @@ fn main() {
     // Plant five complexes of 9-14 proteins. Only ~88% of the intra-complex
     // interactions are observed, so most complexes are not cliques.
     let complexes = [
-        PlantedGroup { size: 14, density: 0.88 },
-        PlantedGroup { size: 12, density: 0.90 },
-        PlantedGroup { size: 11, density: 0.88 },
-        PlantedGroup { size: 10, density: 0.92 },
-        PlantedGroup { size: 9, density: 0.90 },
+        PlantedGroup {
+            size: 14,
+            density: 0.88,
+        },
+        PlantedGroup {
+            size: 12,
+            density: 0.90,
+        },
+        PlantedGroup {
+            size: 11,
+            density: 0.88,
+        },
+        PlantedGroup {
+            size: 10,
+            density: 0.92,
+        },
+        PlantedGroup {
+            size: 9,
+            density: 0.90,
+        },
     ];
     let n = 600;
     let g = planted_quasi_cliques(n, 0.004, &complexes, 7);

@@ -31,7 +31,12 @@ fn main() {
     for (i, mqc) in result.mqcs.iter().enumerate() {
         // Report 1-based vertex names to match the paper's figure.
         let names: Vec<String> = mqc.iter().map(|v| format!("v{}", v + 1)).collect();
-        println!("  MQC #{:<2} ({} vertices): {}", i + 1, mqc.len(), names.join(", "));
+        println!(
+            "  MQC #{:<2} ({} vertices): {}",
+            i + 1,
+            mqc.len(),
+            names.join(", ")
+        );
         assert!(is_quasi_clique(&g, mqc, gamma));
     }
 

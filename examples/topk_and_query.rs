@@ -30,15 +30,29 @@ fn main() {
     let top = find_largest_mqcs(&g, gamma, 5, None).expect("valid parameters");
     println!("\ntop-5 largest maximal {gamma}-quasi-cliques (exact):");
     for (rank, mqc) in top.mqcs.iter().enumerate() {
-        println!("  #{:<2} size {:<3} members {:?}", rank + 1, mqc.len(), &mqc[..mqc.len().min(12)]);
+        println!(
+            "  #{:<2} size {:<3} members {:?}",
+            rank + 1,
+            mqc.len(),
+            &mqc[..mqc.len().min(12)]
+        );
     }
-    println!("  (threshold search finished at theta = {} after {} rounds)", top.final_theta, top.rounds);
+    println!(
+        "  (threshold search finished at theta = {} after {} rounds)",
+        top.final_theta, top.rounds
+    );
 
     // (a') The same question answered by the kernel-expansion heuristic of the
     // related work — much cheaper, but without the exactness guarantee.
-    let heuristic = expand_kernels(&g, KernelConfig::new(gamma, 0.95, 4, 5).expect("valid config"))
-        .expect("valid parameters");
-    println!("\nkernel-expansion heuristic (gamma' = 0.95): {} kernels expanded", heuristic.kernels);
+    let heuristic = expand_kernels(
+        &g,
+        KernelConfig::new(gamma, 0.95, 4, 5).expect("valid config"),
+    )
+    .expect("valid parameters");
+    println!(
+        "\nkernel-expansion heuristic (gamma' = 0.95): {} kernels expanded",
+        heuristic.kernels
+    );
     for (rank, qc) in heuristic.qcs.iter().enumerate() {
         println!("  #{:<2} size {}", rank + 1, qc.len());
     }

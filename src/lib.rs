@@ -43,5 +43,7 @@ pub mod prelude {
         MqceResult,
     };
     pub use mqce_graph::{Graph, GraphBuilder, GraphStats, VertexId};
-    pub use mqce_settrie::{filter_maximal, filter_maximal_with, MaximalityEngine, S2Backend, SetTrie};
+    pub use mqce_settrie::{
+        filter_maximal, filter_maximal_with, MaximalityEngine, S2Backend, SetTrie,
+    };
 }

@@ -162,6 +162,53 @@ fn backends_agree_across_word_boundary_graphs() {
     }
 }
 
+/// The extremal ≡ inverted S2 differential over the same grid the oracle
+/// sweep uses: every (γ, θ) cell on a battery of seeded random graphs, run
+/// once per S2 backend through the full pipeline. The prefix-sharing
+/// extremal pass must reproduce the inverted reference family byte for byte
+/// (and both match the Auto dispatcher's result).
+#[test]
+fn s2_extremal_equals_inverted_across_full_grid() {
+    let mut rng = StdRng::seed_from_u64(0x52BD);
+    let mut graphs: Vec<(String, Graph)> = (0..8)
+        .map(|case| {
+            let n = rng.gen_range(8..16);
+            let p = rng.gen_range(0.2..0.9);
+            (
+                format!("s2 case {case} (n={n}, p={p:.2})"),
+                random_graph(&mut rng, n, p),
+            )
+        })
+        .collect();
+    graphs.push(("paper figure 1".to_string(), Graph::paper_figure1()));
+    graphs.push(("K7".to_string(), Graph::complete(7)));
+    for (label, g) in &graphs {
+        for gamma in GAMMAS {
+            for theta in THETAS {
+                let run = |backend: S2Backend| {
+                    enumerate_mqcs(
+                        g,
+                        &MqceConfig::new(gamma, theta)
+                            .unwrap()
+                            .with_s2_backend(backend),
+                    )
+                };
+                let inverted = run(S2Backend::Inverted);
+                let extremal = run(S2Backend::Extremal);
+                assert_eq!(
+                    extremal.mqcs, inverted.mqcs,
+                    "{label}: extremal S2 diverges from inverted (gamma={gamma}, theta={theta})"
+                );
+                assert_eq!(
+                    run(S2Backend::Auto).mqcs,
+                    inverted.mqcs,
+                    "{label}: auto S2 diverges from inverted (gamma={gamma}, theta={theta})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn auto_backend_matches_forced_backends() {
     // The adaptive heuristic may pick either path; whatever it picks must

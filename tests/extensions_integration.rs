@@ -30,14 +30,26 @@ fn random_graphs() -> Vec<(String, Graph)> {
             60,
             0.03,
             &[
-                generators::PlantedGroup { size: 9, density: 1.0 },
-                generators::PlantedGroup { size: 7, density: 0.95 },
+                generators::PlantedGroup {
+                    size: 9,
+                    density: 1.0,
+                },
+                generators::PlantedGroup {
+                    size: 7,
+                    density: 0.95,
+                },
             ],
             11,
         ),
     ));
-    graphs.push(("caveman".to_string(), generators::relaxed_caveman(5, 7, 0.1, 3)));
-    graphs.push(("smallworld".to_string(), generators::watts_strogatz(50, 6, 0.1, 9)));
+    graphs.push((
+        "caveman".to_string(),
+        generators::relaxed_caveman(5, 7, 0.1, 3),
+    ));
+    graphs.push((
+        "smallworld".to_string(),
+        generators::watts_strogatz(50, 6, 0.1, 9),
+    ));
     graphs
 }
 
@@ -63,7 +75,10 @@ fn query_search_agrees_with_filtered_enumeration() {
                 let got = find_mqcs_containing_default(&g, &query, gamma, theta)
                     .unwrap()
                     .mqcs;
-                assert_eq!(got, expected, "{label}: query {query:?} gamma={gamma} theta={theta}");
+                assert_eq!(
+                    got, expected,
+                    "{label}: query {query:?} gamma={gamma} theta={theta}"
+                );
             }
         }
     }
@@ -91,7 +106,10 @@ fn kernel_expansion_is_sound_and_bounded_by_exact_topk() {
         let config = KernelConfig::new(gamma, 0.9, 3, 5).unwrap();
         let result = expand_kernels(&g, config).unwrap();
         for qc in &result.qcs {
-            assert!(is_quasi_clique(&g, qc, gamma), "{label}: expansion is not a QC");
+            assert!(
+                is_quasi_clique(&g, qc, gamma),
+                "{label}: expansion is not a QC"
+            );
         }
         let exact = find_largest_mqcs(&g, gamma, 1, None).unwrap();
         let exact_best = exact.mqcs.first().map(Vec::len).unwrap_or(0);
@@ -147,10 +165,12 @@ fn verifier_accepts_real_results_and_rejects_corrupted_ones() {
             with_subset.push(sub);
             let report = verify_mqc_set(&g, &with_subset, params);
             assert!(
-                report
-                    .violations
-                    .iter()
-                    .any(|v| matches!(v, Violation::ContainedInAnother { .. } | Violation::NotAQuasiClique { .. } | Violation::TooSmall { .. })),
+                report.violations.iter().any(|v| matches!(
+                    v,
+                    Violation::ContainedInAnother { .. }
+                        | Violation::NotAQuasiClique { .. }
+                        | Violation::TooSmall { .. }
+                )),
                 "{label}: planted containment not detected"
             );
         }
@@ -184,7 +204,10 @@ fn formats_roundtrip_preserves_enumeration_results() {
     let g = generators::planted_quasi_cliques(
         50,
         0.04,
-        &[generators::PlantedGroup { size: 8, density: 1.0 }],
+        &[generators::PlantedGroup {
+            size: 8,
+            density: 1.0,
+        }],
         29,
     );
     let reference = enumerate_mqcs_default(&g, 0.9, 5).unwrap().mqcs;
@@ -193,13 +216,19 @@ fn formats_roundtrip_preserves_enumeration_results() {
     let mut dimacs = Vec::new();
     formats::write_dimacs(&g, &mut dimacs).unwrap();
     let g_dimacs = formats::read_dimacs(dimacs.as_slice()).unwrap();
-    assert_eq!(enumerate_mqcs_default(&g_dimacs, 0.9, 5).unwrap().mqcs, reference);
+    assert_eq!(
+        enumerate_mqcs_default(&g_dimacs, 0.9, 5).unwrap().mqcs,
+        reference
+    );
 
     // METIS roundtrip.
     let mut metis = Vec::new();
     formats::write_metis(&g, &mut metis).unwrap();
     let g_metis = formats::read_metis(metis.as_slice()).unwrap();
-    assert_eq!(enumerate_mqcs_default(&g_metis, 0.9, 5).unwrap().mqcs, reference);
+    assert_eq!(
+        enumerate_mqcs_default(&g_metis, 0.9, 5).unwrap().mqcs,
+        reference
+    );
 
     // Statistics survive the roundtrips too.
     assert_eq!(GraphStats::compute(&g), GraphStats::compute(&g_dimacs));
@@ -219,7 +248,11 @@ fn ordering_choice_does_not_change_results_only_costs() {
         mqce::graph::ordering::max_forward_degree(&g, &deg_order),
         degeneracy
     );
-    for ordering in [VertexOrdering::Input, VertexOrdering::DegreeDescending, VertexOrdering::Random(3)] {
+    for ordering in [
+        VertexOrdering::Input,
+        VertexOrdering::DegreeDescending,
+        VertexOrdering::Random(3),
+    ] {
         let order = ordering.compute(&g);
         assert!(mqce::graph::ordering::max_forward_degree(&g, &order) >= degeneracy);
     }

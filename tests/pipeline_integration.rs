@@ -35,8 +35,7 @@ fn all_algorithms_match_oracle_on_random_graphs() {
         let g = Graph::from_edges(n, &edges);
         let gamma = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0][case % 6];
         let theta = 2 + case % 3;
-        let expected =
-            naive::all_maximal_quasi_cliques(&g, MqceParams::new(gamma, theta).unwrap());
+        let expected = naive::all_maximal_quasi_cliques(&g, MqceParams::new(gamma, theta).unwrap());
         for algo in algorithms {
             let result = enumerate_mqcs(
                 &g,
@@ -80,8 +79,14 @@ fn algorithms_agree_on_medium_graphs() {
                 120,
                 0.03,
                 &[
-                    PlantedGroup { size: 12, density: 0.92 },
-                    PlantedGroup { size: 9, density: 0.95 },
+                    PlantedGroup {
+                        size: 12,
+                        density: 0.92,
+                    },
+                    PlantedGroup {
+                        size: 9,
+                        density: 0.95,
+                    },
                 ],
                 33,
             ),
@@ -164,7 +169,10 @@ fn s1_plus_settrie_equals_pipeline() {
     let g = planted_quasi_cliques(
         90,
         0.02,
-        &[PlantedGroup { size: 10, density: 1.0 }],
+        &[PlantedGroup {
+            size: 10,
+            density: 1.0,
+        }],
         11,
     );
     let config = MqceConfig::new(0.9, 5).unwrap();

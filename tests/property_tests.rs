@@ -28,9 +28,8 @@ fn small_graph() -> impl Strategy<Value = Graph> {
 /// Strategy: medium random graph (up to 40 vertices), too big for the oracle
 /// but fine for cross-algorithm agreement.
 fn medium_graph() -> impl Strategy<Value = Graph> {
-    (10usize..=32, any::<u64>(), 0.08f64..0.35).prop_map(|(n, seed, p)| {
-        mqce::graph::generators::erdos_renyi_gnp(n, p, seed)
-    })
+    (10usize..=32, any::<u64>(), 0.08f64..0.35)
+        .prop_map(|(n, seed, p)| mqce::graph::generators::erdos_renyi_gnp(n, p, seed))
 }
 
 fn gamma_values() -> impl Strategy<Value = f64> {

@@ -45,7 +45,11 @@ fn check_fixtures(g: &Graph, fixtures: &[Fixture]) {
             );
         }
         // The branching ablations must also reproduce the fixture.
-        for branching in [BranchingStrategy::HybridSe, BranchingStrategy::SymSe, BranchingStrategy::Se] {
+        for branching in [
+            BranchingStrategy::HybridSe,
+            BranchingStrategy::SymSe,
+            BranchingStrategy::Se,
+        ] {
             let config = MqceConfig::new(gamma, theta)
                 .unwrap()
                 .with_algorithm(Algorithm::DcFastQc)
@@ -266,8 +270,16 @@ fn property1_non_hereditary_example() {
     // The paper's Property 1 example: {v1,v3,v4,v5} is a 0.6-QC while its
     // subset {v1,v3,v4} is not (0-based: {0,2,3,4} vs {0,2,3}).
     let g = Graph::paper_figure1();
-    assert!(mqce::core::quasiclique::is_quasi_clique(&g, &[0, 2, 3, 4], 0.6));
-    assert!(!mqce::core::quasiclique::is_quasi_clique(&g, &[0, 2, 3], 0.6));
+    assert!(mqce::core::quasiclique::is_quasi_clique(
+        &g,
+        &[0, 2, 3, 4],
+        0.6
+    ));
+    assert!(!mqce::core::quasiclique::is_quasi_clique(
+        &g,
+        &[0, 2, 3],
+        0.6
+    ));
 }
 
 #[test]

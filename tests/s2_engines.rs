@@ -28,7 +28,9 @@ fn is_subset(a: &[u32], b: &[u32]) -> bool {
 fn overlapping_family(n: usize, universe: u32, seed: u64) -> Vec<Vec<u32>> {
     let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     let mut next = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as u32
     };
     (0..n)
@@ -131,15 +133,16 @@ fn expired_deadline_yields_sound_antichain() {
     }
 }
 
-/// For the descending-order backends the partial result under a mid-flight
-/// deadline is always a subset of the true maximal family (no fabricated
-/// sets, no dominated leftovers). The extremal backend compacts ascending
-/// and only guarantees the antichain property, so it is excluded here.
+/// The partial result under a mid-flight deadline is always a subset of the
+/// true maximal family (no fabricated sets, no dominated leftovers). Since
+/// the full-Bayardo–Panda rework this holds for *every* backend: the
+/// extremal pass probes each processed set against the whole family, so its
+/// deadline cut keeps only globally maximal sets too.
 #[test]
 fn partial_result_is_subset_of_true_maximal_family() {
     let family = overlapping_family(8_000, 40, 11);
     let full = filter_maximal(&family);
-    for backend in [S2Backend::Inverted, S2Backend::Bitset] {
+    for backend in S2Backend::concrete() {
         let mut engine = backend.new_engine();
         for s in &family {
             engine.add(s);
@@ -213,12 +216,60 @@ fn pipeline_backends_agree_sequential_and_parallel() {
         let sequential = enumerate_mqcs(&g, &config);
         assert_eq!(sequential.mqcs, reference.mqcs, "{backend:?} sequential");
         assert_eq!(
-            sequential.s2.sets_streamed,
-            reference.s2.sets_streamed,
+            sequential.s2.sets_streamed, reference.s2.sets_streamed,
             "{backend:?}: streamed-set accounting changed"
         );
         let parallel = enumerate_mqcs_parallel(&g, &config, 3);
         assert_eq!(parallel.mqcs, reference.mqcs, "{backend:?} parallel");
+    }
+}
+
+/// The exact regime the ROADMAP flagged as degenerate for the
+/// pre-Bayardo–Panda extremal variant: a small universe whose element
+/// frequencies concentrate (skewed heavy overlap), with real domination in
+/// the stream. The prefix-sharing pass must agree with the streaming
+/// inverted reference — exactly, across several universe sizes and skews.
+#[test]
+fn extremal_matches_inverted_on_small_universe_heavy_overlap() {
+    let mut x = 0x5EEDu64;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as u32
+    };
+    for &(n, universe, max_len) in &[
+        (6_000usize, 24u32, 10u32),
+        (4_000, 60, 14),
+        (2_500, 140, 20),
+    ] {
+        let family: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let len = 4 + next() % (max_len - 3);
+                (0..len)
+                    // min-of-two skews toward low ids: the concentrated
+                    // element distribution of a dense community core.
+                    .map(|_| (next() % universe).min(next() % universe))
+                    .collect()
+            })
+            .collect();
+        let mut inverted = S2Backend::Inverted.new_engine();
+        let mut extremal = S2Backend::Extremal.new_engine();
+        for s in &family {
+            inverted.add(s);
+            extremal.add(s);
+        }
+        let reference = inverted.finish().mqcs;
+        assert_eq!(
+            extremal.finish().mqcs,
+            reference,
+            "extremal diverges on n={n} universe={universe}"
+        );
+        // The shape is meaningful: heavy domination, not everything maximal.
+        assert!(
+            reference.len() < n,
+            "family at universe={universe} has no domination"
+        );
     }
 }
 
@@ -228,7 +279,9 @@ fn pipeline_backends_agree_sequential_and_parallel() {
 fn auto_resolves_stress_shape_to_bitset() {
     let mut x = 0xABCDu64;
     let mut next = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as u32
     };
     let family: Vec<Vec<u32>> = (0..6000)

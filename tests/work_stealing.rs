@@ -53,7 +53,10 @@ fn skewed_family_parallel_matches_sequential_at_every_thread_count() {
         assert!(!parallel.timed_out());
         // Subproblem accounting is thread-count-invariant: every anchor
         // vertex is built exactly once no matter who runs it.
-        assert_eq!(parallel.stats.dc_subproblems, sequential.stats.dc_subproblems);
+        assert_eq!(
+            parallel.stats.dc_subproblems,
+            sequential.stats.dc_subproblems
+        );
         if threads > 1 {
             assert_eq!(parallel.thread_stats.len(), threads);
             let total: u64 = parallel.thread_stats.iter().map(|t| t.subproblems).sum();
@@ -126,7 +129,9 @@ fn intra_subproblem_splitting_fires_on_a_single_giant_community() {
         let mut par_sorted = parallel.outputs;
         par_sorted.sort();
         par_sorted.dedup();
-        assert!(seq_sorted.iter().all(|s| par_sorted.binary_search(s).is_ok()));
+        assert!(seq_sorted
+            .iter()
+            .all(|s| par_sorted.binary_search(s).is_ok()));
         if parallel.stats.split_donated > 0 {
             donated_somewhere = true;
             break;
@@ -244,8 +249,14 @@ fn deadline_under_stealing_returns_sound_partial_result_quickly() {
         220,
         0.03,
         &[
-            PlantedGroup { size: 30, density: 0.95 },
-            PlantedGroup { size: 24, density: 0.95 },
+            PlantedGroup {
+                size: 30,
+                density: 0.95,
+            },
+            PlantedGroup {
+                size: 24,
+                density: 0.95,
+            },
         ],
         99,
     );
@@ -261,7 +272,10 @@ fn deadline_under_stealing_returns_sound_partial_result_quickly() {
     );
     for mqc in &result.mqcs {
         assert!(mqc.len() >= 5);
-        assert!(is_quasi_clique(&g, mqc, 0.8), "invalid QC in partial result");
+        assert!(
+            is_quasi_clique(&g, mqc, 0.8),
+            "invalid QC in partial result"
+        );
     }
     for (i, a) in result.mqcs.iter().enumerate() {
         for (j, b) in result.mqcs.iter().enumerate() {

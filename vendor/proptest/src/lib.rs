@@ -94,8 +94,10 @@ impl Arbitrary for f64 {
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
-        Arbitrary, ProptestConfig};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig,
+    };
 }
 
 /// Asserts a condition inside a property (panics on failure).

@@ -33,12 +33,10 @@ fn parse_struct(input: TokenStream) -> Result<Struct, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next(); // the [...] group
             }
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
-                match iter.next() {
-                    Some(TokenTree::Ident(id)) => break id.to_string(),
-                    other => return Err(format!("expected struct name, found {other:?}")),
-                }
-            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("expected struct name, found {other:?}")),
+            },
             Some(TokenTree::Ident(_)) => {} // pub, crate, ...
             Some(TokenTree::Group(_)) => {} // pub(crate)
             Some(other) => return Err(format!("unexpected token {other}")),
@@ -100,7 +98,11 @@ fn parse_struct(input: TokenStream) -> Result<Struct, String> {
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         // Consume the type up to the next top-level comma. Only `<`/`>`
         // nesting needs tracking: bracketed/parenthesised types arrive as

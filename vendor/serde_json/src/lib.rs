@@ -6,8 +6,8 @@
 
 use std::fmt::Write as _;
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Serialises `value` to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {

@@ -622,6 +622,8 @@ fn measure_s2_backend(
         branches: 0,
         timed_out,
         thread_stats: Vec::new(),
+        serve_requests: 0,
+        serve_cache_hits: 0,
         stats: Default::default(),
     };
     (record, (!timed_out).then_some(outcome.mqcs))

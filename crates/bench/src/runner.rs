@@ -115,6 +115,15 @@ pub struct RunRecord {
     /// `append_json` would otherwise discard the whole accumulated file.
     #[serde(default)]
     pub thread_stats: Vec<ThreadRow>,
+    /// Requests the `mqce serve` daemon answered over this record's lifetime
+    /// (0 for ordinary bench runs; the daemon flushes one summary record at
+    /// shutdown). `default` so pre-daemon files still parse.
+    #[serde(default)]
+    pub serve_requests: u64,
+    /// How many of those requests were served from the daemon's result
+    /// cache. `default` for the same schema-evolution reason.
+    #[serde(default)]
+    pub serve_cache_hits: u64,
     /// Raw search statistics.
     #[serde(skip)]
     pub stats: SearchStats,
@@ -319,6 +328,8 @@ pub fn measure_threads_with(
         branches: result.stats.branches,
         timed_out: result.timed_out(),
         thread_stats: result.thread_stats.iter().map(ThreadRow::from).collect(),
+        serve_requests: 0,
+        serve_cache_hits: 0,
         stats: result.stats,
     }
 }
@@ -354,17 +365,93 @@ pub fn print_table(title: &str, records: &[RunRecord]) {
     }
 }
 
-/// Serialises run records to a JSON file (one array).
+/// Serialises run records to a JSON file (one array). The write is atomic:
+/// the JSON goes to a temporary file in the target's directory first and is
+/// renamed into place, so a concurrent reader never observes a half-written
+/// array.
 pub fn save_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(records).expect("records serialise");
-    std::fs::write(path, json)
+    let tmp = sibling_path(path, ".tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// `path` with `suffix` appended to its file name, in the same directory
+/// (same filesystem, so a rename onto `path` is atomic).
+fn sibling_path(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("records.json"));
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// An exclusive advisory lock implemented as a `create_new` lock file next
+/// to the guarded path; dropped (and the file removed) when the guard goes
+/// out of scope. Locks older than [`FileLock::STALE_AFTER`] are presumed
+/// abandoned by a crashed writer and broken.
+struct FileLock {
+    path: std::path::PathBuf,
+}
+
+impl FileLock {
+    /// A lock this old belongs to a writer that died without cleaning up:
+    /// real holders only keep it for one read-modify-write.
+    const STALE_AFTER: Duration = Duration::from_secs(10);
+    /// Give up acquiring after this long rather than hang the harness.
+    const ACQUIRE_TIMEOUT: Duration = Duration::from_secs(30);
+
+    fn acquire(path: std::path::PathBuf) -> std::io::Result<FileLock> {
+        let start = std::time::Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(FileLock { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > Self::STALE_AFTER);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if start.elapsed() > Self::ACQUIRE_TIMEOUT {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("timed out waiting for lock {}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
 }
 
 /// Appends run records to a JSON file holding one array: the existing
 /// records are read back and the new ones appended, so several experiment
 /// profiles can accumulate rows in a single `BENCH_mqce.json`. A missing or
 /// unparsable file (e.g. written by an older schema) starts a fresh array.
+///
+/// The read-modify-write runs under a sibling lock file and the result is
+/// renamed into place atomically, so concurrent appenders (a daemon stats
+/// flush racing a bench run, or CI matrix jobs sharing a checkout) cannot
+/// interleave and drop each other's records.
 pub fn append_json(path: &std::path::Path, records: &[RunRecord]) -> std::io::Result<()> {
+    let _lock = FileLock::acquire(sibling_path(path, ".lock"))?;
     let mut all: Vec<RunRecord> = std::fs::read_to_string(path)
         .ok()
         .and_then(|text| serde_json::from_str(&text).ok())
@@ -590,6 +677,70 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(parsed.len(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_appends_lose_no_records() {
+        // Regression: append_json used to be an unlocked read-modify-write,
+        // so two interleaved appenders could each read the same base array
+        // and the second rename would silently drop the first one's records.
+        let g = Graph::complete(4);
+        let rec = measure(
+            "k4",
+            &g,
+            AlgoSpec::quickplus(),
+            0.9,
+            2,
+            Duration::from_secs(5),
+        );
+        let dir = std::env::temp_dir().join("mqce_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("concurrent_append.json");
+        std::fs::remove_file(&path).ok();
+        const WRITERS: usize = 4;
+        const APPENDS_EACH: usize = 12;
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                let path = &path;
+                let rec = &rec;
+                scope.spawn(move || {
+                    for _ in 0..APPENDS_EACH {
+                        append_json(path, std::slice::from_ref(rec)).unwrap();
+                    }
+                });
+            }
+        });
+        let parsed: Vec<RunRecord> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), WRITERS * APPENDS_EACH, "records were lost");
+        // The lock and temp files are cleaned up.
+        assert!(!sibling_path(&path, ".lock").exists());
+        assert!(!sibling_path(&path, ".tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_without_serve_stats_still_parse() {
+        // A pre-daemon BENCH_mqce.json has no serve_* fields (nor the other
+        // later additions); `default` keeps it readable so append_json does
+        // not discard the accumulated history.
+        let old = r#"[{
+            "dataset": "k4", "algorithm": "Quick+", "branching": "HybridSe",
+            "backend": "auto", "gamma": 0.9, "theta": 2, "max_round": 1,
+            "threads": 1, "s2_backend": "inverted", "s2_timed_out": false,
+            "s1_millis": 1.0, "s2_millis": 0.5, "s1_outputs": 1, "mqcs": 1,
+            "mqc_min": 4, "mqc_max": 4, "mqc_avg": 4.0, "branches": 3,
+            "timed_out": false
+        }]"#;
+        let parsed: Vec<RunRecord> = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].serve_requests, 0);
+        assert_eq!(parsed[0].serve_cache_hits, 0);
+        assert_eq!(parsed[0].dataset, "k4");
+        // And the new fields do serialise for fresh records.
+        let json = serde_json::to_string_pretty(&parsed).unwrap();
+        assert!(json.contains("serve_requests"));
+        assert!(json.contains("serve_cache_hits"));
     }
 
     #[test]

@@ -64,7 +64,14 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switch-style options (no value) recognised anywhere.
-const SWITCHES: &[&str] = &["print-sets", "verify", "quiet"];
+const SWITCHES: &[&str] = &[
+    "print-sets",
+    "verify",
+    "quiet",
+    "no-cache",
+    "sets",
+    "shutdown",
+];
 
 /// Parses raw arguments into positionals and options.
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
@@ -76,6 +83,12 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                 Some((n, v)) => (n.to_ascii_lowercase(), Some(v.to_string())),
                 None => (stripped.to_ascii_lowercase(), None),
             };
+            // A bare `--` would otherwise register an empty-named option and
+            // swallow the next token as its value, surfacing much later as a
+            // baffling "unknown option --"; reject it at the point of use.
+            if name.is_empty() && inline_value.is_none() {
+                return Err(ArgError::Unknown(name));
+            }
             let value = if let Some(v) = inline_value {
                 v
             } else if SWITCHES.contains(&name.as_str()) {
@@ -241,6 +254,45 @@ mod tests {
         );
         // `--gamma --theta 3` is also a missing value, not a value of "--theta".
         assert!(parse(&argv(&["x", "--gamma", "--theta", "3"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_attributed_to_the_right_option() {
+        // A value-taking flag immediately followed by another `--flag` must
+        // report MissingValue for the *first* flag — not consume `--theta` as
+        // the value of `--gamma` or blame the next token.
+        assert_eq!(
+            parse(&argv(&["x", "--gamma", "--theta", "8"])).unwrap_err(),
+            ArgError::MissingValue("gamma".into())
+        );
+        // Trailing value-taking flag at end of argv: same attribution.
+        assert_eq!(
+            parse(&argv(&["x", "--theta", "8", "--gamma"])).unwrap_err(),
+            ArgError::MissingValue("gamma".into())
+        );
+        // Switches in the middle do not change the attribution.
+        assert_eq!(
+            parse(&argv(&["x", "--gamma", "--print-sets"])).unwrap_err(),
+            ArgError::MissingValue("gamma".into())
+        );
+        // `--gamma=` (inline empty value) is an empty value, not an error at
+        // parse time, and negative lookahead values are still consumed.
+        let p = parse(&argv(&["x", "--offset", "-3"])).unwrap();
+        assert_eq!(p.get("offset"), Some("-3"));
+    }
+
+    #[test]
+    fn bare_double_dash_is_rejected() {
+        // A lone `--` used to register an empty-named option and swallow the
+        // following token; now it errors immediately.
+        assert_eq!(
+            parse(&argv(&["x", "--", "foo"])).unwrap_err(),
+            ArgError::Unknown("".into())
+        );
+        assert_eq!(
+            parse(&argv(&["x", "--"])).unwrap_err(),
+            ArgError::Unknown("".into())
+        );
     }
 
     #[test]

@@ -13,12 +13,18 @@
 //!   the given vertices.
 //! * `generate <kind> <output> [...]` — write a synthetic benchmark graph.
 //! * `convert <input> <output>` — convert between edge-list / DIMACS / METIS.
+//! * `serve <graph> [...]` — resident daemon: load the graph once, answer
+//!   newline-delimited JSON requests over TCP or a Unix socket, with a
+//!   result cache and admission control (see [`serve`]).
+//! * `client [...]` — send requests to a running daemon.
 //! * `help` — usage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod protocol;
+pub mod serve;
 
 use std::io::Write;
 use std::path::Path;
@@ -82,6 +88,10 @@ USAGE:
   mqce generate <kind> <output> [--n N] [--density D] [--seed S]
                 [--communities C] [--p-intra P] [--cave-size K] [--avg-degree A]
   mqce convert <input> <output>
+  mqce serve <graph> [--addr HOST:PORT] [--socket PATH] [--max-inflight N]
+             [--cache-capacity N] [--bench-log PATH] [--quiet]
+  mqce client [--addr HOST:PORT] [--socket PATH] [--retry-secs S]
+              [--requests FILE] [--cmd C --gamma G --theta T ...] [--shutdown]
   mqce help
 
 GRAPH FILES: format chosen by extension — .clq/.dimacs/.col (DIMACS),
@@ -107,6 +117,14 @@ STEAL GRANULARITY (--steal-granularity): minimum number of untaken sibling
   branches a searcher donates per split (default 2); 0 disables
   intra-subproblem splitting (whole subproblems are still stolen).
 GENERATOR KINDS: er, ba, community, caveman, powerlaw, grid, hub.
+SERVE: the daemon loads the graph (plus degeneracy ordering and, when it
+  fits, the adjacency bit matrix) once and answers newline-delimited JSON
+  requests — {\"cmd\":\"enumerate\"|\"query\"|\"topk\"|\"ping\"|\"shutdown\", ...} with
+  per-request gamma/theta/k/vertices/algorithm/threads/deadline_ms knobs.
+  Complete answers land in an LRU result cache; at most --max-inflight
+  enumerations run at once; a spent deadline_ms budget returns immediately
+  with best_effort=true. `mqce client` drives a running daemon and exits
+  non-zero if any response reports ok=false.
 ";
 
 /// Entry point: parses `args` and writes the report to `out`.
@@ -128,6 +146,8 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "query" => cmd_query(&parsed, out),
         "generate" => cmd_generate(&parsed, out),
         "convert" => cmd_convert(&parsed, out),
+        "serve" => serve::cmd_serve(&parsed, out),
+        "client" => serve::cmd_client(&parsed, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -251,8 +271,11 @@ fn build_config(parsed: &ParsedArgs) -> Result<MqceConfig, CliError> {
         })?;
         config = config.with_steal_granularity(granularity);
     }
-    let limit = parsed.get_u64("time-limit-secs", 0)?;
-    if limit > 0 {
+    // Presence, not value, decides whether a limit is set: an explicit
+    // `--time-limit-secs 0` means "no budget at all" and must produce an
+    // immediate, best-effort-flagged return rather than being ignored.
+    if parsed.get("time-limit-secs").is_some() {
+        let limit = parsed.get_u64("time-limit-secs", 0)?;
         config = config.with_time_limit(Duration::from_secs(limit));
     }
     Ok(config)

@@ -1,0 +1,525 @@
+//! Wire protocol of the `mqce serve` daemon.
+//!
+//! The daemon speaks newline-delimited JSON: one request object per line in,
+//! one response object per line out, in order. The vendored `serde` derive
+//! only handles named-field structs, so both sides of the protocol build and
+//! walk [`serde::Value`] trees by hand; this module is the single place that
+//! knows the field names.
+//!
+//! A request selects a command (`enumerate`, `query`, `topk`, `ping`,
+//! `shutdown`) and may override any of the per-request knobs (γ, θ, k,
+//! algorithm, branching, adjacency/S2 backends, worker threads, a relative
+//! deadline in milliseconds). Responses echo the request `id` and carry the
+//! result plus `cached` / `best_effort` / `s2_timed_out` status flags.
+
+use serde::Value;
+
+/// One client request, decoded from a JSON line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Opaque id echoed in the response (string or number on the wire).
+    pub id: Option<String>,
+    /// Command: `enumerate`, `query`, `topk`, `ping` or `shutdown`.
+    pub cmd: String,
+    /// Density threshold γ.
+    pub gamma: f64,
+    /// Size threshold θ.
+    pub theta: usize,
+    /// How many largest MQCs to report (`topk` only).
+    pub k: usize,
+    /// Query vertices (`query` only).
+    pub vertices: Vec<u32>,
+    /// MQCE-S1 algorithm name (same values as `--algorithm`).
+    pub algorithm: Option<String>,
+    /// Branching strategy (same values as `--branching`).
+    pub branching: Option<String>,
+    /// Adjacency backend (same values as `--backend`).
+    pub backend: Option<String>,
+    /// S2 maximality backend (same values as `--s2-backend`).
+    pub s2_backend: Option<String>,
+    /// Worker threads for this request (1 = sequential).
+    pub threads: usize,
+    /// Relative deadline for the whole request, in milliseconds, measured
+    /// from the moment the daemon reads the request. Covers queueing time:
+    /// a request that spends its whole budget waiting for an enumeration
+    /// slot still returns promptly, flagged best-effort.
+    pub deadline_ms: Option<u64>,
+    /// Bypass the result cache (neither read nor written).
+    pub no_cache: bool,
+    /// Include the MQC vertex sets in the response, not just the count.
+    pub sets: bool,
+}
+
+impl Default for Request {
+    fn default() -> Self {
+        Request {
+            id: None,
+            cmd: "enumerate".to_string(),
+            gamma: 0.9,
+            theta: 2,
+            k: 10,
+            vertices: Vec::new(),
+            algorithm: None,
+            branching: None,
+            backend: None,
+            s2_backend: None,
+            threads: 1,
+            deadline_ms: None,
+            no_cache: false,
+            sets: false,
+        }
+    }
+}
+
+/// One daemon response, encoded as a JSON line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Response {
+    /// The request id, echoed back.
+    pub id: Option<String>,
+    /// Whether the request was understood and executed.
+    pub ok: bool,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// Whether the result came from the daemon's result cache.
+    pub cached: bool,
+    /// Whether the result is best-effort (deadline cut the work short, or
+    /// the request expired while queued for an enumeration slot).
+    pub best_effort: bool,
+    /// Whether the S2 maximality filter hit its deadline (the MQC list is
+    /// then a sound partial antichain).
+    pub s2_timed_out: bool,
+    /// Wall-clock time the daemon spent on this request, in milliseconds
+    /// (near zero for cache hits).
+    pub elapsed_ms: f64,
+    /// Number of maximal quasi-cliques found.
+    pub count: usize,
+    /// The MQC vertex sets (present only when the request set `sets`).
+    pub mqcs: Option<Vec<Vec<u32>>>,
+    /// Extra fields (ping statistics, graph fingerprint, …), carried
+    /// verbatim so the protocol can grow without breaking old clients.
+    pub extra: Vec<(String, Value)>,
+}
+
+/// Wrapper that lets a raw [`Value`] go through `serde_json::to_string`
+/// (the vendored `Value` deliberately does not implement `Serialize`).
+struct Raw<'a>(&'a Value);
+
+impl serde::Serialize for Raw<'_> {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Renders a value tree as one compact JSON line (no trailing newline).
+pub fn value_to_line(value: &Value) -> String {
+    serde_json::to_string(&Raw(value)).expect("value rendering is infallible")
+}
+
+fn get<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .filter(|v| !matches!(v, Value::Null))
+}
+
+fn expect_object(value: &Value) -> Result<&[(String, Value)], String> {
+    match value {
+        Value::Object(fields) => Ok(fields),
+        _ => Err("request must be a JSON object".to_string()),
+    }
+}
+
+fn as_f64(v: &Value, name: &str) -> Result<f64, String> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        _ => Err(format!("field `{name}` must be a number")),
+    }
+}
+
+fn as_usize(v: &Value, name: &str) -> Result<usize, String> {
+    let n = as_f64(v, name)?;
+    if n.fract() != 0.0 || n < 0.0 {
+        return Err(format!("field `{name}` must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn as_bool(v: &Value, name: &str) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{name}` must be a boolean")),
+    }
+}
+
+fn as_str(v: &Value, name: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field `{name}` must be a string")),
+    }
+}
+
+/// Request ids may be strings or numbers on the wire; both normalise to a
+/// string so the daemon can echo them without tracking the original type.
+fn as_id(v: &Value) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Num(n) if n.fract() == 0.0 => Ok(format!("{}", *n as i64)),
+        Value::Num(n) => Ok(format!("{n}")),
+        _ => Err("field `id` must be a string or number".to_string()),
+    }
+}
+
+fn as_vertices(v: &Value) -> Result<Vec<u32>, String> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let n = as_f64(item, "vertices")?;
+                if n.fract() != 0.0 || n < 0.0 || n > u32::MAX as f64 {
+                    return Err("field `vertices` must list vertex ids".to_string());
+                }
+                Ok(n as u32)
+            })
+            .collect(),
+        _ => Err("field `vertices` must be an array of vertex ids".to_string()),
+    }
+}
+
+impl Request {
+    /// Decodes a request from one JSON line.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let value = serde_json::parse_value(line).map_err(|e| format!("bad JSON: {e}"))?;
+        Request::from_value(&value)
+    }
+
+    /// Decodes a request from a value tree. Unknown fields are rejected so a
+    /// typo (`"gama"`) fails loudly instead of silently running defaults.
+    pub fn from_value(value: &Value) -> Result<Request, String> {
+        let fields = expect_object(value)?;
+        let mut req = Request::default();
+        for (key, v) in fields {
+            if matches!(v, Value::Null) {
+                continue;
+            }
+            match key.as_str() {
+                "id" => req.id = Some(as_id(v)?),
+                "cmd" => req.cmd = as_str(v, "cmd")?.to_ascii_lowercase(),
+                "gamma" => req.gamma = as_f64(v, "gamma")?,
+                "theta" => req.theta = as_usize(v, "theta")?,
+                "k" => req.k = as_usize(v, "k")?,
+                "vertices" => req.vertices = as_vertices(v)?,
+                "algorithm" => req.algorithm = Some(as_str(v, "algorithm")?),
+                "branching" => req.branching = Some(as_str(v, "branching")?),
+                "backend" => req.backend = Some(as_str(v, "backend")?),
+                "s2_backend" => req.s2_backend = Some(as_str(v, "s2_backend")?),
+                "threads" => req.threads = as_usize(v, "threads")?,
+                "deadline_ms" => req.deadline_ms = Some(as_usize(v, "deadline_ms")? as u64),
+                "no_cache" => req.no_cache = as_bool(v, "no_cache")?,
+                "sets" => req.sets = as_bool(v, "sets")?,
+                other => return Err(format!("unknown request field `{other}`")),
+            }
+        }
+        match req.cmd.as_str() {
+            "enumerate" | "query" | "topk" | "ping" | "shutdown" => Ok(req),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Encodes the request as a value tree (the client side of the wire).
+    /// Defaults are omitted, so a minimal request stays minimal on the wire.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+        if let Some(id) = &self.id {
+            push("id", Value::Str(id.clone()));
+        }
+        push("cmd", Value::Str(self.cmd.clone()));
+        push("gamma", Value::Num(self.gamma));
+        push("theta", Value::Num(self.theta as f64));
+        if self.cmd == "topk" {
+            push("k", Value::Num(self.k as f64));
+        }
+        if !self.vertices.is_empty() {
+            push(
+                "vertices",
+                Value::Array(
+                    self.vertices
+                        .iter()
+                        .map(|&v| Value::Num(v as f64))
+                        .collect(),
+                ),
+            );
+        }
+        for (key, opt) in [
+            ("algorithm", &self.algorithm),
+            ("branching", &self.branching),
+            ("backend", &self.backend),
+            ("s2_backend", &self.s2_backend),
+        ] {
+            if let Some(s) = opt {
+                push(key, Value::Str(s.clone()));
+            }
+        }
+        if self.threads != 1 {
+            push("threads", Value::Num(self.threads as f64));
+        }
+        if let Some(ms) = self.deadline_ms {
+            push("deadline_ms", Value::Num(ms as f64));
+        }
+        if self.no_cache {
+            push("no_cache", Value::Bool(true));
+        }
+        if self.sets {
+            push("sets", Value::Bool(true));
+        }
+        Value::Object(fields)
+    }
+
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        value_to_line(&self.to_value())
+    }
+
+    /// Canonical cache key: graph fingerprint plus every parameter that can
+    /// change the *result*. Presentation and scheduling knobs — `id`,
+    /// `sets`, `threads`, `deadline_ms`, `no_cache` — are deliberately
+    /// excluded: a cached complete answer is valid for any of them. Query
+    /// vertices are sorted and deduplicated (the candidate universe is an
+    /// intersection, so order and multiplicity cannot matter).
+    pub fn cache_key(&self, fingerprint: u64) -> String {
+        let norm = |opt: &Option<String>, default: &str| {
+            opt.as_deref().unwrap_or(default).to_ascii_lowercase()
+        };
+        let mut vertices = self.vertices.clone();
+        vertices.sort_unstable();
+        vertices.dedup();
+        let verts: Vec<String> = vertices.iter().map(|v| v.to_string()).collect();
+        format!(
+            "{fingerprint:016x}|{cmd}|g={gamma}|t={theta}|k={k}|v={verts}|a={alg}|br={br}|ab={ab}|s2={s2}",
+            cmd = self.cmd,
+            gamma = self.gamma,
+            theta = self.theta,
+            k = if self.cmd == "topk" { self.k } else { 0 },
+            verts = verts.join(","),
+            alg = norm(&self.algorithm, "dcfastqc"),
+            br = norm(&self.branching, "hybrid"),
+            ab = norm(&self.backend, "auto"),
+            s2 = norm(&self.s2_backend, "auto"),
+        )
+    }
+}
+
+impl Response {
+    /// A failed response carrying an error message.
+    pub fn failure(id: Option<String>, error: impl Into<String>) -> Response {
+        Response {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            ..Response::default()
+        }
+    }
+
+    /// Encodes the response as a value tree.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+        if let Some(id) = &self.id {
+            push("id", Value::Str(id.clone()));
+        }
+        push("ok", Value::Bool(self.ok));
+        if let Some(err) = &self.error {
+            push("error", Value::Str(err.clone()));
+        }
+        push("cached", Value::Bool(self.cached));
+        push("best_effort", Value::Bool(self.best_effort));
+        push("s2_timed_out", Value::Bool(self.s2_timed_out));
+        push("elapsed_ms", Value::Num(self.elapsed_ms));
+        push("count", Value::Num(self.count as f64));
+        if let Some(mqcs) = &self.mqcs {
+            push(
+                "mqcs",
+                Value::Array(
+                    mqcs.iter()
+                        .map(|set| {
+                            Value::Array(set.iter().map(|&v| Value::Num(v as f64)).collect())
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        for (key, v) in &self.extra {
+            fields.push((key.clone(), v.clone()));
+        }
+        Value::Object(fields)
+    }
+
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        value_to_line(&self.to_value())
+    }
+
+    /// Decodes a response from one JSON line (the client side).
+    pub fn parse_line(line: &str) -> Result<Response, String> {
+        let value = serde_json::parse_value(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let fields = expect_object(&value)?;
+        let mut resp = Response::default();
+        for (key, v) in fields {
+            match key.as_str() {
+                "id" => resp.id = Some(as_id(v)?),
+                "ok" => resp.ok = as_bool(v, "ok")?,
+                "error" => resp.error = Some(as_str(v, "error")?),
+                "cached" => resp.cached = as_bool(v, "cached")?,
+                "best_effort" => resp.best_effort = as_bool(v, "best_effort")?,
+                "s2_timed_out" => resp.s2_timed_out = as_bool(v, "s2_timed_out")?,
+                "elapsed_ms" => resp.elapsed_ms = as_f64(v, "elapsed_ms")?,
+                "count" => resp.count = as_usize(v, "count")?,
+                "mqcs" => {
+                    let sets = match v {
+                        Value::Array(rows) => rows
+                            .iter()
+                            .map(as_vertices)
+                            .collect::<Result<Vec<_>, _>>()?,
+                        _ => return Err("field `mqcs` must be an array".to_string()),
+                    };
+                    resp.mqcs = Some(sets);
+                }
+                other => resp.extra.push((other.to_string(), v.clone())),
+            }
+        }
+        Ok(resp)
+    }
+
+    /// Looks up a numeric field in `extra` (ping statistics).
+    pub fn extra_num(&self, name: &str) -> Option<f64> {
+        get(&self.extra, name).and_then(|v| match v {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Looks up a string field in `extra` (e.g. the graph fingerprint).
+    pub fn extra_str(&self, name: &str) -> Option<&str> {
+        get(&self.extra, name).and_then(|v| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = Request {
+            id: Some("r1".to_string()),
+            cmd: "query".to_string(),
+            gamma: 0.8,
+            theta: 3,
+            vertices: vec![4, 1, 9],
+            algorithm: Some("fastqc".to_string()),
+            threads: 4,
+            deadline_ms: Some(250),
+            no_cache: true,
+            sets: true,
+            ..Request::default()
+        };
+        let line = req.to_line();
+        assert_eq!(Request::parse_line(&line).unwrap(), req);
+        // Minimal request: defaults fill in.
+        let min = Request::parse_line(r#"{"cmd":"enumerate"}"#).unwrap();
+        assert_eq!(min.gamma, 0.9);
+        assert_eq!(min.theta, 2);
+        assert!(!min.sets);
+    }
+
+    #[test]
+    fn numeric_ids_normalise_to_strings() {
+        let req = Request::parse_line(r#"{"cmd":"ping","id":7}"#).unwrap();
+        assert_eq!(req.id.as_deref(), Some("7"));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(Request::parse_line("not json").is_err());
+        assert!(Request::parse_line(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"enumerate","gama":0.9}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"enumerate","theta":-1}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"enumerate","vertices":[1.5]}"#).is_err());
+        assert!(Request::parse_line(r#"[1,2]"#).is_err());
+    }
+
+    #[test]
+    fn cache_key_ignores_presentation_and_scheduling_knobs() {
+        let base = Request {
+            cmd: "enumerate".to_string(),
+            gamma: 0.85,
+            theta: 4,
+            ..Request::default()
+        };
+        let mut varied = base.clone();
+        varied.id = Some("x".to_string());
+        varied.sets = true;
+        varied.threads = 8;
+        varied.deadline_ms = Some(1000);
+        assert_eq!(base.cache_key(42), varied.cache_key(42));
+        // ... but result-affecting parameters and the graph identity do key.
+        let mut other = base.clone();
+        other.gamma = 0.9;
+        assert_ne!(base.cache_key(42), other.cache_key(42));
+        assert_ne!(base.cache_key(42), base.cache_key(43));
+        // Explicit defaults normalise to the same key as omitted options.
+        let mut explicit = base.clone();
+        explicit.algorithm = Some("DCFastQC".to_string());
+        explicit.s2_backend = Some("AUTO".to_string());
+        assert_eq!(base.cache_key(42), explicit.cache_key(42));
+    }
+
+    #[test]
+    fn query_vertex_order_does_not_change_the_key() {
+        let a = Request {
+            cmd: "query".to_string(),
+            vertices: vec![3, 1, 2],
+            ..Request::default()
+        };
+        let b = Request {
+            cmd: "query".to_string(),
+            vertices: vec![2, 3, 1, 1],
+            ..Request::default()
+        };
+        assert_eq!(a.cache_key(7), b.cache_key(7));
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let resp = Response {
+            id: Some("r1".to_string()),
+            ok: true,
+            cached: true,
+            best_effort: false,
+            s2_timed_out: false,
+            elapsed_ms: 1.25,
+            count: 2,
+            mqcs: Some(vec![vec![0, 1, 2], vec![3, 4, 5]]),
+            extra: vec![("fingerprint".to_string(), Value::Str("abc".to_string()))],
+            ..Response::default()
+        };
+        let line = resp.to_line();
+        let back = Response::parse_line(&line).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.extra_str("fingerprint"), Some("abc"));
+        assert_eq!(back.extra_num("fingerprint"), None);
+    }
+
+    #[test]
+    fn failure_responses_carry_the_error() {
+        let resp = Response::failure(Some("q".to_string()), "boom");
+        let back = Response::parse_line(&resp.to_line()).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("boom"));
+        assert_eq!(back.id.as_deref(), Some("q"));
+    }
+}

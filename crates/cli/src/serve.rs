@@ -1,0 +1,950 @@
+//! The resident `mqce serve` daemon and its `mqce client` counterpart.
+//!
+//! Loading a large graph and computing its degeneracy ordering dominates the
+//! cost of small interactive queries, so the daemon does that work once: the
+//! graph, its core decomposition and (when it fits) the adjacency bit matrix
+//! are packed into a [`PreparedGraph`] behind an `Arc` and shared read-only
+//! by every connection. Requests arrive as newline-delimited JSON (see
+//! [`crate::protocol`]) over TCP or a Unix socket; each connection gets its
+//! own thread and is answered in order.
+//!
+//! Three mechanisms keep the daemon responsive:
+//!
+//! * **Result cache** — complete (non-best-effort) answers are stored in an
+//!   LRU keyed on the graph fingerprint plus the canonicalised
+//!   result-affecting parameters, so a repeated request costs a hash lookup
+//!   instead of an enumeration.
+//! * **Admission control** — at most `max_inflight` enumerations run
+//!   concurrently; excess requests queue on a condvar. Cache hits and pings
+//!   bypass the gate entirely.
+//! * **Deadlines** — a request's `deadline_ms` budget is measured from
+//!   arrival and covers queueing: whatever is left after admission becomes
+//!   the pipeline time limit, and a request whose budget ran out while
+//!   queued returns immediately, flagged best-effort (the zero-budget path
+//!   through the S2 deadline logic guarantees prompt return).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mqce_core::{enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, PreparedGraph};
+use mqce_graph::Graph;
+use serde::Value;
+
+use crate::args::ParsedArgs;
+use crate::protocol::{Request, Response};
+use crate::CliError;
+
+/// Daemon configuration (everything except the listening endpoint).
+#[derive(Clone, Debug)]
+pub struct ServeSettings {
+    /// Maximum number of enumerations running concurrently.
+    pub max_inflight: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Append one summary [`RunRecord`](mqce_bench::runner::RunRecord) to
+    /// this bench log at shutdown.
+    pub bench_log: Option<PathBuf>,
+    /// Dataset label used in the bench-log record and ping responses.
+    pub graph_label: String,
+}
+
+impl Default for ServeSettings {
+    fn default() -> Self {
+        ServeSettings {
+            max_inflight: 2,
+            cache_capacity: 128,
+            bench_log: None,
+            graph_label: String::new(),
+        }
+    }
+}
+
+/// Counters the daemon reports in `ping` responses and at shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Total requests answered (including pings and failures).
+    pub requests: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests whose deadline expired while queued for admission.
+    pub expired: u64,
+    /// Malformed or invalid requests.
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    expired: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> ServeSummary {
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counting semaphore for admission control. Waiters honour a deadline so a
+/// request cannot be stuck in the queue past its budget.
+struct Gate {
+    slots: Mutex<usize>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Gate {
+        Gate {
+            slots: Mutex::new(0),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Waits for a slot. Returns `false` if `deadline` passes first.
+    fn acquire(&self, deadline: Option<Instant>) -> bool {
+        let mut in_flight = self.slots.lock().expect("gate lock");
+        loop {
+            if *in_flight < self.capacity {
+                *in_flight += 1;
+                return true;
+            }
+            match deadline {
+                None => in_flight = self.cv.wait(in_flight).expect("gate lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return false;
+                    }
+                    in_flight = self
+                        .cv
+                        .wait_timeout(in_flight, d - now)
+                        .expect("gate lock")
+                        .0;
+                }
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut in_flight = self.slots.lock().expect("gate lock");
+        *in_flight = in_flight.saturating_sub(1);
+        drop(in_flight);
+        self.cv.notify_one();
+    }
+}
+
+/// RAII slot holder so the gate is released on every return path.
+struct GateGuard<'a>(&'a Gate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// A complete answer worth replaying: the MQC sets plus the command-specific
+/// extras (query universe size, top-k round count, …).
+struct CachedOutcome {
+    mqcs: Vec<Vec<u32>>,
+    extra: Vec<(String, Value)>,
+}
+
+/// Least-recently-used result cache. Capacity is small (hundreds), so the
+/// O(capacity) eviction scan is cheaper than an intrusive list and keeps the
+/// structure trivially correct.
+struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, Arc<CachedOutcome>)>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<CachedOutcome>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(used, outcome)| {
+            *used = tick;
+            Arc::clone(outcome)
+        })
+    }
+
+    fn insert(&mut self, key: String, outcome: Arc<CachedOutcome>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, outcome));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// How a connection thread pokes the blocked `accept` loop after setting the
+/// shutdown flag: a throwaway self-connection.
+enum WakeTarget {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl WakeTarget {
+    fn wake(&self) {
+        match self {
+            WakeTarget::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            WakeTarget::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct ServerState {
+    prepared: PreparedGraph,
+    settings: ServeSettings,
+    cache: Mutex<ResultCache>,
+    gate: Gate,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    wake: WakeTarget,
+}
+
+/// A connected client stream, TCP or Unix.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Runs the daemon on an already-bound TCP listener until a `shutdown`
+/// request arrives. Binding is the caller's job so tests and the CLI can
+/// both use port 0 and learn the real address before the loop starts.
+pub fn serve_tcp(listener: TcpListener, graph: Graph, settings: ServeSettings) -> ServeSummary {
+    let wake = WakeTarget::Tcp(
+        listener
+            .local_addr()
+            .expect("bound listener has an address"),
+    );
+    serve_on(Listener::Tcp(listener), wake, graph, settings)
+}
+
+/// Runs the daemon on a Unix socket path until a `shutdown` request
+/// arrives. The socket file is removed when the daemon exits.
+#[cfg(unix)]
+pub fn serve_unix(
+    path: &std::path::Path,
+    graph: Graph,
+    settings: ServeSettings,
+) -> std::io::Result<ServeSummary> {
+    let listener = UnixListener::bind(path)?;
+    let summary = serve_on(
+        Listener::Unix(listener),
+        WakeTarget::Unix(path.to_path_buf()),
+        graph,
+        settings,
+    );
+    let _ = std::fs::remove_file(path);
+    Ok(summary)
+}
+
+fn serve_on(
+    listener: Listener,
+    wake: WakeTarget,
+    graph: Graph,
+    settings: ServeSettings,
+) -> ServeSummary {
+    let bench_log = settings.bench_log.clone();
+    let graph_label = settings.graph_label.clone();
+    let state = Arc::new(ServerState {
+        prepared: PreparedGraph::new(graph),
+        gate: Gate::new(settings.max_inflight),
+        cache: Mutex::new(ResultCache::new(settings.cache_capacity)),
+        settings,
+        stats: ServeStats::default(),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        wake,
+    });
+
+    loop {
+        match listener.accept() {
+            Ok(stream) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn_state = Arc::clone(&state);
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &conn_state);
+                    conn_state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure; keep serving.
+            }
+        }
+    }
+
+    // Let in-flight connections finish before reporting (bounded, so a hung
+    // client cannot pin the process).
+    let drain_start = Instant::now();
+    while state.active_connections.load(Ordering::SeqCst) > 0
+        && drain_start.elapsed() < Duration::from_secs(10)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let summary = state.stats.snapshot();
+    if let Some(path) = bench_log {
+        let _ = mqce_bench::runner::append_json(&path, &[serve_record(&graph_label, summary)]);
+    }
+    summary
+}
+
+/// The bench-log row the daemon appends at shutdown: a normal `RunRecord`
+/// whose serve-specific counters are filled in and whose per-run fields are
+/// zeroed (the daemon aggregates many heterogeneous requests).
+fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRecord {
+    mqce_bench::runner::RunRecord {
+        dataset: label.to_string(),
+        algorithm: "serve".to_string(),
+        branching: "-".to_string(),
+        backend: "-".to_string(),
+        gamma: 0.0,
+        theta: 0,
+        max_round: 0,
+        threads: 0,
+        s2_backend: "-".to_string(),
+        s2_timed_out: false,
+        s2_predicted_millis: Vec::new(),
+        s1_millis: 0.0,
+        s2_millis: 0.0,
+        s1_outputs: 0,
+        mqcs: 0,
+        mqc_min: 0,
+        mqc_max: 0,
+        mqc_avg: 0.0,
+        branches: 0,
+        timed_out: false,
+        thread_stats: Vec::new(),
+        serve_requests: summary.requests,
+        serve_cache_hits: summary.cache_hits,
+        stats: Default::default(),
+    }
+}
+
+fn handle_connection(stream: Stream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(state, &line);
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.wake.wake();
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_line(state: &ServerState, line: &str) -> (Response, bool) {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    match Request::parse_line(line) {
+        Err(e) => {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (Response::failure(None, e), false)
+        }
+        Ok(req) => handle_request(state, req),
+    }
+}
+
+fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
+    let arrival = Instant::now();
+    match req.cmd.as_str() {
+        "ping" => (ping_response(state, &req), false),
+        "shutdown" => (
+            Response {
+                id: req.id,
+                ok: true,
+                ..Response::default()
+            },
+            true,
+        ),
+        _ => {
+            let response = compute_response(state, req, arrival);
+            if !response.ok {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            (response, false)
+        }
+    }
+}
+
+fn ping_response(state: &ServerState, req: &Request) -> Response {
+    let stats = state.stats.snapshot();
+    let g = state.prepared.graph();
+    let extra = vec![
+        (
+            "fingerprint".to_string(),
+            Value::Str(format!("{:016x}", state.prepared.fingerprint())),
+        ),
+        (
+            "graph".to_string(),
+            Value::Str(state.settings.graph_label.clone()),
+        ),
+        ("vertices".to_string(), Value::Num(g.num_vertices() as f64)),
+        ("edges".to_string(), Value::Num(g.num_edges() as f64)),
+        (
+            "degeneracy".to_string(),
+            Value::Num(state.prepared.degeneracy() as f64),
+        ),
+        ("requests".to_string(), Value::Num(stats.requests as f64)),
+        (
+            "cache_hits".to_string(),
+            Value::Num(stats.cache_hits as f64),
+        ),
+        (
+            "cache_entries".to_string(),
+            Value::Num(state.cache.lock().expect("cache lock").len() as f64),
+        ),
+    ];
+    Response {
+        id: req.id.clone(),
+        ok: true,
+        extra,
+        ..Response::default()
+    }
+}
+
+fn build_request_config(req: &Request) -> Result<mqce_core::MqceConfig, String> {
+    let config = mqce_core::MqceConfig::new(req.gamma, req.theta)
+        .map_err(|e| e.to_string())?
+        .with_algorithm(crate::parse_algorithm(req.algorithm.as_deref()).map_err(stringify)?)
+        .with_branching(crate::parse_branching(req.branching.as_deref()).map_err(stringify)?)
+        .with_backend(crate::parse_backend(req.backend.as_deref()).map_err(stringify)?)
+        .with_s2_backend(crate::parse_s2_backend(req.s2_backend.as_deref()).map_err(stringify)?);
+    Ok(config)
+}
+
+fn stringify(e: CliError) -> String {
+    e.to_string()
+}
+
+fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Response {
+    let config = match build_request_config(&req) {
+        Ok(config) => config,
+        Err(e) => return Response::failure(req.id, e),
+    };
+    if req.cmd == "query" && req.vertices.is_empty() {
+        return Response::failure(req.id, "`query` needs a non-empty `vertices` list");
+    }
+    let deadline = req
+        .deadline_ms
+        .map(|ms| arrival + Duration::from_millis(ms));
+    let key = req.cache_key(state.prepared.fingerprint());
+
+    if !req.no_cache {
+        let hit = state.cache.lock().expect("cache lock").get(&key);
+        if let Some(outcome) = hit {
+            state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return render(&req, &outcome, true, false, false, arrival);
+        }
+    }
+
+    if !state.gate.acquire(deadline) {
+        // The budget ran out while queued: answer promptly and honestly
+        // rather than running an enumeration the client stopped waiting for.
+        state.stats.expired.fetch_add(1, Ordering::Relaxed);
+        return Response {
+            id: req.id,
+            ok: true,
+            best_effort: true,
+            elapsed_ms: arrival.elapsed().as_secs_f64() * 1e3,
+            ..Response::default()
+        };
+    }
+    let _slot = GateGuard(&state.gate);
+
+    // Whatever budget survived queueing becomes the pipeline's time limit; a
+    // fully spent budget becomes a zero limit, which the pipeline answers
+    // immediately with the best-effort flags set.
+    let config = match deadline {
+        Some(d) => config.with_time_limit(d.saturating_duration_since(Instant::now())),
+        None => config,
+    };
+
+    let (outcome, best_effort, s2_timed_out) = match req.cmd.as_str() {
+        "enumerate" => {
+            let threads = crate::resolve_threads(req.threads);
+            let result = if threads > 1 {
+                enumerate_mqcs_shared_parallel(&state.prepared, &config, threads)
+            } else {
+                enumerate_mqcs_shared(&state.prepared, &config)
+            };
+            let (timed_out, s2_timed_out) = (result.timed_out(), result.s2_timed_out());
+            let outcome = CachedOutcome {
+                mqcs: result.mqcs,
+                extra: vec![("s2_engine".to_string(), Value::Str(result.s2.to_string()))],
+            };
+            (outcome, timed_out || s2_timed_out, s2_timed_out)
+        }
+        "query" => {
+            let result = match mqce_core::find_mqcs_containing(
+                state.prepared.graph(),
+                &req.vertices,
+                &config,
+            ) {
+                Ok(result) => result,
+                Err(e) => return Response::failure(req.id, e.to_string()),
+            };
+            let s2_timed_out = result.s2_timed_out;
+            let outcome = CachedOutcome {
+                mqcs: result.mqcs,
+                extra: vec![(
+                    "universe".to_string(),
+                    Value::Num(result.universe_size as f64),
+                )],
+            };
+            (outcome, s2_timed_out, s2_timed_out)
+        }
+        "topk" => {
+            let result = match mqce_core::find_largest_mqcs(
+                state.prepared.graph(),
+                req.gamma,
+                req.k,
+                Some(config),
+            ) {
+                Ok(result) => result,
+                Err(e) => return Response::failure(req.id, e.to_string()),
+            };
+            let outcome = CachedOutcome {
+                mqcs: result.mqcs,
+                extra: vec![
+                    (
+                        "final_theta".to_string(),
+                        Value::Num(result.final_theta as f64),
+                    ),
+                    ("rounds".to_string(), Value::Num(result.rounds as f64)),
+                ],
+            };
+            // Top-k does not surface its inner S2 flags; a spent deadline is
+            // still detectable from the clock.
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            (outcome, expired, false)
+        }
+        other => return Response::failure(req.id, format!("unknown command {other:?}")),
+    };
+
+    // A deadline that expired mid-run means the answer may be partial even
+    // if no individual stage reported it.
+    let best_effort = best_effort || deadline.is_some_and(|d| Instant::now() >= d);
+
+    let outcome = Arc::new(outcome);
+    if !req.no_cache && !best_effort && !s2_timed_out {
+        state
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&outcome));
+    }
+    render(&req, &outcome, false, best_effort, s2_timed_out, arrival)
+}
+
+fn render(
+    req: &Request,
+    outcome: &CachedOutcome,
+    cached: bool,
+    best_effort: bool,
+    s2_timed_out: bool,
+    arrival: Instant,
+) -> Response {
+    Response {
+        id: req.id.clone(),
+        ok: true,
+        error: None,
+        cached,
+        best_effort,
+        s2_timed_out,
+        elapsed_ms: arrival.elapsed().as_secs_f64() * 1e3,
+        count: outcome.mqcs.len(),
+        mqcs: req.sets.then(|| outcome.mqcs.clone()),
+        extra: outcome.extra.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI entry points
+// ---------------------------------------------------------------------------
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+/// `mqce serve <graph> [--addr HOST:PORT | --socket PATH] ...`
+pub(crate) fn cmd_serve<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[
+        "addr",
+        "socket",
+        "max-inflight",
+        "cache-capacity",
+        "bench-log",
+        "quiet",
+    ])?;
+    parsed.no_extra_positionals(2)?;
+    let path = parsed.positional(1, "graph")?;
+    let graph = crate::load_graph(path)?;
+    let settings = ServeSettings {
+        max_inflight: parsed.get_usize("max-inflight", 2)?.max(1),
+        cache_capacity: parsed.get_usize("cache-capacity", 128)?,
+        bench_log: parsed.get("bench-log").map(PathBuf::from),
+        graph_label: path.to_string(),
+    };
+    let quiet = parsed.switch("quiet");
+
+    let summary = if let Some(socket) = parsed.get("socket") {
+        #[cfg(unix)]
+        {
+            if !quiet {
+                writeln!(
+                    out,
+                    "listening        {socket} ({} vertices, {} edges)",
+                    graph.num_vertices(),
+                    graph.num_edges()
+                )
+                .map_err(io_err)?;
+                out.flush().map_err(io_err)?;
+            }
+            serve_unix(std::path::Path::new(socket), graph, settings).map_err(io_err)?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(CliError::Params(format!(
+                "--socket {socket} needs Unix domain sockets; use --addr on this platform"
+            )));
+        }
+    } else {
+        let addr = parsed.get("addr").unwrap_or("127.0.0.1:7621");
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| CliError::Io(format!("cannot bind {addr}: {e}")))?;
+        if !quiet {
+            writeln!(
+                out,
+                "listening        {} ({} vertices, {} edges)",
+                listener.local_addr().map_err(io_err)?,
+                graph.num_vertices(),
+                graph.num_edges()
+            )
+            .map_err(io_err)?;
+            out.flush().map_err(io_err)?;
+        }
+        serve_tcp(listener, graph, settings)
+    };
+
+    if !quiet {
+        writeln!(
+            out,
+            "served           requests={} cache_hits={} expired={} errors={}",
+            summary.requests, summary.cache_hits, summary.expired, summary.errors
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn connect_with_retry(parsed: &ParsedArgs) -> Result<Stream, CliError> {
+    let retry = Duration::from_secs(parsed.get_u64("retry-secs", 0)?);
+    let give_up = Instant::now() + retry;
+    let connect = || -> std::io::Result<Stream> {
+        if let Some(socket) = parsed.get("socket") {
+            #[cfg(unix)]
+            {
+                return UnixStream::connect(socket).map(Stream::Unix);
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    format!("--socket {socket} needs Unix domain sockets"),
+                ));
+            }
+        }
+        let addr = parsed.get("addr").unwrap_or("127.0.0.1:7621");
+        TcpStream::connect(addr).map(Stream::Tcp)
+    };
+    loop {
+        match connect() {
+            Ok(stream) => return Ok(stream),
+            Err(_) if Instant::now() < give_up => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(CliError::Io(format!("cannot connect to daemon: {e}"))),
+        }
+    }
+}
+
+/// Builds the single request described by `mqce client --cmd ...` flags.
+fn request_from_flags(parsed: &ParsedArgs, cmd: &str) -> Result<Request, CliError> {
+    Ok(Request {
+        id: parsed.get("id").map(str::to_string),
+        cmd: cmd.to_ascii_lowercase(),
+        gamma: parsed.get_f64("gamma", 0.9)?,
+        theta: parsed.get_usize("theta", 2)?,
+        k: parsed.get_usize("k", 10)?,
+        vertices: parsed.get_vertex_list("vertices")?,
+        algorithm: parsed.get("algorithm").map(str::to_string),
+        branching: parsed.get("branching").map(str::to_string),
+        backend: parsed.get("backend").map(str::to_string),
+        s2_backend: parsed.get("s2-backend").map(str::to_string),
+        threads: parsed.get_usize("threads", 1)?,
+        deadline_ms: match parsed.get("deadline-ms") {
+            Some(_) => Some(parsed.get_u64("deadline-ms", 0)?),
+            None => None,
+        },
+        no_cache: parsed.switch("no-cache"),
+        sets: parsed.switch("sets"),
+    })
+}
+
+/// `mqce client (--addr HOST:PORT | --socket PATH) [--cmd C ...]
+/// [--requests FILE] [--shutdown]` — sends requests to a running daemon and
+/// prints each JSON response line verbatim. Exits with an error if any
+/// response reports `ok=false`, so scripts can rely on the exit code.
+pub(crate) fn cmd_client<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    parsed.restrict_options(&[
+        "addr",
+        "socket",
+        "retry-secs",
+        "requests",
+        "cmd",
+        "id",
+        "gamma",
+        "theta",
+        "k",
+        "vertices",
+        "algorithm",
+        "branching",
+        "backend",
+        "s2-backend",
+        "threads",
+        "deadline-ms",
+        "no-cache",
+        "sets",
+        "shutdown",
+    ])?;
+    parsed.no_extra_positionals(1)?;
+
+    let stream = connect_with_retry(parsed)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let mut writer = BufWriter::new(stream);
+    let mut any_failed = false;
+    let mut exchange = |line: &str, out: &mut W, any_failed: &mut bool| -> Result<(), CliError> {
+        writer.write_all(line.as_bytes()).map_err(io_err)?;
+        writer.write_all(b"\n").map_err(io_err)?;
+        writer.flush().map_err(io_err)?;
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(CliError::Io(
+                "daemon closed the connection before responding".to_string(),
+            ));
+        }
+        let response = response.trim_end();
+        writeln!(out, "{response}").map_err(io_err)?;
+        match Response::parse_line(response) {
+            Ok(resp) if !resp.ok => *any_failed = true,
+            Ok(_) => {}
+            Err(e) => return Err(CliError::Other(format!("unparseable response: {e}"))),
+        }
+        Ok(())
+    };
+
+    if let Some(file) = parsed.get("requests") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Io(format!("cannot read {file}: {e}")))?;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Validate locally so a typo is caught before it hits the wire.
+            let request = Request::parse_line(line).map_err(CliError::Other)?;
+            exchange(&request.to_line(), out, &mut any_failed)?;
+        }
+    } else if let Some(cmd) = parsed.get("cmd") {
+        let request = request_from_flags(parsed, cmd)?;
+        exchange(&request.to_line(), out, &mut any_failed)?;
+    } else if !parsed.switch("shutdown") {
+        return Err(CliError::Params(
+            "nothing to send: give --cmd, --requests or --shutdown".to_string(),
+        ));
+    }
+
+    if parsed.switch("shutdown") {
+        let request = Request {
+            cmd: "shutdown".to_string(),
+            ..Request::default()
+        };
+        exchange(&request.to_line(), out, &mut any_failed)?;
+    }
+
+    if any_failed {
+        return Err(CliError::Other(
+            "daemon returned at least one error response".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_up_to_capacity_and_times_out_waiters() {
+        let gate = Gate::new(2);
+        assert!(gate.acquire(None));
+        assert!(gate.acquire(None));
+        // Third caller with an already-spent budget is turned away quickly.
+        let start = Instant::now();
+        assert!(!gate.acquire(Some(Instant::now() + Duration::from_millis(20))));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        // After a release, the slot is available again.
+        gate.release();
+        assert!(gate.acquire(Some(Instant::now() + Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        let outcome = || {
+            Arc::new(CachedOutcome {
+                mqcs: Vec::new(),
+                extra: Vec::new(),
+            })
+        };
+        cache.insert("a".to_string(), outcome());
+        cache.insert("b".to_string(), outcome());
+        assert!(cache.get("a").is_some()); // refresh `a`
+        cache.insert("c".to_string(), outcome()); // evicts `b`
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_stores_nothing() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(
+            "a".to_string(),
+            Arc::new(CachedOutcome {
+                mqcs: Vec::new(),
+                extra: Vec::new(),
+            }),
+        );
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests of the `mqce serve` daemon: concurrent requests match
+//! the single-process pipeline, repeated requests hit the result cache (and
+//! are an order of magnitude faster than the cold run), spent deadlines
+//! return promptly flagged best-effort, and the CLI `serve`/`client`
+//! sub-commands drive the whole loop over a Unix socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mqce_cli::protocol::{Request, Response};
+use mqce_cli::serve::{serve_tcp, ServeSettings, ServeSummary};
+use mqce_core::{enumerate_mqcs, find_mqcs_containing, MqceConfig};
+use mqce_graph::generators::{community_graph, CommunityGraphParams};
+use mqce_graph::Graph;
+
+/// Community graphs with ~10-vertex dense communities: large enough that a
+/// cold enumeration does real work, small enough per community that the
+/// maximal-QC family stays bounded (larger dense-but-incomplete communities
+/// make the family explode combinatorially, which would swamp a debug-mode
+/// test run).
+fn test_graph(n: usize, seed: u64) -> Graph {
+    community_graph(
+        CommunityGraphParams {
+            n,
+            num_communities: (n / 10).max(2),
+            p_intra: 0.9,
+            inter_degree: 1.0,
+        },
+        seed,
+    )
+}
+
+fn start_daemon(
+    graph: Graph,
+    settings: ServeSettings,
+) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let handle = thread::spawn(move || serve_tcp(listener, graph, settings));
+    (addr, handle)
+}
+
+/// One request/response exchange on its own connection.
+fn roundtrip(addr: SocketAddr, request: &Request) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer
+        .write_all(format!("{}\n", request.to_line()).as_bytes())
+        .expect("send request");
+    writer.flush().expect("flush request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    Response::parse_line(line.trim_end()).expect("parse response")
+}
+
+fn shutdown(addr: SocketAddr) {
+    let request = Request {
+        cmd: "shutdown".to_string(),
+        ..Request::default()
+    };
+    assert!(roundtrip(addr, &request).ok);
+}
+
+#[test]
+fn concurrent_requests_match_the_single_process_pipeline() {
+    let graph = test_graph(500, 42);
+    let config_a = MqceConfig::new(0.9, 4).unwrap();
+    let config_b = MqceConfig::new(0.85, 5).unwrap();
+    let expected_a = enumerate_mqcs(&graph, &config_a).mqcs;
+    let expected_b = enumerate_mqcs(&graph, &config_b).mqcs;
+    let expected_q = find_mqcs_containing(&graph, &[0, 1], &config_a)
+        .expect("query succeeds")
+        .mqcs;
+
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+
+    let request_a = Request {
+        gamma: 0.9,
+        theta: 4,
+        sets: true,
+        ..Request::default()
+    };
+    let request_b = Request {
+        gamma: 0.85,
+        theta: 5,
+        sets: true,
+        ..Request::default()
+    };
+    let request_q = Request {
+        cmd: "query".to_string(),
+        gamma: 0.9,
+        theta: 4,
+        vertices: vec![0, 1],
+        sets: true,
+        ..Request::default()
+    };
+
+    // Mixed identical and distinct requests, each on its own connection,
+    // all in flight at once (admission control queues the excess).
+    thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for i in 0..9 {
+            let (request, expected) = match i % 3 {
+                0 => (&request_a, &expected_a),
+                1 => (&request_b, &expected_b),
+                _ => (&request_q, &expected_q),
+            };
+            workers.push(scope.spawn(move || {
+                let response = roundtrip(addr, request);
+                assert!(response.ok, "error: {:?}", response.error);
+                assert!(!response.best_effort);
+                assert_eq!(response.count, expected.len());
+                assert_eq!(response.mqcs.as_ref(), Some(expected));
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("worker panicked");
+        }
+    });
+
+    // A repeat of an already-answered request is served from the cache, and
+    // the count-only variant reuses the same entry (presentation knobs are
+    // not part of the cache key).
+    let repeat = roundtrip(addr, &request_a);
+    assert!(
+        repeat.cached,
+        "second identical request must be a cache hit"
+    );
+    assert_eq!(repeat.mqcs.as_ref(), Some(&expected_a));
+    let count_only = Request {
+        sets: false,
+        ..request_a.clone()
+    };
+    let counted = roundtrip(addr, &count_only);
+    assert!(counted.cached);
+    assert_eq!(counted.count, expected_a.len());
+    assert!(counted.mqcs.is_none());
+
+    // Ping reports the running totals.
+    let ping = roundtrip(
+        addr,
+        &Request {
+            cmd: "ping".to_string(),
+            ..Request::default()
+        },
+    );
+    assert!(ping.ok);
+    assert!(ping.extra_str("fingerprint").is_some());
+    assert!(ping.extra_num("cache_hits").unwrap_or(0.0) >= 2.0);
+
+    shutdown(addr);
+    let summary = handle.join().expect("daemon thread");
+    assert!(summary.requests >= 13);
+    assert!(summary.cache_hits >= 2);
+    assert_eq!(summary.errors, 0);
+}
+
+#[test]
+fn cache_hits_are_an_order_of_magnitude_faster_than_cold_runs() {
+    // Big enough that a cold enumeration takes real time; the warm answer is
+    // a hash lookup and must be at least 10x faster.
+    let graph = test_graph(800, 7);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+    let request = Request {
+        gamma: 0.9,
+        theta: 4,
+        ..Request::default()
+    };
+    let cold = roundtrip(addr, &request);
+    assert!(cold.ok && !cold.cached);
+    let warm = roundtrip(addr, &request);
+    assert!(warm.ok && warm.cached);
+    assert_eq!(warm.count, cold.count);
+    assert!(
+        warm.elapsed_ms * 10.0 <= cold.elapsed_ms,
+        "cache hit not 10x faster: cold={}ms warm={}ms",
+        cold.elapsed_ms,
+        warm.elapsed_ms
+    );
+    shutdown(addr);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn spent_deadlines_return_promptly_and_are_flagged_best_effort() {
+    let graph = test_graph(800, 11);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+    let request = Request {
+        gamma: 0.9,
+        theta: 4,
+        deadline_ms: Some(1),
+        no_cache: true,
+        ..Request::default()
+    };
+    let start = Instant::now();
+    let response = roundtrip(addr, &request);
+    let elapsed = start.elapsed();
+    assert!(response.ok, "error: {:?}", response.error);
+    assert!(
+        response.best_effort,
+        "a 1ms-deadline answer must be flagged best-effort"
+    );
+    // Prompt: well under the cold enumeration time (bounded by the S2 grace
+    // slice plus scheduling noise, not by the size of the search).
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+
+    // Best-effort answers must not poison the cache.
+    let fresh = roundtrip(
+        addr,
+        &Request {
+            deadline_ms: None,
+            no_cache: false,
+            ..request.clone()
+        },
+    );
+    assert!(fresh.ok && !fresh.cached);
+    shutdown(addr);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_error_responses() {
+    let graph = test_graph(500, 5);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+
+    // Malformed JSON and bad parameters produce ok=false without killing
+    // the connection or the daemon.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for (line, expect_ok) in [
+        ("this is not json", false),
+        (r#"{"cmd":"enumerate","gamma":0.2}"#, false), // gamma < 0.5
+        (r#"{"cmd":"query","gamma":0.9}"#, false),     // no vertices
+        (r#"{"cmd":"enumerate","gamma":0.9,"theta":4}"#, true),
+    ] {
+        writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let response = Response::parse_line(response.trim_end()).unwrap();
+        assert_eq!(response.ok, expect_ok, "line: {line}");
+        if !expect_ok {
+            assert!(response.error.is_some());
+        }
+    }
+
+    shutdown(addr);
+    let summary = handle.join().expect("daemon thread");
+    assert_eq!(summary.errors, 3);
+}
+
+/// Drives the real CLI sub-commands over a Unix socket: `serve` in a
+/// background thread, `client` for ping / enumerate / shutdown.
+#[cfg(unix)]
+#[test]
+fn cli_serve_and_client_roundtrip_over_unix_socket() {
+    let dir = std::env::temp_dir().join("mqce_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("daemon_graph.txt");
+    let sock_path = dir.join(format!("daemon_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock_path);
+
+    let graph = test_graph(500, 5);
+    mqce_cli::save_graph(&graph, graph_path.to_str().unwrap()).unwrap();
+    // The edge-list roundtrip relabels vertices, so the expectation must
+    // come from the file the daemon will load, not the in-memory graph.
+    let loaded = mqce_cli::load_graph(graph_path.to_str().unwrap()).unwrap();
+    let expected = enumerate_mqcs(&loaded, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+
+    let argv = |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
+    let serve_args = argv(&[
+        "serve",
+        graph_path.to_str().unwrap(),
+        "--socket",
+        sock_path.to_str().unwrap(),
+        "--quiet",
+    ]);
+    let server = thread::spawn(move || {
+        let mut sink = Vec::new();
+        mqce_cli::run(&serve_args, &mut sink).expect("serve runs to clean shutdown");
+    });
+
+    let client = |parts: &[&str]| -> String {
+        let mut full = vec![
+            "client".to_string(),
+            "--socket".to_string(),
+            sock_path.to_str().unwrap().to_string(),
+            "--retry-secs".to_string(),
+            "10".to_string(),
+        ];
+        full.extend(parts.iter().map(|s| s.to_string()));
+        let mut out = Vec::new();
+        mqce_cli::run(&full, &mut out).expect("client succeeds");
+        String::from_utf8(out).unwrap()
+    };
+
+    let ping = client(&["--cmd", "ping"]);
+    let ping = Response::parse_line(ping.trim()).unwrap();
+    assert!(ping.ok);
+    assert!(ping.extra_num("vertices").unwrap() > 0.0);
+
+    let cold = client(&["--cmd", "enumerate", "--gamma", "0.9", "--theta", "4"]);
+    let cold = Response::parse_line(cold.trim()).unwrap();
+    assert!(cold.ok && !cold.cached);
+    assert_eq!(cold.count, expected.len());
+
+    let warm = client(&[
+        "--cmd",
+        "enumerate",
+        "--gamma",
+        "0.9",
+        "--theta",
+        "4",
+        "--sets",
+    ]);
+    let warm = Response::parse_line(warm.trim()).unwrap();
+    assert!(warm.cached, "same request again must hit the cache");
+    assert_eq!(warm.mqcs.as_ref(), Some(&expected));
+
+    client(&["--shutdown"]);
+    server.join().expect("server thread");
+    assert!(!sock_path.exists(), "socket file must be cleaned up");
+}

@@ -115,6 +115,48 @@ pub(crate) fn prepare_plan(g: &Graph, params: MqceParams, dc: DcConfig) -> DcPla
     }
 }
 
+/// [`prepare_plan`] against cached shared state: the core reduction is a
+/// filter over the prepared core numbers and the processing order is the
+/// cached global degeneracy ordering restricted to the surviving vertices —
+/// no per-request core decomposition. Any total order is sound for the DC
+/// drivers (Property 2 assigns each maximal QC to its lowest-ranked member
+/// under whatever order is in force), and the restriction of a degeneracy
+/// ordering keeps the forward-degree bound, so the plan quality matches the
+/// owning path.
+pub(crate) fn prepare_plan_shared(
+    prepared: &crate::prepared::PreparedGraph,
+    params: MqceParams,
+    dc: DcConfig,
+) -> DcPlan {
+    let g = prepared.graph();
+    let core_k = required_degree(params.gamma, params.theta);
+    let reduced: InducedSubgraph = if dc.core_reduction {
+        InducedSubgraph::new(g, &prepared.k_core_vertices(core_k))
+    } else {
+        let all: Vec<VertexId> = g.vertices().collect();
+        InducedSubgraph::new(g, &all)
+    };
+    let ordering: Vec<VertexId> = if dc.degeneracy_order {
+        prepared
+            .cores()
+            .ordering
+            .iter()
+            .filter_map(|&v| reduced.local(v))
+            .collect()
+    } else {
+        reduced.graph.vertices().collect()
+    };
+    let mut rank = vec![0usize; reduced.graph.num_vertices()];
+    for (i, &v) in ordering.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    DcPlan {
+        reduced,
+        ordering,
+        rank,
+    }
+}
+
 /// The built, pruned subproblem of one anchor vertex, ready for a searcher.
 pub(crate) struct BuiltSubproblem {
     /// Induced subgraph over `Γ²(v_i) ∩ later-ranked` (local ids), with the
@@ -250,11 +292,25 @@ pub fn run_dc_streaming(
     inner: InnerAlgorithm,
     dc: DcConfig,
     deadline: Option<Instant>,
+    s2: Option<&mut dyn MaximalityEngine>,
+) -> SearchOutcome {
+    let plan = prepare_plan(g, params, dc);
+    run_dc_streaming_plan(&plan, params, inner, dc, deadline, s2)
+}
+
+/// [`run_dc_streaming`] over an already-prepared [`DcPlan`] — the re-entrant
+/// body the shared-state pipeline entry points call with plans derived from
+/// cached decompositions.
+pub(crate) fn run_dc_streaming_plan(
+    plan: &DcPlan,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    deadline: Option<Instant>,
     mut s2: Option<&mut dyn MaximalityEngine>,
 ) -> SearchOutcome {
     let mut stats = SearchStats::default();
     let mut outputs: Vec<Vec<VertexId>> = Vec::new();
-    let plan = prepare_plan(g, params, dc);
     if plan.reduced.graph.num_vertices() == 0 {
         return SearchOutcome {
             outputs,
@@ -269,7 +325,7 @@ pub fn run_dc_streaming(
                 break;
             }
         }
-        let (sub_outputs, sub_stats) = solve_subproblem(&plan, vi, params, inner, dc, deadline);
+        let (sub_outputs, sub_stats) = solve_subproblem(plan, vi, params, inner, dc, deadline);
         stats.merge(&sub_stats);
         if let Some(engine) = s2.as_deref_mut() {
             for set in &sub_outputs {
@@ -341,11 +397,49 @@ pub fn run_dc_parallel_streaming(
         };
     }
     let plan = prepare_plan(g, params, dc);
+    run_dc_parallel_streaming_plan(
+        &plan,
+        params,
+        inner,
+        dc,
+        num_threads,
+        deadline,
+        engine_factory,
+    )
+}
+
+/// [`run_dc_parallel_streaming`] over an already-prepared [`DcPlan`]; used
+/// by the shared-state pipeline entry points. Falls back to the sequential
+/// plan driver for one thread.
+pub(crate) fn run_dc_parallel_streaming_plan(
+    plan: &DcPlan,
+    params: MqceParams,
+    inner: InnerAlgorithm,
+    dc: DcConfig,
+    num_threads: usize,
+    deadline: Option<Instant>,
+    engine_factory: Option<EngineFactory<'_>>,
+) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
+    let num_threads = num_threads.max(1);
+    if num_threads == 1 {
+        return match engine_factory {
+            None => (
+                run_dc_streaming_plan(plan, params, inner, dc, deadline, None),
+                Vec::new(),
+            ),
+            Some(factory) => {
+                let mut engine = factory();
+                let outcome =
+                    run_dc_streaming_plan(plan, params, inner, dc, deadline, Some(engine.as_mut()));
+                (outcome, vec![engine])
+            }
+        };
+    }
     if plan.reduced.graph.num_vertices() == 0 {
         return (SearchOutcome::default(), Vec::new());
     }
     crate::scheduler::run_dc_work_stealing(
-        &plan,
+        plan,
         params,
         inner,
         dc,

@@ -45,6 +45,7 @@ pub mod fastqc;
 pub mod kernel;
 pub mod naive;
 pub mod pipeline;
+pub mod prepared;
 pub mod quasiclique;
 pub mod query;
 pub mod quickplus;
@@ -61,8 +62,9 @@ pub use config::{
 pub use mqce_settrie::S2Decision;
 pub use pipeline::{
     enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, enumerate_mqcs_parallel_with,
-    solve_s1, MqceResult, ParallelScheduler,
+    enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, solve_s1, MqceResult, ParallelScheduler,
 };
+pub use prepared::PreparedGraph;
 pub use query::{find_mqcs_containing, find_mqcs_containing_default, QueryError, QueryResult};
 pub use stats::{S2Stats, SearchStats, ThreadStats};
 pub use topk::{find_largest_mqcs, TopKResult};

@@ -21,11 +21,13 @@ use mqce_settrie::MaximalityEngine;
 use crate::branch::SearchOutcome;
 use crate::config::{Algorithm, MqceConfig, MqceParams};
 use crate::dc::{
-    run_dc_parallel_streaming, run_dc_parallel_streaming_shared_index, run_dc_streaming, DcConfig,
+    prepare_plan_shared, run_dc_parallel_streaming, run_dc_parallel_streaming_plan,
+    run_dc_parallel_streaming_shared_index, run_dc_streaming, run_dc_streaming_plan, DcConfig,
     EngineFactory, InnerAlgorithm,
 };
 use crate::fastqc::fastqc_whole_graph;
 use crate::naive;
+use crate::prepared::PreparedGraph;
 use crate::quickplus::quickplus_whole_graph;
 use crate::stats::{S2Stats, SearchStats, ThreadStats};
 
@@ -175,9 +177,20 @@ pub fn solve_s1(g: &Graph, config: &MqceConfig) -> SearchOutcome {
 /// less than a small grace interval from now — 10% of the time limit,
 /// clamped to `[100ms, 5s]` — so a run whose S1 was cut off still returns
 /// the sets it can compact within the grace slice.
+///
+/// A zero time limit grants **no** grace: the caller asked for no work at
+/// all (`--time-limit 0`, or a daemon request whose deadline had already
+/// passed on arrival), so the run must return immediately with
+/// `s2_timed_out = true` and an empty-but-sound partial result rather than
+/// burn `S2_MIN_GRACE` and report an unflagged (falsely complete-looking)
+/// empty answer.
 pub(crate) fn s2_deadline(deadline: Option<Instant>, limit: Option<Duration>) -> Option<Instant> {
     deadline.map(|d| {
-        let grace = limit.map_or(S2_MIN_GRACE, |l| (l / 10).clamp(S2_MIN_GRACE, S2_MAX_GRACE));
+        let grace = match limit {
+            Some(l) if l.is_zero() => Duration::ZERO,
+            Some(l) => (l / 10).clamp(S2_MIN_GRACE, S2_MAX_GRACE),
+            None => S2_MIN_GRACE,
+        };
         d.max(Instant::now() + grace)
     })
 }
@@ -196,6 +209,12 @@ fn finalize(
 ) -> MqceResult {
     let sets_streamed = outcome.outputs.len() as u64;
     let sets_retained = engine.live_len() as u64;
+    // A zero-budget run reaches this point with its S2 deadline already in
+    // the past; the compaction of whatever the engine holds (often nothing)
+    // may complete before polling the deadline, so the expiry itself marks
+    // the result as partial. Runs with a real budget start compaction with
+    // (most of) the grace slice still ahead and do not trip this.
+    let deadline_expired = s2_deadline.is_some_and(|d| Instant::now() >= d);
     let s2_out = engine.finish_with_deadline(s2_deadline);
     let s2_time = s2_start.elapsed();
     let mut qcs = outcome.outputs;
@@ -210,7 +229,7 @@ fn finalize(
             backend: s2_out.backend.to_string(),
             sets_streamed,
             sets_retained,
-            timed_out: s2_out.timed_out || feed_truncated,
+            timed_out: s2_out.timed_out || feed_truncated || deadline_expired,
             decision: s2_out.decision,
         },
         s1_time,
@@ -294,6 +313,80 @@ pub fn enumerate_mqcs_parallel_with(
     // re-probes, so sets retained by one worker but dominated by another
     // worker's results are dropped here. The merge is S2 work: it runs
     // under the same single graced deadline as the final compaction.
+    let s2_start = Instant::now();
+    let s2_dl = s2_deadline(deadline, config.time_limit);
+    let mut engine = if engines.is_empty() {
+        config.s2_backend.new_engine_with_model(config.s2_model)
+    } else {
+        engines.remove(0)
+    };
+    let mut feed_truncated = false;
+    for mut other in engines {
+        if !feed_sets(engine.as_mut(), &other.drain(), s2_dl) {
+            feed_truncated = true;
+        }
+    }
+    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
+}
+
+/// Re-entrant variant of [`enumerate_mqcs`] over shared read-only state: the
+/// core reduction and vertex ordering come from the decomposition cached in
+/// the [`PreparedGraph`], so a long-lived process (the `mqce serve` daemon)
+/// answers each request without re-deriving per-graph state. The maximal
+/// family returned is identical to [`enumerate_mqcs`] on the same graph and
+/// configuration. Algorithms without a DC decomposition fall through to the
+/// whole-graph solver (which takes no per-run derived state anyway).
+pub fn enumerate_mqcs_shared(prepared: &PreparedGraph, config: &MqceConfig) -> MqceResult {
+    let Some((inner, dc)) = dc_setup(config) else {
+        return enumerate_mqcs(prepared.graph(), config);
+    };
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let mut engine = config.s2_backend.new_engine_with_model(config.s2_model);
+    let s1_start = Instant::now();
+    let plan = prepare_plan_shared(prepared, config.params, dc);
+    let outcome = run_dc_streaming_plan(
+        &plan,
+        config.params,
+        inner,
+        dc,
+        deadline,
+        Some(engine.as_mut()),
+    );
+    let s1_time = s1_start.elapsed();
+    let s2_start = Instant::now();
+    let s2_dl = s2_deadline(deadline, config.time_limit);
+    finalize(outcome, engine, false, s2_dl, s1_time, s2_start)
+}
+
+/// Multi-threaded variant of [`enumerate_mqcs_shared`]: the work-stealing
+/// scheduler runs over a plan derived from the cached decomposition, and the
+/// per-thread engines are merged exactly as in [`enumerate_mqcs_parallel`].
+pub fn enumerate_mqcs_shared_parallel(
+    prepared: &PreparedGraph,
+    config: &MqceConfig,
+    num_threads: usize,
+) -> MqceResult {
+    if num_threads <= 1 {
+        return enumerate_mqcs_shared(prepared, config);
+    }
+    let Some((inner, dc)) = dc_setup(config) else {
+        return enumerate_mqcs(prepared.graph(), config);
+    };
+    let deadline = config.time_limit.map(|limit| Instant::now() + limit);
+    let s1_start = Instant::now();
+    let factory = || config.s2_backend.new_engine_with_model(config.s2_model);
+    let factory_ref: EngineFactory<'_> = &factory;
+    let plan = prepare_plan_shared(prepared, config.params, dc);
+    let (outcome, mut engines) = run_dc_parallel_streaming_plan(
+        &plan,
+        config.params,
+        inner,
+        dc,
+        num_threads,
+        deadline,
+        Some(factory_ref),
+    );
+    let s1_time = s1_start.elapsed();
     let s2_start = Instant::now();
     let s2_dl = s2_deadline(deadline, config.time_limit);
     let mut engine = if engines.is_empty() {
@@ -509,6 +602,81 @@ mod tests {
             assert_eq!(parallel.mqcs, reference, "{backend:?}");
             assert!(!parallel.s2.timed_out);
         }
+    }
+
+    #[test]
+    fn zero_time_limit_returns_immediately_and_is_flagged() {
+        // Regression: `s2_deadline` used to clamp the grace slice up to
+        // S2_MIN_GRACE even for a zero budget, so `--time-limit 0` burned
+        // 100ms of S2 work and reported `s2_timed_out = false` — an empty
+        // answer indistinguishable from "this graph has no MQCs". A zero
+        // budget must return promptly with the best-effort flag set.
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 200,
+                num_communities: 10,
+                p_intra: 0.9,
+                inter_degree: 2.0,
+            },
+            7,
+        );
+        for algo in [Algorithm::DcFastQc, Algorithm::FastQc] {
+            let config = MqceConfig::new(0.85, 4)
+                .unwrap()
+                .with_algorithm(algo)
+                .with_time_limit(Duration::ZERO);
+            let start = Instant::now();
+            let result = enumerate_mqcs(&g, &config);
+            let elapsed = start.elapsed();
+            assert!(result.s2_timed_out(), "{algo:?}: zero budget not flagged");
+            assert!(result.timed_out(), "{algo:?}");
+            assert!(result.mqcs.is_empty(), "{algo:?}");
+            // Must not burn the 100ms grace slice; leave headroom for the
+            // (budget-independent) plan preparation on slow CI machines.
+            assert!(
+                elapsed < S2_MIN_GRACE,
+                "{algo:?}: zero budget took {elapsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_pipeline_matches_owning_pipeline() {
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 120,
+                num_communities: 8,
+                p_intra: 0.9,
+                inter_degree: 1.5,
+            },
+            4242,
+        );
+        let prepared = PreparedGraph::new(g.clone());
+        for algo in [
+            Algorithm::DcFastQc,
+            Algorithm::BasicDcFastQc,
+            Algorithm::QuickPlus,
+            Algorithm::FastQc,
+        ] {
+            let config = MqceConfig::new(0.85, 5).unwrap().with_algorithm(algo);
+            let owning = enumerate_mqcs(&g, &config);
+            let shared = enumerate_mqcs_shared(&prepared, &config);
+            assert_eq!(shared.mqcs, owning.mqcs, "{algo:?} shared != owning");
+            let shared_par = enumerate_mqcs_shared_parallel(&prepared, &config, 4);
+            assert_eq!(shared_par.mqcs, owning.mqcs, "{algo:?} shared parallel");
+        }
+    }
+
+    #[test]
+    fn shared_pipeline_handles_empty_core() {
+        // theta high enough that the core reduction empties the graph.
+        let prepared = PreparedGraph::new(Graph::path(10));
+        let config = MqceConfig::new(0.9, 5).unwrap();
+        let result = enumerate_mqcs_shared(&prepared, &config);
+        assert!(result.mqcs.is_empty());
+        assert!(!result.timed_out());
     }
 
     #[test]

@@ -111,6 +111,33 @@ impl Graph {
         &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// Cheap 64-bit content fingerprint (FNV-1a over the CSR arrays).
+    ///
+    /// Two graphs with the same vertex count and identical sorted adjacency
+    /// structure hash equal; any edge or labelling difference changes the
+    /// digest with overwhelming probability. Intended as a cache key for
+    /// long-lived services, not as a cryptographic commitment.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.num_vertices() as u64);
+        mix(self.num_edges as u64);
+        for &off in &self.offsets {
+            mix(off as u64);
+        }
+        for &v in &self.neighbors {
+            mix(u64::from(v));
+        }
+        h
+    }
+
     /// Whether the undirected edge `{u, v}` exists. `O(log d)`.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
@@ -359,5 +386,32 @@ mod tests {
         }
         // ... while its subgraph {v1,v3,v4} is not (v1 connects only 1 of 2).
         assert_eq!(g.degree_in(0, &[0, 2, 3]), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let g1 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g2 = Graph::from_edges(4, &[(2, 3), (0, 1), (1, 2)]);
+        // Same edge set, different construction order: same digest.
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        // Deterministic across calls.
+        assert_eq!(g1.fingerprint(), g1.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let base = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // One extra edge.
+        let extra = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_ne!(base.fingerprint(), extra.fingerprint());
+        // Same edges, one more isolated vertex.
+        let wider = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+        // Same degree sequence, different wiring.
+        let a = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = Graph::from_edges(4, &[(0, 2), (1, 3)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Empty graphs of different sizes differ too.
+        assert_ne!(Graph::empty(3).fingerprint(), Graph::empty(4).fingerprint());
     }
 }

@@ -1,0 +1,160 @@
+//! Heap-allocation counters for the bench harness.
+//!
+//! The allocation-free DC hot path is a *measured* property, not a hoped-for
+//! one: with the `count-allocs` feature enabled this module installs a
+//! [`#[global_allocator]`](std::alloc::GlobalAlloc) that wraps the system
+//! allocator in three relaxed atomic counters (allocation events, live bytes,
+//! peak live bytes). The [`runner`](crate::runner) snapshots the counters
+//! around every measured run and records the deltas in `BENCH_mqce.json`
+//! (`alloc_count`, `peak_alloc_bytes`), and the `experiments alloc-gate`
+//! profile turns the per-subproblem allocation count into a CI regression
+//! gate.
+//!
+//! With the feature disabled the module compiles to no-op stubs and no
+//! global allocator is installed, so ordinary builds keep the default
+//! allocator untouched.
+//!
+//! Counting uses `Relaxed` ordering throughout: the counters are statistics,
+//! not synchronisation, and the harness only reads them on the measuring
+//! thread after the run's worker threads have been joined.
+
+/// A point-in-time reading of the process-wide allocation counters. All
+/// zeros when the `count-allocs` feature is off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events since process start (`alloc`, `alloc_zeroed`, and
+    /// every `realloc`, successful or not at the old site, counts as one).
+    pub alloc_count: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// High-water mark of live bytes since process start or the last
+    /// [`reset_peak`].
+    pub peak_bytes: u64,
+}
+
+/// Whether the counting allocator is compiled in.
+pub fn enabled() -> bool {
+    cfg!(feature = "count-allocs")
+}
+
+#[cfg(feature = "count-allocs")]
+#[allow(unsafe_code)]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+    static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+    static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    fn on_alloc(size: u64) {
+        ALLOC_COUNT.fetch_add(1, Relaxed);
+        let live = CURRENT_BYTES.fetch_add(size, Relaxed) + size;
+        PEAK_BYTES.fetch_max(live, Relaxed);
+    }
+
+    fn on_dealloc(size: u64) {
+        CURRENT_BYTES.fetch_sub(size, Relaxed);
+    }
+
+    /// System allocator wrapped in event/byte counters.
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub(super) fn snapshot() -> super::AllocSnapshot {
+        super::AllocSnapshot {
+            alloc_count: ALLOC_COUNT.load(Relaxed),
+            current_bytes: CURRENT_BYTES.load(Relaxed),
+            peak_bytes: PEAK_BYTES.load(Relaxed),
+        }
+    }
+
+    pub(super) fn reset_peak() {
+        PEAK_BYTES.store(CURRENT_BYTES.load(Relaxed), Relaxed);
+    }
+}
+
+/// Reads the current counters. Zeros when counting is compiled out.
+pub fn snapshot() -> AllocSnapshot {
+    #[cfg(feature = "count-allocs")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        AllocSnapshot::default()
+    }
+}
+
+/// Resets the peak-bytes high-water mark to the current live-byte count, so
+/// a following run's `peak_bytes` reflects its own high-water mark rather
+/// than an earlier run's. No-op when counting is compiled out.
+pub fn reset_peak() {
+    #[cfg(feature = "count-allocs")]
+    imp::reset_peak();
+}
+
+#[cfg(all(test, feature = "count-allocs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_observe_a_boxed_allocation() {
+        let before = snapshot();
+        let v: Vec<u64> = Vec::with_capacity(1 << 12);
+        let after = snapshot();
+        drop(v);
+        let released = snapshot();
+        assert!(after.alloc_count > before.alloc_count);
+        assert!(after.current_bytes >= before.current_bytes + (1 << 15));
+        assert!(after.peak_bytes >= after.current_bytes);
+        // NB: other test threads may allocate concurrently, so only
+        // one-sided bounds are safe here.
+        assert!(released.alloc_count >= after.alloc_count);
+    }
+
+    #[test]
+    fn reset_peak_rebaselines_high_water() {
+        let spike: Vec<u64> = Vec::with_capacity(1 << 14);
+        drop(spike);
+        reset_peak();
+        let s = snapshot();
+        // Concurrent tests can allocate between the reset and the read, so
+        // the peak only has to be near the live count, not equal to it.
+        assert!(s.peak_bytes <= s.current_bytes + (1 << 20));
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
 //! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `s2-stress`,
-//! `s2-calibrate`, `threads`, `all`.
+//! `s2-calibrate`, `threads`, `alloc-gate`, `all`.
 //!
 //! `quick` is the backend-comparison profile (bitset kernel vs sorted
 //! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
@@ -14,9 +14,10 @@
 //! maximality-engine backends on large overlapping families; restrict it to
 //! one backend with `--s2-backend`, as the CI matrix does), `s2-calibrate`
 //! (fits the S2 cost model from measured timings; `--emit <path>` writes the
-//! fitted table, e.g. over `crates/settrie/src/s2_cost_model.tsv`) and
-//! `threads` (the parallel-scaling sweep) *append* their rows to the same
-//! file.
+//! fitted table, e.g. over `crates/settrie/src/s2_cost_model.tsv`),
+//! `threads` (the parallel-scaling sweep) and `alloc-gate` (heap-allocation
+//! events per DC subproblem against a checked-in bound; needs a
+//! `--features count-allocs` build) *append* their rows to the same file.
 //!
 //! `--quick` runs the reduced-scale suite with a short time limit (useful for
 //! smoke-testing the harness); the default is the full laptop-scale suite.
@@ -29,7 +30,7 @@ use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|all> \
          [--quick] [--time-limit <seconds>] [--json <path>] \
          [--s2-backend <inverted|bitset|extremal>] [--emit <path>]"
     );
@@ -109,7 +110,7 @@ fn main() {
     // accumulate them into a single BENCH_mqce.json.
     let perf_profile = matches!(
         experiment.as_str(),
-        "quick" | "s2-stress" | "s2-calibrate" | "threads"
+        "quick" | "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate"
     );
     if perf_profile {
         if !time_limit_set {
@@ -143,6 +144,7 @@ fn main() {
             records
         }
         "threads" => experiments::thread_sweep(opts),
+        "alloc-gate" => experiments::alloc_gate(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };
@@ -150,7 +152,7 @@ fn main() {
     if let Some(path) = json_path {
         if matches!(
             experiment.as_str(),
-            "s2-stress" | "s2-calibrate" | "threads"
+            "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate"
         ) {
             append_json(&path, &records).expect("append JSON results");
             println!("\nappended {} records to {}", records.len(), path.display());

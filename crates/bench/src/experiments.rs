@@ -506,6 +506,71 @@ pub fn quick_backends(opts: ExperimentOptions) -> Vec<RunRecord> {
     records
 }
 
+/// Checked-in regression bound for [`alloc_gate`]: allocation events per DC
+/// subproblem allowed on the community-800 preset, roughly 2× the measured
+/// steady state. The budget covers everything a full pipeline run allocates
+/// — the warmup ramp of the per-worker scratch buffers, the one-`Vec`-per-
+/// surviving-output boxing at the end of the run, and the streaming S2
+/// engine — so a reintroduced per-subproblem allocation (the pre-scratch
+/// path paid hundreds: a fresh local-id map, `Vec<Vec<_>>` adjacency,
+/// per-emission predicate masks and per-QC boxing each time) blows through
+/// it immediately. Measured steady state: ~13.1 (most of it the final
+/// boxing, which scales with surviving outputs, not subproblems).
+pub const ALLOC_GATE_MAX_ALLOCS_PER_SUBPROBLEM: f64 = 30.0;
+
+/// **Allocation gate** (`experiments alloc-gate`): measures heap-allocation
+/// events per DC subproblem on the CI smoke preset (community graph, n=800,
+/// 80 communities, p_intra=0.9, seed 7, γ=0.9, θ=4) with the `count-allocs`
+/// global allocator, and panics if the rate exceeds
+/// [`ALLOC_GATE_MAX_ALLOCS_PER_SUBPROBLEM`]. A first untimed run warms the
+/// allocator and the page cache; the second run is the measured one. Without
+/// the `count-allocs` feature there is nothing to measure and the gate
+/// reports itself skipped.
+pub fn alloc_gate(opts: ExperimentOptions) -> Vec<RunRecord> {
+    use mqce_graph::generators::{community_graph, CommunityGraphParams};
+    if !crate::alloc_stats::enabled() {
+        println!(
+            "alloc-gate: built without the `count-allocs` feature, skipping \
+             (rebuild with `--features count-allocs`)"
+        );
+        return Vec::new();
+    }
+    let g = community_graph(
+        CommunityGraphParams {
+            n: 800,
+            num_communities: 80,
+            p_intra: 0.9,
+            inter_degree: 1.0,
+        },
+        7,
+    );
+    let spec = AlgoSpec::dcfastqc();
+    let _warmup = measure("community-800", &g, spec, 0.9, 4, opts.time_limit);
+    let record = measure("community-800", &g, spec, 0.9, 4, opts.time_limit);
+    assert!(
+        !record.timed_out && !record.s2_timed_out,
+        "alloc-gate run hit the time limit; its allocation counts are not comparable"
+    );
+    let subproblems = record.stats.dc_subproblems.max(1);
+    let per_subproblem = record.alloc_count as f64 / subproblems as f64;
+    println!(
+        "\n== Allocation gate (community-800, gamma=0.9 theta=4) ==\n\
+         {} allocation events / {} DC subproblems = {:.2} per subproblem \
+         (bound {:.1}); peak heap {:.1} MiB",
+        record.alloc_count,
+        subproblems,
+        per_subproblem,
+        ALLOC_GATE_MAX_ALLOCS_PER_SUBPROBLEM,
+        record.peak_alloc_bytes as f64 / (1024.0 * 1024.0)
+    );
+    assert!(
+        per_subproblem <= ALLOC_GATE_MAX_ALLOCS_PER_SUBPROBLEM,
+        "allocation regression: {per_subproblem:.2} allocation events per DC subproblem \
+         exceeds the checked-in bound of {ALLOC_GATE_MAX_ALLOCS_PER_SUBPROBLEM}"
+    );
+    vec![record]
+}
+
 /// Generates a set family with the shape of an INF'd S1 run on a dense
 /// community graph (the recorded 382k-set S2 wall): heavily overlapping
 /// moderate-size subsets of one community's small element universe, with a
@@ -624,6 +689,8 @@ fn measure_s2_backend(
         thread_stats: Vec::new(),
         serve_requests: 0,
         serve_cache_hits: 0,
+        alloc_count: 0,
+        peak_alloc_bytes: 0,
         stats: Default::default(),
     };
     (record, (!timed_out).then_some(outcome.mqcs))

@@ -5,6 +5,9 @@
 //!   rationale), plus the Erdős–Rényi family of the synthetic experiments.
 //! * [`runner`] — measurement plumbing: run one algorithm configuration on
 //!   one graph and record times, output counts and search statistics.
+//! * [`alloc_stats`] — opt-in (`count-allocs` feature) counting global
+//!   allocator whose event/peak-byte deltas become the `alloc_count` /
+//!   `peak_alloc_bytes` columns of `BENCH_mqce.json`.
 //! * [`experiments`] — one function per table/figure of the paper
 //!   (Table 1, Figures 7–12, and the MAX_ROUND / shrinking / S2-cost
 //!   "other experiments").
@@ -12,9 +15,13 @@
 //! The `experiments` binary drives these from the command line; the Criterion
 //! benches in `benches/` cover the same sweeps in `cargo bench` form.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator in
+// `alloc_stats` must implement `GlobalAlloc`, which is an unsafe trait; that
+// one module carries an explicit `allow` and every other module stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_stats;
 pub mod datasets;
 pub mod experiments;
 pub mod runner;

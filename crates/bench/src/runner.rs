@@ -124,6 +124,15 @@ pub struct RunRecord {
     /// cache. `default` for the same schema-evolution reason.
     #[serde(default)]
     pub serve_cache_hits: u64,
+    /// Heap-allocation events during the run (0 unless the harness was
+    /// built with the `count-allocs` feature — see
+    /// [`alloc_stats`](crate::alloc_stats)). `default` so older files parse.
+    #[serde(default)]
+    pub alloc_count: u64,
+    /// Peak live heap bytes during the run (same feature gate and schema
+    /// caveat as `alloc_count`).
+    #[serde(default)]
+    pub peak_alloc_bytes: u64,
     /// Raw search statistics.
     #[serde(skip)]
     pub stats: SearchStats,
@@ -295,11 +304,14 @@ pub fn measure_threads_with(
         .with_max_round(spec.max_round)
         .with_time_limit(time_limit);
     let threads = threads.max(1);
+    crate::alloc_stats::reset_peak();
+    let alloc_before = crate::alloc_stats::snapshot();
     let result = if threads > 1 {
         enumerate_mqcs_parallel_with(g, &config, threads, scheduler)
     } else {
         enumerate_mqcs(g, &config)
     };
+    let alloc_after = crate::alloc_stats::snapshot();
     let (mqc_min, mqc_max, mqc_avg) = result.mqc_size_stats().unwrap_or((0, 0, 0.0));
     RunRecord {
         dataset: dataset.to_string(),
@@ -330,6 +342,10 @@ pub fn measure_threads_with(
         thread_stats: result.thread_stats.iter().map(ThreadRow::from).collect(),
         serve_requests: 0,
         serve_cache_hits: 0,
+        alloc_count: alloc_after
+            .alloc_count
+            .saturating_sub(alloc_before.alloc_count),
+        peak_alloc_bytes: alloc_after.peak_bytes,
         stats: result.stats,
     }
 }

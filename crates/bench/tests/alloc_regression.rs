@@ -1,0 +1,70 @@
+//! Allocation regression test for the DC subgraph-extraction hot path.
+//!
+//! `InducedSubgraph::new_in` is specified to do O(|H|) work per subproblem
+//! (H = the extracted two-hop ball) and, after a warmup pass has grown the
+//! scratch buffers, to run without heap allocation. This test measures that
+//! property directly with the `count-allocs` global allocator: a full
+//! extract/recycle sweep over every vertex's two-hop ball is repeated on one
+//! warm [`SubproblemScratch`], and the steady-state passes must stay under a
+//! small constant number of allocation events *in total* — not per
+//! subproblem.
+//!
+//! The test lives in its own integration-test binary (own process, single
+//! `#[test]`) so no concurrent test thread can pollute the process-wide
+//! counters.
+#![cfg(feature = "count-allocs")]
+
+use mqce_bench::alloc_stats;
+use mqce_graph::generators::{community_graph, CommunityGraphParams};
+use mqce_graph::{InducedSubgraph, SubproblemScratch};
+
+#[test]
+fn warm_subgraph_extraction_is_allocation_free() {
+    assert!(alloc_stats::enabled());
+    let g = community_graph(
+        CommunityGraphParams {
+            n: 400,
+            num_communities: 20,
+            p_intra: 0.9,
+            inter_degree: 1.5,
+        },
+        7,
+    );
+    let mut scratch = SubproblemScratch::new();
+    let mut ball = Vec::new();
+
+    let sweep = |scratch: &mut SubproblemScratch, ball: &mut Vec<u32>| -> usize {
+        let mut subproblems = 0;
+        for v in g.vertices() {
+            scratch.two_hop_into(&g, v, ball);
+            let sub = InducedSubgraph::new_in(&g, ball, scratch);
+            // Touch the result so the extraction cannot be optimised away.
+            std::hint::black_box(sub.graph.num_edges());
+            subproblems += 1;
+            scratch.recycle(sub);
+        }
+        subproblems
+    };
+
+    // Warmup: grows the stamp arrays, the two-hop ball, and the CSR buffers
+    // to the largest subproblem in the sweep.
+    sweep(&mut scratch, &mut ball);
+
+    let before = alloc_stats::snapshot();
+    let mut subproblems = 0;
+    for _ in 0..3 {
+        subproblems += sweep(&mut scratch, &mut ball);
+    }
+    let after = alloc_stats::snapshot();
+    let allocs = after.alloc_count - before.alloc_count;
+
+    assert!(subproblems >= 3 * g.num_vertices());
+    // Steady state should be exactly 0 allocation events; allow a small
+    // constant of slack for incidental runtime allocations, far below the
+    // one-per-subproblem floor the pre-scratch path paid.
+    assert!(
+        allocs <= 8,
+        "expected an allocation-free warm extraction sweep, measured \
+         {allocs} allocation events across {subproblems} subproblems"
+    );
+}

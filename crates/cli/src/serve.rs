@@ -425,6 +425,8 @@ fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRe
         thread_stats: Vec::new(),
         serve_requests: summary.requests,
         serve_cache_hits: summary.cache_hits,
+        alloc_count: 0,
+        peak_alloc_bytes: 0,
         stats: Default::default(),
     }
 }

@@ -27,9 +27,10 @@ use std::time::Instant;
 
 use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::{Graph, VertexId};
+use mqce_settrie::SetArena;
 
 use crate::config::{AdjacencyBackend, MqceParams};
-use crate::quasiclique::{is_quasi_clique_with, no_single_vertex_extension_with, tau, EPS};
+use crate::quasiclique::{is_quasi_clique_in, no_single_vertex_extension_in, tau, QcScratch, EPS};
 use crate::scheduler::{SplitRequest, SplitSink};
 use crate::stats::{SearchStats, ThreadStats};
 
@@ -53,15 +54,15 @@ pub struct SearchOutcome {
     pub thread_stats: Vec<ThreadStats>,
 }
 
-/// Mutable search state shared by the branch-and-bound algorithms.
-pub(crate) struct SearchCtx<'g> {
-    pub(crate) g: &'g Graph,
-    /// Optional packed adjacency kernel: borrowed from the DC subproblem's
-    /// [`InducedSubgraph`](mqce_graph::InducedSubgraph) when one was built
-    /// there, or owned when the context built it for a whole-graph search.
-    kernel: Option<Cow<'g, AdjacencyMatrix>>,
-    pub(crate) gamma: f64,
-    pub(crate) theta: usize,
+/// Reusable per-worker search buffers.
+///
+/// Every array the search state needs is sized by the (local) subproblem
+/// graph, so a worker that solves many subproblems in sequence can reset
+/// these buffers in O(|H|) instead of re-allocating them: one
+/// `SearchScratch` lives for the worker's whole run and is threaded into
+/// [`SearchCtx::new_with_kernel`] per subproblem. Stolen split tasks reuse
+/// the thief's scratch, not a new allocation.
+pub(crate) struct SearchScratch {
     /// Vertex membership flags.
     in_s: Vec<bool>,
     in_c: Vec<bool>,
@@ -72,13 +73,84 @@ pub(crate) struct SearchCtx<'g> {
     /// `deg_sc[v] = δ(v, S ∪ C)` for every vertex of the (local) graph.
     deg_sc: Vec<u32>,
     /// Scratch buffer for per-candidate counting passes.
-    scratch: Vec<u32>,
+    counts: Vec<u32>,
+    /// Degree recomputation buffer for [`DegSource::Recompute`].
+    recompute_degs: Vec<u32>,
     /// Reusable mask for the kernel path of
-    /// [`count_adjacency_to`](Self::count_adjacency_to); allocated once so
-    /// the per-branch refinement never hits the allocator.
-    critical_mask: Option<BitSet>,
-    /// Emitted quasi-cliques (local ids).
-    pub(crate) outputs: Vec<Vec<VertexId>>,
+    /// [`SearchCtx::count_adjacency_to`]; re-dimensioned (not re-allocated)
+    /// per subproblem so the per-branch refinement never hits the allocator.
+    critical_mask: BitSet,
+    /// Free-list of per-frame vertex buffers (see [`SearchCtx::take_buf`]);
+    /// stabilises at roughly `max_depth × buffer-kinds` entries, after which
+    /// branching is allocation-free.
+    pool: Vec<Vec<VertexId>>,
+    /// Scratch for the per-emission quasi-clique predicates
+    /// ([`SearchCtx::is_qc`], [`SearchCtx::no_extension`]), so the membership
+    /// masks and BFS state they need are reused across branches.
+    qc: QcScratch,
+    /// Emitted quasi-cliques (local ids, each sorted), packed back-to-back.
+    /// Owned by the scratch so the driver can stream them by slice and defer
+    /// per-set boxing to the end of the run.
+    pub(crate) sets: SetArena,
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        SearchScratch {
+            in_s: Vec::new(),
+            in_c: Vec::new(),
+            s: Vec::new(),
+            deg_s: Vec::new(),
+            deg_sc: Vec::new(),
+            counts: Vec::new(),
+            recompute_degs: Vec::new(),
+            critical_mask: BitSet::new(0),
+            pool: Vec::new(),
+            qc: QcScratch::default(),
+            sets: SetArena::new(),
+        }
+    }
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-dimensions every buffer for an `n`-vertex (local) graph and
+    /// empties the emitted-set arena. O(n) and allocation-free once the
+    /// buffers have grown to the largest subproblem seen.
+    fn reset(&mut self, n: usize, kernel_n: Option<usize>) {
+        self.in_s.clear();
+        self.in_s.resize(n, false);
+        self.in_c.clear();
+        self.in_c.resize(n, false);
+        self.s.clear();
+        self.deg_s.clear();
+        self.deg_s.resize(n, 0);
+        self.deg_sc.clear();
+        self.deg_sc.resize(n, 0);
+        self.counts.clear();
+        self.counts.resize(n, 0);
+        if let Some(k) = kernel_n {
+            self.critical_mask.reset(k);
+        }
+        self.sets.clear();
+    }
+}
+
+/// Mutable search state shared by the branch-and-bound algorithms.
+pub(crate) struct SearchCtx<'g> {
+    pub(crate) g: &'g Graph,
+    /// Optional packed adjacency kernel: borrowed from the DC subproblem's
+    /// [`InducedSubgraph`](mqce_graph::InducedSubgraph) when one was built
+    /// there, or owned when the context built it for a whole-graph search.
+    kernel: Option<Cow<'g, AdjacencyMatrix>>,
+    pub(crate) gamma: f64,
+    pub(crate) theta: usize,
+    /// Worker-owned buffers; reset per subproblem, reused across them.
+    bufs: &'g mut SearchScratch,
     pub(crate) stats: SearchStats,
     deadline: Option<Instant>,
     pub(crate) aborted: bool,
@@ -101,14 +173,19 @@ impl<'g> SearchCtx<'g> {
         s_init: &[VertexId],
         cand: &[VertexId],
         deadline: Option<Instant>,
+        bufs: &'g mut SearchScratch,
     ) -> Self {
-        Self::new_with_kernel(g, None, params, s_init, cand, deadline)
+        Self::new_with_kernel(g, None, params, s_init, cand, deadline, bufs)
     }
 
     /// [`SearchCtx::new`] with an optionally pre-built adjacency kernel
     /// (typically the one the DC driver attached to the subproblem's induced
     /// subgraph). When none is supplied, the backend policy in `params`
     /// decides whether the context builds its own.
+    ///
+    /// `bufs` is reset for this subproblem (clearing any previously emitted
+    /// sets) and reused; after warmup, context construction performs no heap
+    /// allocation beyond an optional owned kernel.
     pub(crate) fn new_with_kernel(
         g: &'g Graph,
         kernel: Option<&'g AdjacencyMatrix>,
@@ -116,6 +193,7 @@ impl<'g> SearchCtx<'g> {
         s_init: &[VertexId],
         cand: &[VertexId],
         deadline: Option<Instant>,
+        bufs: &'g mut SearchScratch,
     ) -> Self {
         let n = g.num_vertices();
         let kernel: Option<Cow<'g, AdjacencyMatrix>> = match params.backend {
@@ -129,20 +207,13 @@ impl<'g> SearchCtx<'g> {
                     .then(|| Cow::Owned(AdjacencyMatrix::from_graph(g)))
             }),
         };
-        let critical_mask = kernel.as_ref().map(|m| BitSet::new(m.num_vertices()));
-        let mut ctx = SearchCtx {
+        bufs.reset(n, kernel.as_deref().map(|m| m.num_vertices()));
+        let ctx = SearchCtx {
             g,
             kernel,
-            critical_mask,
             gamma: params.gamma,
             theta: params.theta,
-            in_s: vec![false; n],
-            in_c: vec![false; n],
-            s: Vec::with_capacity(s_init.len() + cand.len()),
-            deg_s: vec![0; n],
-            deg_sc: vec![0; n],
-            scratch: vec![0; n],
-            outputs: Vec::new(),
+            bufs,
             stats: SearchStats::default(),
             deadline,
             aborted: false,
@@ -150,20 +221,21 @@ impl<'g> SearchCtx<'g> {
             splitter: None,
         };
         for &v in cand {
-            debug_assert!(!ctx.in_c[v as usize], "duplicate candidate {v}");
-            ctx.in_c[v as usize] = true;
+            debug_assert!(!ctx.bufs.in_c[v as usize], "duplicate candidate {v}");
+            ctx.bufs.in_c[v as usize] = true;
         }
         for &v in s_init {
-            debug_assert!(!ctx.in_c[v as usize], "vertex {v} in both S and C");
-            debug_assert!(!ctx.in_s[v as usize], "duplicate S vertex {v}");
-            ctx.in_s[v as usize] = true;
-            ctx.s.push(v);
+            debug_assert!(!ctx.bufs.in_c[v as usize], "vertex {v} in both S and C");
+            debug_assert!(!ctx.bufs.in_s[v as usize], "duplicate S vertex {v}");
+            ctx.bufs.in_s[v as usize] = true;
+            ctx.bufs.s.push(v);
         }
         for &v in s_init.iter().chain(cand.iter()) {
+            let in_s = ctx.bufs.in_s[v as usize];
             for &u in g.neighbors(v) {
-                ctx.deg_sc[u as usize] += 1;
-                if ctx.in_s[v as usize] {
-                    ctx.deg_s[u as usize] += 1;
+                ctx.bufs.deg_sc[u as usize] += 1;
+                if in_s {
+                    ctx.bufs.deg_s[u as usize] += 1;
                 }
             }
         }
@@ -176,15 +248,28 @@ impl<'g> SearchCtx<'g> {
         self
     }
 
-    /// Consumes the context, producing the outcome.
-    pub(crate) fn finish(self) -> SearchOutcome {
+    /// Consumes the context, producing the final statistics. The emitted
+    /// family stays behind in the scratch's [`SearchScratch::sets`] arena for
+    /// the caller to stream or materialise.
+    pub(crate) fn finish(self) -> SearchStats {
         let mut stats = self.stats;
         stats.timed_out = self.aborted;
-        SearchOutcome {
-            outputs: self.outputs,
-            stats,
-            thread_stats: Vec::new(),
-        }
+        stats
+    }
+
+    /// Takes a cleared vertex buffer from the frame pool (allocation-free
+    /// once the pool has warmed up); return it with
+    /// [`put_buf`](Self::put_buf) when the frame unwinds.
+    #[inline]
+    pub(crate) fn take_buf(&mut self) -> Vec<VertexId> {
+        self.bufs.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a frame buffer to the pool for reuse.
+    #[inline]
+    pub(crate) fn put_buf(&mut self, mut buf: Vec<VertexId>) {
+        buf.clear();
+        self.bufs.pool.push(buf);
     }
 
     // ---- branch bookkeeping -------------------------------------------------
@@ -192,37 +277,31 @@ impl<'g> SearchCtx<'g> {
     /// Current size of the partial set `S`.
     #[inline]
     pub(crate) fn s_len(&self) -> usize {
-        self.s.len()
+        self.bufs.s.len()
     }
 
     /// Current partial set (unsorted, in insertion order).
     #[inline]
     pub(crate) fn s_vertices(&self) -> &[VertexId] {
-        &self.s
+        &self.bufs.s
     }
 
     /// `δ(v, S)`.
     #[inline]
     pub(crate) fn deg_s(&self, v: VertexId) -> usize {
-        self.deg_s[v as usize] as usize
+        self.bufs.deg_s[v as usize] as usize
     }
 
     /// `δ(v, S ∪ C)`.
     #[inline]
     pub(crate) fn deg_sc(&self, v: VertexId) -> usize {
-        self.deg_sc[v as usize] as usize
+        self.bufs.deg_sc[v as usize] as usize
     }
 
     /// Whether `v` is currently in `C`.
     #[inline]
     pub(crate) fn in_c(&self, v: VertexId) -> bool {
-        self.in_c[v as usize]
-    }
-
-    /// The active bitset kernel, if any.
-    #[inline]
-    pub(crate) fn adjacency(&self) -> Option<&AdjacencyMatrix> {
-        self.kernel.as_deref()
+        self.bufs.in_c[v as usize]
     }
 
     /// Adjacency test dispatching to the bitset kernel when available
@@ -235,50 +314,55 @@ impl<'g> SearchCtx<'g> {
         }
     }
 
-    /// The γ-QC predicate on `h`, kernel-accelerated when available.
+    /// The γ-QC predicate on `h`, kernel-accelerated when available. Runs on
+    /// the reusable [`QcScratch`] so warm calls never allocate.
     #[inline]
-    pub(crate) fn is_qc(&self, h: &[VertexId]) -> bool {
-        is_quasi_clique_with(self.g, self.adjacency(), h, self.gamma)
+    pub(crate) fn is_qc(&mut self, h: &[VertexId]) -> bool {
+        let adj = self.kernel.as_deref();
+        is_quasi_clique_in(self.g, adj, h, self.gamma, &mut self.bufs.qc)
     }
 
     /// Moves a candidate vertex into `S`.
     pub(crate) fn push_s(&mut self, v: VertexId) {
-        debug_assert!(self.in_c[v as usize], "push_s: {v} is not a candidate");
-        self.in_c[v as usize] = false;
-        self.in_s[v as usize] = true;
-        self.s.push(v);
+        debug_assert!(self.bufs.in_c[v as usize], "push_s: {v} is not a candidate");
+        self.bufs.in_c[v as usize] = false;
+        self.bufs.in_s[v as usize] = true;
+        self.bufs.s.push(v);
         for &u in self.g.neighbors(v) {
-            self.deg_s[u as usize] += 1;
+            self.bufs.deg_s[u as usize] += 1;
         }
     }
 
     /// Reverses [`push_s`](Self::push_s) (the vertex returns to `C`).
     pub(crate) fn pop_s(&mut self, v: VertexId) {
-        debug_assert_eq!(self.s.last(), Some(&v), "pop_s out of order");
-        self.s.pop();
-        self.in_s[v as usize] = false;
-        self.in_c[v as usize] = true;
+        debug_assert_eq!(self.bufs.s.last(), Some(&v), "pop_s out of order");
+        self.bufs.s.pop();
+        self.bufs.in_s[v as usize] = false;
+        self.bufs.in_c[v as usize] = true;
         for &u in self.g.neighbors(v) {
-            self.deg_s[u as usize] -= 1;
+            self.bufs.deg_s[u as usize] -= 1;
         }
     }
 
     /// Removes a candidate vertex from `C` (moving it to the implicit
     /// exclusion set).
     pub(crate) fn remove_c(&mut self, v: VertexId) {
-        debug_assert!(self.in_c[v as usize], "remove_c: {v} is not a candidate");
-        self.in_c[v as usize] = false;
+        debug_assert!(
+            self.bufs.in_c[v as usize],
+            "remove_c: {v} is not a candidate"
+        );
+        self.bufs.in_c[v as usize] = false;
         for &u in self.g.neighbors(v) {
-            self.deg_sc[u as usize] -= 1;
+            self.bufs.deg_sc[u as usize] -= 1;
         }
     }
 
     /// Reverses [`remove_c`](Self::remove_c).
     pub(crate) fn restore_c(&mut self, v: VertexId) {
-        debug_assert!(!self.in_c[v as usize] && !self.in_s[v as usize]);
-        self.in_c[v as usize] = true;
+        debug_assert!(!self.bufs.in_c[v as usize] && !self.bufs.in_s[v as usize]);
+        self.bufs.in_c[v as usize] = true;
         for &u in self.g.neighbors(v) {
-            self.deg_sc[u as usize] += 1;
+            self.bufs.deg_sc[u as usize] += 1;
         }
     }
 
@@ -334,13 +418,14 @@ impl<'g> SearchCtx<'g> {
     /// `v ∈ S`): `δ̄(v, S) = |S| − δ(v, S)`.
     #[inline]
     pub(crate) fn disconnections_s(&self, v: VertexId) -> usize {
-        self.s.len() - self.deg_s(v)
+        self.bufs.s.len() - self.deg_s(v)
     }
 
     /// `Δ(S)` — the maximum number of disconnections of a vertex within
     /// `G[S]`.
     pub(crate) fn delta_s(&self) -> usize {
-        self.s
+        self.bufs
+            .s
             .iter()
             .map(|&v| self.disconnections_s(v))
             .max()
@@ -349,13 +434,13 @@ impl<'g> SearchCtx<'g> {
 
     /// `d_min(B) = min_{v∈S} δ(v, S∪C)`; `None` when `S` is empty.
     pub(crate) fn d_min(&self) -> Option<usize> {
-        self.s.iter().map(|&v| self.deg_sc(v)).min()
+        self.bufs.s.iter().map(|&v| self.deg_sc(v)).min()
     }
 
     /// `σ(B)` — the upper bound on the size of any QC under the branch
     /// (Equation 10). `cand_len` is the current `|C|`.
     pub(crate) fn sigma(&self, cand_len: usize) -> f64 {
-        let total = (self.s.len() + cand_len) as f64;
+        let total = (self.bufs.s.len() + cand_len) as f64;
         match self.d_min() {
             None => total,
             Some(dmin) => total.min(dmin as f64 / self.gamma + 1.0),
@@ -370,14 +455,15 @@ impl<'g> SearchCtx<'g> {
     /// Whether `σ(B) < |S|`, i.e. region `R'2` is empty and the branch can be
     /// pruned outright.
     pub(crate) fn sigma_below_s(&self, cand_len: usize) -> bool {
-        self.sigma(cand_len) + EPS < self.s.len() as f64
+        self.sigma(cand_len) + EPS < self.bufs.s.len() as f64
     }
 
     /// `Δ(S ∪ C)` for the current branch, where `cand` is the current
     /// candidate list.
     pub(crate) fn delta_sc(&self, cand: &[VertexId]) -> usize {
-        let total = self.s.len() + cand.len();
-        self.s
+        let total = self.bufs.s.len() + cand.len();
+        self.bufs
+            .s
             .iter()
             .chain(cand.iter())
             .map(|&v| total - self.deg_sc(v))
@@ -396,27 +482,29 @@ impl<'g> SearchCtx<'g> {
     /// `δ̄(u,S) = τ`; the latter set is `critical`.
     pub(crate) fn count_adjacency_to(&mut self, critical: &[VertexId], cand: &[VertexId]) {
         if !critical.is_empty() {
-            if let (Some(m), Some(mask)) = (self.kernel.as_deref(), self.critical_mask.as_mut()) {
+            if let Some(m) = self.kernel.as_deref() {
                 // Word-parallel path: one popcount over the critical-vertex
                 // mask per candidate, `O(|C| · n/64)` instead of
                 // `O(Σ_{u ∈ critical} d(u))`.
+                let mask = &mut self.bufs.critical_mask;
                 mask.clear();
                 for &u in critical {
                     mask.insert(u);
                 }
                 for &v in cand {
-                    self.scratch[v as usize] = m.degree_in_mask(v, mask) as u32;
+                    self.bufs.counts[v as usize] =
+                        m.degree_in_mask(v, &self.bufs.critical_mask) as u32;
                 }
                 return;
             }
         }
         for &v in cand {
-            self.scratch[v as usize] = 0;
+            self.bufs.counts[v as usize] = 0;
         }
         for &u in critical {
             for &w in self.g.neighbors(u) {
                 // Only counts for candidates; other entries are ignored.
-                self.scratch[w as usize] = self.scratch[w as usize].wrapping_add(1);
+                self.bufs.counts[w as usize] = self.bufs.counts[w as usize].wrapping_add(1);
             }
         }
     }
@@ -425,7 +513,7 @@ impl<'g> SearchCtx<'g> {
     /// [`count_adjacency_to`](Self::count_adjacency_to).
     #[inline]
     pub(crate) fn adjacency_count(&self, v: VertexId) -> u32 {
-        self.scratch[v as usize]
+        self.bufs.counts[v as usize]
     }
 
     // ---- output -------------------------------------------------------------
@@ -454,38 +542,47 @@ impl<'g> SearchCtx<'g> {
             debug_assert!(false, "attempted to emit a non-quasi-clique: {h:?}");
             return false;
         }
-        if check_maximality {
-            let degs: Vec<u32> = match deg_source {
-                DegSource::PartialSet => self.deg_s.clone(),
-                DegSource::PartialAndCandidates => self.deg_sc.clone(),
-                DegSource::Recompute => {
-                    let mut d = vec![0u32; self.g.num_vertices()];
-                    for &v in h {
-                        for &u in self.g.neighbors(v) {
-                            d[u as usize] += 1;
-                        }
-                    }
-                    d
+        if check_maximality && !self.no_extension(h, deg_source) {
+            self.stats.outputs_suppressed_by_maximality += 1;
+            return false;
+        }
+        self.bufs.sets.begin();
+        for &v in h {
+            self.bufs.sets.push_elem(v);
+        }
+        self.bufs.sets.commit_sorted();
+        self.stats.outputs += 1;
+        true
+    }
+
+    /// The necessary condition of maximality: no single vertex extends `h`
+    /// to a larger quasi-clique. `deg_source` tells the context where
+    /// `δ(·, h)` can be read from; [`DegSource::Recompute`] fills a reusable
+    /// scratch buffer instead of allocating.
+    pub(crate) fn no_extension(&mut self, h: &[VertexId], deg_source: DegSource) -> bool {
+        if matches!(deg_source, DegSource::Recompute) {
+            self.bufs.recompute_degs.clear();
+            self.bufs.recompute_degs.resize(self.g.num_vertices(), 0);
+            for &v in h {
+                for &u in self.g.neighbors(v) {
+                    self.bufs.recompute_degs[u as usize] += 1;
                 }
-            };
-            let pool = self.g.vertices();
-            if !no_single_vertex_extension_with(
-                self.g,
-                self.adjacency(),
-                h,
-                &degs,
-                pool,
-                self.gamma,
-            ) {
-                self.stats.outputs_suppressed_by_maximality += 1;
-                return false;
             }
         }
-        let mut sorted = h.to_vec();
-        sorted.sort_unstable();
-        self.stats.outputs += 1;
-        self.outputs.push(sorted);
-        true
+        let degs: &[u32] = match deg_source {
+            DegSource::PartialSet => &self.bufs.deg_s,
+            DegSource::PartialAndCandidates => &self.bufs.deg_sc,
+            DegSource::Recompute => &self.bufs.recompute_degs,
+        };
+        no_single_vertex_extension_in(
+            self.g,
+            self.kernel.as_deref(),
+            h,
+            degs,
+            self.g.vertices(),
+            self.gamma,
+            &mut self.bufs.qc,
+        )
     }
 }
 
@@ -512,9 +609,10 @@ mod tests {
 
     #[test]
     fn degree_arrays_initialised_correctly() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::paper_figure1();
         let cand: Vec<VertexId> = (1..9).collect();
-        let ctx = SearchCtx::new(&g, params(0.9, 2), &[0], &cand, None);
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[0], &cand, None, &mut bufs);
         for v in g.vertices() {
             assert_eq!(ctx.deg_sc(v), g.degree(v), "deg_sc mismatch at {v}");
             assert_eq!(
@@ -528,9 +626,10 @@ mod tests {
 
     #[test]
     fn push_pop_and_remove_are_inverses() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::complete(6);
         let cand: Vec<VertexId> = (0..6).collect();
-        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None);
+        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None, &mut bufs);
         let before_s: Vec<u32> = (0..6).map(|v| ctx.deg_s(v) as u32).collect();
         let before_sc: Vec<u32> = (0..6).map(|v| ctx.deg_sc(v) as u32).collect();
 
@@ -552,13 +651,14 @@ mod tests {
 
     #[test]
     fn delta_and_sigma() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::paper_figure1();
         // Branch with S = {v1, v3, v4} = {0, 2, 3} and C = the rest, as in the
         // Section 4.2 walk-through (numbers differ because the figure's exact
         // edge set is reconstructed, but the definitions are exercised).
         let s = [0u32, 2, 3];
         let cand: Vec<VertexId> = vec![1, 4, 5, 6, 7, 8];
-        let ctx = SearchCtx::new(&g, params(0.7, 2), &s, &cand, None);
+        let ctx = SearchCtx::new(&g, params(0.7, 2), &s, &cand, None, &mut bufs);
         // Δ(S): v1 is non-adjacent to v4 and itself → 2.
         assert_eq!(ctx.delta_s(), 2);
         assert_eq!(ctx.disconnections_s(0), 2);
@@ -572,18 +672,20 @@ mod tests {
 
     #[test]
     fn delta_sc_matches_bruteforce() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::paper_figure1();
         let cand: Vec<VertexId> = (0..9).collect();
-        let ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None);
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, None, &mut bufs);
         let brute = crate::quasiclique::max_disconnections(&g, &cand);
         assert_eq!(ctx.delta_sc(&cand), brute);
     }
 
     #[test]
     fn emit_checks_qc_and_size() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::complete(4);
         let cand: Vec<VertexId> = (0..4).collect();
-        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None);
+        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None, &mut bufs);
         assert!(
             !ctx.emit(&[0, 1], DegSource::Recompute, false),
             "below theta"
@@ -595,9 +697,10 @@ mod tests {
 
     #[test]
     fn emit_maximality_filter() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::complete(5);
         let cand: Vec<VertexId> = (0..5).collect();
-        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None);
+        let mut ctx = SearchCtx::new(&g, params(0.9, 3), &[], &cand, None, &mut bufs);
         // {0,1,2,3} extends to the full clique → suppressed.
         assert!(!ctx.emit(&[0, 1, 2, 3], DegSource::Recompute, true));
         assert_eq!(ctx.stats.outputs_suppressed_by_maximality, 1);
@@ -606,23 +709,25 @@ mod tests {
 
     #[test]
     fn sigma_below_s_detects_empty_region() {
+        let mut bufs = SearchScratch::default();
         // Star: centre 0 with 5 leaves; S = two leaves (non-adjacent).
         let g = Graph::star(6);
-        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2], &[0, 3, 4, 5], None);
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2], &[0, 3, 4, 5], None, &mut bufs);
         // d_min = 1 (each leaf sees only the centre), σ = 1/0.9 + 1 ≈ 2.11 ≥ 2,
         // so the region is not empty yet...
         assert!(!ctx.sigma_below_s(4));
         // ...but with a third leaf in S, σ ≈ 2.11 < 3.
-        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2, 3], &[0, 4, 5], None);
+        let ctx = SearchCtx::new(&g, params(0.9, 2), &[1, 2, 3], &[0, 4, 5], None, &mut bufs);
         assert!(ctx.sigma_below_s(3));
     }
 
     #[test]
     fn enter_branch_counts_and_aborts_on_deadline() {
+        let mut bufs = SearchScratch::default();
         let g = Graph::complete(3);
         let cand: Vec<VertexId> = (0..3).collect();
         let deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
-        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, deadline);
+        let mut ctx = SearchCtx::new(&g, params(0.9, 2), &[], &cand, deadline, &mut bufs);
         // The deadline is polled every TIME_CHECK_INTERVAL branches.
         let mut aborted = false;
         for _ in 0..(TIME_CHECK_INTERVAL + 1) {
@@ -633,6 +738,6 @@ mod tests {
             ctx.leave_branch();
         }
         assert!(aborted);
-        assert!(ctx.finish().stats.timed_out);
+        assert!(ctx.finish().timed_out);
     }
 }

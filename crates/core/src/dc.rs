@@ -17,15 +17,15 @@ use std::time::Instant;
 
 use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::core_decomp::{core_decomposition, k_core_vertices};
-use mqce_graph::subgraph::{two_hop_neighborhood, InducedSubgraph};
-use mqce_graph::{Graph, VertexId};
-use mqce_settrie::MaximalityEngine;
+use mqce_graph::subgraph::InducedSubgraph;
+use mqce_graph::{Graph, SubproblemScratch, VertexId};
+use mqce_settrie::{MaximalityEngine, SetArena};
 
-use crate::branch::SearchOutcome;
+use crate::branch::{SearchOutcome, SearchScratch};
 use crate::config::{AdjacencyBackend, BranchingStrategy, MqceParams};
-use crate::fastqc::run_fastqc_with_kernel;
+use crate::fastqc::run_fastqc_in;
 use crate::quasiclique::{required_degree, tau};
-use crate::quickplus::run_quickplus_with_kernel;
+use crate::quickplus::run_quickplus_in;
 use crate::stats::SearchStats;
 
 /// Which branch-and-bound searcher the DC driver invokes per subproblem.
@@ -157,117 +157,171 @@ pub(crate) fn prepare_plan_shared(
     }
 }
 
-/// The built, pruned subproblem of one anchor vertex, ready for a searcher.
-pub(crate) struct BuiltSubproblem {
-    /// Induced subgraph over `Γ²(v_i) ∩ later-ranked` (local ids), with the
-    /// bitset kernel attached when the backend policy built one.
-    pub(crate) sub: InducedSubgraph,
-    /// Local id of the anchor `v_i`.
-    pub(crate) local_vi: VertexId,
-    /// Pruned candidate set (local ids, anchor excluded).
+/// Per-worker reusable state for the DC drivers: subgraph-extraction scratch,
+/// the inner searcher's frame/degree buffers, pruning masks and the candidate
+/// list. One instance per worker thread; every buffer is allocated on first
+/// use and then reused for the worker's whole run, making the per-subproblem
+/// hot path allocation-free in steady state.
+#[derive(Default)]
+pub(crate) struct DcScratch {
+    /// Epoch-stamped extraction buffers (two-hop walk + local CSR).
+    pub(crate) sub: SubproblemScratch,
+    /// Two-hop ball of the current anchor (reduced-graph ids).
+    pub(crate) ball: Vec<VertexId>,
+    /// The inner searcher's reusable buffers (incl. its output arena).
+    pub(crate) search: SearchScratch,
+    /// Pruning-round masks and degree snapshots.
+    pub(crate) prune: PruneScratch,
+    /// Pruned candidate list of the current subproblem (local ids).
     pub(crate) cand: Vec<VertexId>,
 }
 
-/// Lines 4-6 of Algorithm 3 for a single anchor vertex `vi`: build `G_i` and
-/// prune it. Returns `None` (with `stats` still updated) when the subproblem
-/// cannot hold a quasi-clique of size ≥ θ.
-pub(crate) fn build_subproblem(
+/// Reusable buffers for [`prune_subgraph_in`].
+pub(crate) struct PruneScratch {
+    /// Surviving-vertex mask after the last pruning run.
+    alive: Vec<bool>,
+    /// Per-round degree snapshot.
+    degree: Vec<usize>,
+    /// Per-round anchor-adjacency snapshot.
+    anchor_adj: Vec<bool>,
+    /// Word-parallel mirror of `alive` while a bitset kernel is in use.
+    alive_mask: BitSet,
+}
+
+impl Default for PruneScratch {
+    fn default() -> Self {
+        PruneScratch {
+            alive: Vec::new(),
+            degree: Vec::new(),
+            anchor_adj: Vec::new(),
+            alive_mask: BitSet::new(0),
+        }
+    }
+}
+
+/// Lines 4-6 of Algorithm 3 for a single anchor vertex `vi`: build `G_i` into
+/// the worker's reusable buffers and prune it. On success the pruned
+/// candidate set is left in `scratch.cand` (local ids, anchor excluded).
+/// Returns `None` (with `stats` still updated) when the subproblem cannot
+/// hold a quasi-clique of size ≥ θ. After warmup this performs no heap
+/// allocation beyond the optional bitset kernel.
+pub(crate) fn build_subproblem_in(
     plan: &DcPlan,
     vi: VertexId,
     params: MqceParams,
     dc: DcConfig,
     stats: &mut SearchStats,
-) -> Option<BuiltSubproblem> {
+    scratch: &mut DcScratch,
+) -> Option<(InducedSubgraph, VertexId)> {
     let rg = &plan.reduced.graph;
     // V_i = Γ²(v_i) − {v_1..v_{i−1}} (closed 2-hop ball, later-ranked only).
-    let ball = two_hop_neighborhood(rg, vi);
-    let vertices: Vec<VertexId> = ball
-        .into_iter()
-        .filter(|&u| plan.rank[u as usize] >= plan.rank[vi as usize])
-        .collect();
+    let my_rank = plan.rank[vi as usize];
+    scratch.sub.two_hop_into(rg, vi, &mut scratch.ball);
+    scratch.ball.retain(|&u| plan.rank[u as usize] >= my_rank);
     stats.dc_subproblems += 1;
-    stats.dc_vertices_before_pruning += vertices.len() as u64;
-    if vertices.len() < params.theta {
-        stats.dc_vertices_after_pruning += vertices.len() as u64;
+    stats.dc_vertices_before_pruning += scratch.ball.len() as u64;
+    if scratch.ball.len() < params.theta {
+        stats.dc_vertices_after_pruning += scratch.ball.len() as u64;
         return None;
     }
 
     // Attach the bitset kernel for dense subproblems: the subgraph is
     // relabelled to 0..n, so the matrix rows are dense and are shared by the
     // pruning rounds, the searcher and its emission checks.
+    let sub = InducedSubgraph::new_in(rg, &scratch.ball, &mut scratch.sub);
     let sub = match params.backend {
-        AdjacencyBackend::Slice => InducedSubgraph::new(rg, &vertices),
-        AdjacencyBackend::Auto => InducedSubgraph::new(rg, &vertices).with_adjacency(false),
-        AdjacencyBackend::Bitset => InducedSubgraph::new(rg, &vertices).with_adjacency(true),
+        AdjacencyBackend::Slice => sub,
+        AdjacencyBackend::Auto => sub.with_adjacency(false),
+        AdjacencyBackend::Bitset => sub.with_adjacency(true),
     };
     let local_vi = sub
         .local(vi)
         .expect("anchor vertex is always in its own 2-hop ball");
 
     // ---- lines 5-6: MAX_ROUND rounds of one-hop / two-hop pruning ----
-    let alive = prune_subgraph(&sub.graph, sub.adjacency.as_ref(), local_vi, params, dc);
-    let cand: Vec<VertexId> = (0..sub.graph.num_vertices() as VertexId)
-        .filter(|&u| u != local_vi && alive[u as usize])
-        .collect();
-    stats.dc_vertices_after_pruning += 1 + cand.len() as u64;
-    if 1 + cand.len() < params.theta {
+    prune_subgraph_in(
+        &sub.graph,
+        sub.adjacency.as_ref(),
+        local_vi,
+        params,
+        dc,
+        &mut scratch.prune,
+    );
+    let alive = &scratch.prune.alive;
+    scratch.cand.clear();
+    scratch.cand.extend(
+        (0..sub.graph.num_vertices() as VertexId).filter(|&u| u != local_vi && alive[u as usize]),
+    );
+    stats.dc_vertices_after_pruning += 1 + scratch.cand.len() as u64;
+    if 1 + scratch.cand.len() < params.theta {
+        scratch.sub.recycle(sub);
         return None;
     }
-    Some(BuiltSubproblem {
-        sub,
-        local_vi,
-        cand,
-    })
+    Some((sub, local_vi))
 }
 
 /// Lines 4-8 of Algorithm 3 for a single anchor vertex `vi`: build and prune
-/// `G_i`, run the inner searcher with `S = {v_i}`, and map the outputs back to
-/// the original graph's vertex ids.
-fn solve_subproblem(
+/// `G_i` in the worker's scratch, run the inner searcher with `S = {v_i}`,
+/// map each output back to the original graph's vertex ids, append it to the
+/// worker's `raw` arena, and stream it into the maximality engine (when one
+/// is attached).
+#[allow(clippy::too_many_arguments)]
+fn solve_subproblem_streaming<'e>(
     plan: &DcPlan,
     vi: VertexId,
     params: MqceParams,
     inner: InnerAlgorithm,
     dc: DcConfig,
     deadline: Option<Instant>,
-) -> (Vec<Vec<VertexId>>, SearchStats) {
-    let mut stats = SearchStats::default();
-    let Some(built) = build_subproblem(plan, vi, params, dc, &mut stats) else {
-        return (Vec::new(), stats);
+    scratch: &mut DcScratch,
+    stats: &mut SearchStats,
+    raw: &mut SetArena,
+    s2: &mut Option<&mut (dyn MaximalityEngine + 'e)>,
+) {
+    let Some((sub, local_vi)) = build_subproblem_in(plan, vi, params, dc, stats, scratch) else {
+        return;
     };
 
     // ---- lines 7-8: run the searcher with S = {v_i} ----
-    let kernel = built.sub.adjacency.as_ref();
-    let outcome = match inner {
-        InnerAlgorithm::FastQc(branching) => run_fastqc_with_kernel(
-            &built.sub.graph,
+    let kernel = sub.adjacency.as_ref();
+    let sub_stats = match inner {
+        InnerAlgorithm::FastQc(branching) => run_fastqc_in(
+            &sub.graph,
             kernel,
-            &[built.local_vi],
-            &built.cand,
+            &[local_vi],
+            &scratch.cand,
             params,
             branching,
             deadline,
+            None,
+            &mut scratch.search,
         ),
-        InnerAlgorithm::QuickPlus => run_quickplus_with_kernel(
-            &built.sub.graph,
+        InnerAlgorithm::QuickPlus => run_quickplus_in(
+            &sub.graph,
             kernel,
-            &[built.local_vi],
-            &built.cand,
+            &[local_vi],
+            &scratch.cand,
             params,
             deadline,
+            None,
+            &mut scratch.search,
         ),
     };
-    stats.merge(&outcome.stats);
-    let outputs = outcome
-        .outputs
-        .into_iter()
-        .map(|h| {
-            // Map local → reduced → original ids.
-            let in_reduced = built.sub.to_global_set(&h);
-            plan.reduced.to_global_set(&in_reduced)
-        })
-        .collect();
-    (outputs, stats)
+    stats.merge(&sub_stats);
+    // Map local → reduced → original ids. Both id maps are sorted ascending,
+    // so the composition is monotone and each mapped set stays sorted.
+    for i in 0..scratch.search.sets.len() {
+        raw.begin();
+        for &l in scratch.search.sets.get(i) {
+            let r = sub.to_global[l as usize];
+            raw.push_elem(plan.reduced.to_global[r as usize]);
+        }
+        let set = raw.commit_sorted();
+        if let Some(engine) = s2.as_deref_mut() {
+            engine.add(set);
+        }
+    }
+    scratch.sub.recycle(sub);
 }
 
 /// Runs the divide-and-conquer enumeration and returns the MQCE-S1 output
@@ -310,14 +364,15 @@ pub(crate) fn run_dc_streaming_plan(
     mut s2: Option<&mut dyn MaximalityEngine>,
 ) -> SearchOutcome {
     let mut stats = SearchStats::default();
-    let mut outputs: Vec<Vec<VertexId>> = Vec::new();
     if plan.reduced.graph.num_vertices() == 0 {
         return SearchOutcome {
-            outputs,
+            outputs: Vec::new(),
             stats,
             thread_stats: Vec::new(),
         };
     }
+    let mut scratch = DcScratch::default();
+    let mut raw = SetArena::new();
     for &vi in &plan.ordering {
         if let Some(deadline) = deadline {
             if Instant::now() >= deadline {
@@ -325,20 +380,24 @@ pub(crate) fn run_dc_streaming_plan(
                 break;
             }
         }
-        let (sub_outputs, sub_stats) = solve_subproblem(plan, vi, params, inner, dc, deadline);
-        stats.merge(&sub_stats);
-        if let Some(engine) = s2.as_deref_mut() {
-            for set in &sub_outputs {
-                engine.add(set);
-            }
-        }
-        outputs.extend(sub_outputs);
+        solve_subproblem_streaming(
+            plan,
+            vi,
+            params,
+            inner,
+            dc,
+            deadline,
+            &mut scratch,
+            &mut stats,
+            &mut raw,
+            &mut s2,
+        );
         if stats.timed_out {
             break;
         }
     }
     SearchOutcome {
-        outputs,
+        outputs: raw.into_vecs(),
         stats,
         thread_stats: Vec::new(),
     }
@@ -483,9 +542,11 @@ pub fn run_dc_parallel_streaming_shared_index(
         let handles: Vec<_> = (0..num_threads)
             .map(|_| {
                 scope.spawn(move || {
-                    let mut outputs: Vec<Vec<VertexId>> = Vec::new();
                     let mut stats = SearchStats::default();
                     let mut engine = engine_factory.map(|f| f());
+                    let mut scratch = DcScratch::default();
+                    let mut raw = SetArena::new();
+                    let mut engine_ref: Option<&mut dyn MaximalityEngine> = engine.as_deref_mut();
                     loop {
                         let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= plan_ref.ordering.len() {
@@ -498,17 +559,20 @@ pub fn run_dc_parallel_streaming_shared_index(
                             }
                         }
                         let vi = plan_ref.ordering[i];
-                        let (sub_outputs, sub_stats) =
-                            solve_subproblem(plan_ref, vi, params, inner, dc, deadline);
-                        stats.merge(&sub_stats);
-                        if let Some(engine) = engine.as_deref_mut() {
-                            for set in &sub_outputs {
-                                engine.add(set);
-                            }
-                        }
-                        outputs.extend(sub_outputs);
+                        solve_subproblem_streaming(
+                            plan_ref,
+                            vi,
+                            params,
+                            inner,
+                            dc,
+                            deadline,
+                            &mut scratch,
+                            &mut stats,
+                            &mut raw,
+                            &mut engine_ref,
+                        );
                     }
-                    (outputs, stats, engine)
+                    (raw.into_vecs(), stats, engine)
                 })
             })
             .collect();
@@ -536,25 +600,34 @@ pub fn run_dc_parallel_streaming_shared_index(
 }
 
 /// Applies `MAX_ROUND` rounds of one-hop and (optionally) two-hop pruning on
-/// the subgraph; `anchor` (the local id of `v_i`) is never removed. Returns
-/// the surviving-vertex mask. When a bitset kernel is supplied, the degree
-/// and common-neighbour counts run word-parallel over an alive-vertex mask.
-fn prune_subgraph(
+/// the subgraph; `anchor` (the local id of `v_i`) is never removed. The
+/// surviving-vertex mask is left in `scratch.alive`. When a bitset kernel is
+/// supplied, the degree and common-neighbour counts run word-parallel over an
+/// alive-vertex mask. All working buffers live in `scratch` and are reused
+/// across subproblems.
+fn prune_subgraph_in(
     sub: &Graph,
     adj: Option<&AdjacencyMatrix>,
     anchor: VertexId,
     params: MqceParams,
     dc: DcConfig,
-) -> Vec<bool> {
+    scratch: &mut PruneScratch,
+) {
     let n = sub.num_vertices();
-    let mut alive = vec![true; n];
+    scratch.alive.clear();
+    scratch.alive.resize(n, true);
+    scratch.degree.clear();
+    scratch.degree.resize(n, 0);
     let min_deg = required_degree(params.gamma, params.theta);
     // f(θ) = θ − τ(θ) − τ(θ+1) (common-neighbour requirement of the two-hop rule).
     let f_theta = params.theta as i64
         - tau(params.gamma, params.theta as f64)
         - tau(params.gamma, params.theta as f64 + 1.0);
     // Alive mask mirrored alongside `alive` while the kernel is in use.
-    let mut alive_mask = adj.map(|_| BitSet::full(n));
+    let use_mask = adj.is_some();
+    if use_mask {
+        scratch.alive_mask.reset_full(n);
+    }
 
     for _ in 0..dc.max_round.max(1) {
         let mut changed = false;
@@ -562,25 +635,24 @@ fn prune_subgraph(
         // One-hop pruning: δ(u, V_i) < ⌈γ(θ−1)⌉. Degrees are snapshotted
         // before any removal so the rule is evaluated against the round's
         // starting set, matching the slice path.
-        let mut degree = vec![0usize; n];
         for v in 0..n as VertexId {
-            if !alive[v as usize] {
+            if !scratch.alive[v as usize] {
                 continue;
             }
-            degree[v as usize] = match (adj, &alive_mask) {
-                (Some(m), Some(mask)) => m.degree_in_mask(v, mask),
-                _ => sub
+            scratch.degree[v as usize] = match adj {
+                Some(m) => m.degree_in_mask(v, &scratch.alive_mask),
+                None => sub
                     .neighbors(v)
                     .iter()
-                    .filter(|&&u| alive[u as usize])
+                    .filter(|&&u| scratch.alive[u as usize])
                     .count(),
             };
         }
         for v in 0..n as VertexId {
-            if v != anchor && alive[v as usize] && degree[v as usize] < min_deg {
-                alive[v as usize] = false;
-                if let Some(mask) = alive_mask.as_mut() {
-                    mask.remove(v);
+            if v != anchor && scratch.alive[v as usize] && scratch.degree[v as usize] < min_deg {
+                scratch.alive[v as usize] = false;
+                if use_mask {
+                    scratch.alive_mask.remove(v);
                 }
                 changed = true;
             }
@@ -588,39 +660,37 @@ fn prune_subgraph(
 
         // Two-hop pruning: common-neighbour counts with the anchor.
         if dc.two_hop_pruning && f_theta > 0 {
-            let anchor_adj: Vec<bool> = {
-                let mut m = vec![false; n];
-                for &u in sub.neighbors(anchor) {
-                    if alive[u as usize] {
-                        m[u as usize] = true;
-                    }
+            scratch.anchor_adj.clear();
+            scratch.anchor_adj.resize(n, false);
+            for &u in sub.neighbors(anchor) {
+                if scratch.alive[u as usize] {
+                    scratch.anchor_adj[u as usize] = true;
                 }
-                m
-            };
+            }
             for v in 0..n as VertexId {
-                if v == anchor || !alive[v as usize] {
+                if v == anchor || !scratch.alive[v as usize] {
                     continue;
                 }
-                let common = match (adj, &alive_mask) {
+                let common = match adj {
                     // `row(anchor)` is not filtered by liveness, but the AND
                     // with the live alive mask subsumes the `anchor_adj`
                     // snapshot (liveness only decreases within a round).
-                    (Some(m), Some(mask)) => m.common_neighbors_in_mask(v, anchor, mask) as i64,
-                    _ => sub
+                    Some(m) => m.common_neighbors_in_mask(v, anchor, &scratch.alive_mask) as i64,
+                    None => sub
                         .neighbors(v)
                         .iter()
-                        .filter(|&&u| alive[u as usize] && anchor_adj[u as usize])
+                        .filter(|&&u| scratch.alive[u as usize] && scratch.anchor_adj[u as usize])
                         .count() as i64,
                 };
-                let threshold = if anchor_adj[v as usize] {
+                let threshold = if scratch.anchor_adj[v as usize] {
                     f_theta
                 } else {
                     f_theta + 2
                 };
                 if common < threshold {
-                    alive[v as usize] = false;
-                    if let Some(mask) = alive_mask.as_mut() {
-                        mask.remove(v);
+                    scratch.alive[v as usize] = false;
+                    if use_mask {
+                        scratch.alive_mask.remove(v);
                     }
                     changed = true;
                 }
@@ -630,7 +700,6 @@ fn prune_subgraph(
             break;
         }
     }
-    alive
 }
 
 #[cfg(test)]
@@ -834,6 +903,119 @@ mod tests {
                 parallel.stats.dc_subproblems,
                 sequential.stats.dc_subproblems
             );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_grid_matches_fresh_runs() {
+        // Differential test for the allocation-free hot path: one DcScratch
+        // and one SetArena reused across an entire γ×θ grid must produce
+        // exactly the outputs (families, order, and branch counts) of fresh
+        // per-run state, and of fresh per-*subproblem* state — stale stamps,
+        // recycled CSR buffers, or a dirty arena would all show up here.
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 90,
+                num_communities: 6,
+                p_intra: 0.9,
+                inter_degree: 1.5,
+            },
+            13,
+        );
+        let dc = DcConfig::paper_default();
+        let inner = InnerAlgorithm::FastQc(BranchingStrategy::HybridSe);
+        let mut reused = DcScratch::default();
+        let mut raw = SetArena::new();
+        for &gamma in &[0.7, 0.85, 0.95] {
+            for theta in [3usize, 4, 6] {
+                let p = params(gamma, theta);
+                let fresh = run_dc(&g, p, inner, dc, None);
+                let plan = prepare_plan(&g, p, dc);
+
+                // (a) one scratch reused across the whole grid;
+                raw.clear();
+                let mut stats = SearchStats::default();
+                let mut no_s2: Option<&mut dyn MaximalityEngine> = None;
+                for &vi in &plan.ordering {
+                    solve_subproblem_streaming(
+                        &plan,
+                        vi,
+                        p,
+                        inner,
+                        dc,
+                        None,
+                        &mut reused,
+                        &mut stats,
+                        &mut raw,
+                        &mut no_s2,
+                    );
+                }
+                assert_eq!(raw.to_vecs(), fresh.outputs, "gamma={gamma} theta={theta}");
+                assert_eq!(stats.branches, fresh.stats.branches);
+                assert_eq!(stats.dc_subproblems, fresh.stats.dc_subproblems);
+
+                // (b) a brand-new scratch per subproblem.
+                raw.clear();
+                let mut stats = SearchStats::default();
+                for &vi in &plan.ordering {
+                    let mut per_sub = DcScratch::default();
+                    solve_subproblem_streaming(
+                        &plan,
+                        vi,
+                        p,
+                        inner,
+                        dc,
+                        None,
+                        &mut per_sub,
+                        &mut stats,
+                        &mut raw,
+                        &mut no_s2,
+                    );
+                }
+                assert_eq!(raw.to_vecs(), fresh.outputs, "gamma={gamma} theta={theta}");
+                assert_eq!(stats.branches, fresh.stats.branches);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential_across_settings() {
+        // The γ×θ grid of the differential above, re-run through the
+        // work-stealing driver at 1/2/4 workers: worker-owned scratches (one
+        // per thread, reused across whole subproblems *and* stolen split
+        // tasks) must leave the maximal family and the subproblem count
+        // untouched at every setting.
+        use mqce_graph::generators::{community_graph, CommunityGraphParams};
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 90,
+                num_communities: 6,
+                p_intra: 0.9,
+                inter_degree: 1.5,
+            },
+            13,
+        );
+        let dc = DcConfig::paper_default();
+        let inner = InnerAlgorithm::FastQc(BranchingStrategy::HybridSe);
+        for &gamma in &[0.8, 0.95] {
+            for theta in [3usize, 5] {
+                let p = params(gamma, theta);
+                let sequential = run_dc(&g, p, inner, dc, None);
+                let expected = filter_maximal(&sequential.outputs);
+                for threads in [1usize, 2, 4] {
+                    let parallel = run_dc_parallel(&g, p, inner, dc, threads, None);
+                    assert_eq!(
+                        filter_maximal(&parallel.outputs),
+                        expected,
+                        "gamma={gamma} theta={theta} threads={threads}"
+                    );
+                    assert_eq!(
+                        parallel.stats.dc_subproblems,
+                        sequential.stats.dc_subproblems
+                    );
+                }
+            }
         }
     }
 

@@ -26,9 +26,10 @@ use std::time::Instant;
 use mqce_graph::bitset::AdjacencyMatrix;
 use mqce_graph::{Graph, VertexId};
 
-use crate::branch::{DegSource, SearchCtx, SearchOutcome};
+use crate::branch::{DegSource, SearchCtx, SearchOutcome, SearchScratch};
 use crate::config::{BranchingStrategy, MqceParams};
 use crate::scheduler::{SplitRequest, SplitSink};
+use crate::stats::SearchStats;
 
 /// Runs FastQC on `g` starting from the branch `(s_init, cand, implicit D)`.
 ///
@@ -66,10 +67,12 @@ pub fn run_fastqc_with_kernel(
     run_fastqc_inner(g, kernel, s_init, cand, params, branching, deadline, None)
 }
 
-/// [`run_fastqc_with_kernel`] wired into the work-stealing scheduler: while
-/// branching at shallow depths the searcher polls `splitter` and, when a
-/// worker is hungry, donates its untaken sibling branches as self-contained
-/// split tasks instead of exploring them itself.
+/// [`run_fastqc_with_kernel`] with a split sink, materialising its outputs:
+/// while branching at shallow depths the searcher polls `splitter` and, when
+/// a worker is hungry, donates its untaken sibling branches as self-contained
+/// split tasks instead of exploring them itself. Test support — the scheduler
+/// itself threads a [`SearchScratch`] through [`run_fastqc_in`] instead.
+#[cfg(test)]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_fastqc_split(
     g: &Graph,
@@ -104,15 +107,44 @@ fn run_fastqc_inner(
     deadline: Option<Instant>,
     splitter: Option<&dyn SplitSink>,
 ) -> SearchOutcome {
-    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
+    let mut bufs = SearchScratch::new();
+    let stats = run_fastqc_in(
+        g, kernel, s_init, cand, params, branching, deadline, splitter, &mut bufs,
+    );
+    SearchOutcome {
+        outputs: bufs.sets.into_vecs(),
+        stats,
+        thread_stats: Vec::new(),
+    }
+}
+
+/// The allocation-free driver entry point: runs FastQC using the caller's
+/// reusable [`SearchScratch`], leaving the emitted family behind in
+/// `bufs.sets` (local ids, packed) for the caller to stream or materialise.
+/// Returns the search statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_fastqc_in(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    branching: BranchingStrategy,
+    deadline: Option<Instant>,
+    splitter: Option<&dyn SplitSink>,
+    bufs: &mut SearchScratch,
+) -> SearchStats {
+    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline, bufs);
     if let Some(splitter) = splitter {
         ctx = ctx.with_splitter(splitter);
     }
+    let mut root = ctx.take_buf();
+    root.extend_from_slice(cand);
     let mut searcher = FastQc {
         ctx: &mut ctx,
         branching,
     };
-    searcher.recurse(cand.to_vec());
+    searcher.recurse(root);
     ctx.finish()
 }
 
@@ -134,18 +166,27 @@ impl<'a, 'g> FastQc<'a, 'g> {
     /// this branch (including `G[S]` itself), matching the bookkeeping of
     /// Algorithm 2 that decides whether the parent must consider `G[S]`.
     fn recurse(&mut self, mut cand: Vec<VertexId>) -> bool {
-        if !self.ctx.enter_branch() {
-            self.ctx.leave_branch();
-            return false;
-        }
-        let result = self.branch_body(&mut cand);
+        let result = if self.ctx.enter_branch() {
+            self.branch_body(&mut cand)
+        } else {
+            false
+        };
         self.ctx.leave_branch();
+        self.ctx.put_buf(cand);
         result
+    }
+
+    /// [`recurse`](Self::recurse) on a borrowed candidate list, copying it
+    /// into a pooled frame buffer first.
+    fn recurse_slice(&mut self, cand: &[VertexId]) -> bool {
+        let mut child = self.ctx.take_buf();
+        child.extend_from_slice(cand);
+        self.recurse(child)
     }
 
     fn branch_body(&mut self, cand: &mut Vec<VertexId>) -> bool {
         // ---- progressive refinement & necessary condition (lines 3-7) ----
-        let mut removed_here: Vec<VertexId> = Vec::new();
+        let mut removed_here = self.ctx.take_buf();
         let refined = self.refine_loop(cand, &mut removed_here);
         let result = match refined {
             Refined::Pruned => {
@@ -158,6 +199,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in removed_here.iter().rev() {
             self.ctx.restore_c(v);
         }
+        self.ctx.put_buf(removed_here);
         result
     }
 
@@ -165,34 +207,37 @@ impl<'a, 'g> FastQc<'a, 'g> {
     /// apply Refinement Rules 1 and 2 until the branch is pruned or no more
     /// candidates can be removed.
     fn refine_loop(&mut self, cand: &mut Vec<VertexId>, removed: &mut Vec<VertexId>) -> Refined {
-        loop {
+        let mut critical = self.ctx.take_buf();
+        let mut to_remove = self.ctx.take_buf();
+        let result = loop {
             // Necessary condition C1&2: Δ(S) ≤ τ(σ(B)) and σ(B) ≥ |S|.
             if self.ctx.sigma_below_s(cand.len()) {
-                return Refined::Pruned;
+                break Refined::Pruned;
             }
             let tau_sigma = self.ctx.tau_sigma(cand.len());
             let delta_s = self.ctx.delta_s() as i64;
             if delta_s > tau_sigma {
-                return Refined::Pruned;
+                break Refined::Pruned;
             }
             if cand.is_empty() {
-                return Refined::Keep { tau: tau_sigma };
+                break Refined::Keep { tau: tau_sigma };
             }
 
             // Refinement Rule 1: remove v ∈ C with Δ(S ∪ {v}) > τ(σ(B)).
             // Given Δ(S) ≤ τ, the condition is equivalent to
             //   δ̄(v, S∪{v}) > τ   or   ∃ u ∈ S with δ̄(u,S) = τ and (u,v) ∉ E.
-            let critical: Vec<VertexId> = self
-                .ctx
-                .s_vertices()
-                .iter()
-                .copied()
-                .filter(|&u| self.ctx.disconnections_s(u) as i64 == tau_sigma)
-                .collect();
+            critical.clear();
+            critical.extend(
+                self.ctx
+                    .s_vertices()
+                    .iter()
+                    .copied()
+                    .filter(|&u| self.ctx.disconnections_s(u) as i64 == tau_sigma),
+            );
             self.ctx.count_adjacency_to(&critical, cand);
             let s_len = self.ctx.s_len() as i64;
             let theta = self.ctx.theta as i64;
-            let mut to_remove: Vec<VertexId> = Vec::new();
+            to_remove.clear();
             for &v in cand.iter() {
                 let self_disconnections = s_len + 1 - self.ctx.deg_s(v) as i64;
                 let rule1 = self_disconnections > tau_sigma
@@ -204,7 +249,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 }
             }
             if to_remove.is_empty() {
-                return Refined::Keep { tau: tau_sigma };
+                break Refined::Keep { tau: tau_sigma };
             }
             self.ctx.stats.candidates_refined += to_remove.len() as u64;
             for &v in &to_remove {
@@ -212,7 +257,10 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 removed.push(v);
             }
             cand.retain(|v| !to_remove.contains(v));
-        }
+        };
+        self.ctx.put_buf(critical);
+        self.ctx.put_buf(to_remove);
+        result
     }
 
     /// Lines 8-25 of Algorithm 2: termination conditions, branching and the
@@ -222,17 +270,15 @@ impl<'a, 'g> FastQc<'a, 'g> {
         let delta_sc = self.ctx.delta_sc(cand) as i64;
         if delta_sc <= tau_sigma {
             self.ctx.stats.t1_terminations += 1;
-            let union: Vec<VertexId> = self
-                .ctx
-                .s_vertices()
-                .iter()
-                .copied()
-                .chain(cand.iter().copied())
-                .collect();
+            let mut union = self.ctx.take_buf();
+            union.extend_from_slice(self.ctx.s_vertices());
+            union.extend_from_slice(cand);
             if union.is_empty() {
+                self.ctx.put_buf(union);
                 return false;
             }
             self.ctx.emit(&union, DegSource::PartialAndCandidates, true);
+            self.ctx.put_buf(union);
             return true;
         }
 
@@ -298,38 +344,27 @@ impl<'a, 'g> FastQc<'a, 'g> {
     /// returns `true` iff `G[S]` is a QC that passes the condition (the value
     /// the parent uses to decide whether to consider its own partial set).
     fn output_partial_set(&mut self) -> bool {
-        let s: Vec<VertexId> = self.ctx.s_vertices().to_vec();
-        if s.is_empty() {
+        if self.ctx.s_len() == 0 {
             return false;
         }
+        let mut s = self.ctx.take_buf();
+        s.extend_from_slice(self.ctx.s_vertices());
         if !self.ctx.is_qc(&s) {
+            self.ctx.put_buf(s);
             return false;
         }
         // `emit` re-verifies the predicate and applies the maximality filter;
         // it only refuses QCs that are extendable or below θ. The return value
         // of the *branch* must be true whenever G[S] is a QC that satisfies
-        // the necessary maximality condition, regardless of θ.
-        let emitted = self.ctx.emit(&s, DegSource::PartialSet, true);
-        if emitted {
-            return true;
-        }
-        // Distinguish "suppressed because extendable" (return false — some
-        // other branch will report the extension) from "suppressed because of
-        // θ" (return true — a QC exists here).
-        let mut deg = vec![0u32; self.ctx.g.num_vertices()];
-        for &v in &s {
-            for &u in self.ctx.g.neighbors(v) {
-                deg[u as usize] += 1;
-            }
-        }
-        crate::quasiclique::no_single_vertex_extension_with(
-            self.ctx.g,
-            self.ctx.adjacency(),
-            &s,
-            &deg,
-            self.ctx.g.vertices(),
-            self.ctx.gamma,
-        )
+        // the necessary maximality condition, regardless of θ — so when the
+        // emission was suppressed, distinguish "extendable" (false — some
+        // other branch will report the extension) from "below θ" (true — a QC
+        // exists here). `h == S`, so the maintained δ(·,S) array serves both
+        // checks without a recompute.
+        let result = self.ctx.emit(&s, DegSource::PartialSet, true)
+            || self.ctx.no_extension(&s, DegSource::PartialSet);
+        self.ctx.put_buf(s);
+        result
     }
 
     // ---- branching methods --------------------------------------------------
@@ -338,10 +373,11 @@ impl<'a, 'g> FastQc<'a, 'g> {
     /// Section 4.3; only the first `a + 1` sub-branches are created, the rest
     /// are guaranteed to violate the necessary condition.
     fn branch_sym_se(&mut self, cand: &[VertexId], pivot: VertexId, a: i64) -> bool {
-        let order = self.pivot_order(cand, pivot);
+        let mut order = self.ctx.take_buf();
+        self.pivot_order_into(cand, pivot, &mut order);
         let keep = ((a + 1).max(0) as usize).min(order.len());
         let mut any = false;
-        let mut moved_to_s: Vec<VertexId> = Vec::new();
+        let mut moved_to_s = self.ctx.take_buf();
         for i in 0..keep {
             let vi = order[i];
             // Donate the untaken later branches B_{i+1}..B_keep when a
@@ -366,13 +402,13 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 // unknown here, so the caller may redundantly emit G[S];
                 // the S2 engine drops it as dominated.
                 self.ctx.remove_c(vi);
-                any |= self.recurse(order[i + 1..].to_vec());
+                any |= self.recurse_slice(&order[i + 1..]);
                 self.ctx.restore_c(vi);
                 break;
             }
             // Branch B_i: exclude v_i, include v_1..v_{i-1} (already in S).
             self.ctx.remove_c(vi);
-            any |= self.recurse(order[i + 1..].to_vec());
+            any |= self.recurse_slice(&order[i + 1..]);
             self.ctx.restore_c(vi);
             if self.ctx.aborted {
                 break;
@@ -383,13 +419,16 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in moved_to_s.iter().rev() {
             self.ctx.pop_s(v);
         }
+        self.ctx.put_buf(moved_to_s);
+        self.ctx.put_buf(order);
         any
     }
 
     /// Hybrid-SE branching (Equation 18): SE branches `B̃_2..B̃_b` excluding
     /// the pivot, plus Sym-SE branches `B̈_2..B̈_{a+1}` including it.
     fn branch_hybrid_se(&mut self, cand: &[VertexId], pivot: VertexId, a: i64, b: i64) -> bool {
-        let order = self.pivot_order(cand, pivot);
+        let mut order = self.ctx.take_buf();
+        self.pivot_order_into(cand, pivot, &mut order);
         debug_assert_eq!(order[0], pivot);
         let b = (b.max(1) as usize).min(order.len());
         let a = (a.max(0) as usize).min(order.len().saturating_sub(1));
@@ -398,7 +437,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
 
         // Part 1 — SE branches that exclude the pivot: B̃_i for i = 2..=b,
         // i.e. include v_i, exclude v_1..v_{i-1}.
-        let mut excluded: Vec<VertexId> = Vec::new();
+        let mut excluded = self.ctx.take_buf();
         self.ctx.remove_c(pivot);
         excluded.push(pivot);
         for (j, &vj) in order.iter().enumerate().take(b).skip(1) {
@@ -432,7 +471,7 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 donated = true;
             }
             self.ctx.push_s(vj);
-            any |= self.recurse(order[j + 1..].to_vec());
+            any |= self.recurse_slice(&order[j + 1..]);
             self.ctx.pop_s(vj);
             if self.ctx.aborted || donated {
                 break;
@@ -443,13 +482,16 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in excluded.iter().rev() {
             self.ctx.restore_c(v);
         }
+        self.ctx.put_buf(excluded);
         if self.ctx.aborted || donated {
+            self.ctx.put_buf(order);
             return any;
         }
 
         // Part 2 — Sym-SE branches that include the pivot: B̈_i for
         // i = 2..=a+1, i.e. include v_1..v_{i-1}, exclude v_i.
-        let mut moved_to_s: Vec<VertexId> = vec![pivot];
+        let mut moved_to_s = self.ctx.take_buf();
+        moved_to_s.push(pivot);
         self.ctx.push_s(pivot);
         for (j, &vj) in order.iter().enumerate().take(a + 1).skip(1) {
             // Donate the untaken later Sym-SE branches.
@@ -467,12 +509,12 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 }
                 self.ctx.donate(tasks);
                 self.ctx.remove_c(vj);
-                any |= self.recurse(order[j + 1..].to_vec());
+                any |= self.recurse_slice(&order[j + 1..]);
                 self.ctx.restore_c(vj);
                 break;
             }
             self.ctx.remove_c(vj);
-            any |= self.recurse(order[j + 1..].to_vec());
+            any |= self.recurse_slice(&order[j + 1..]);
             self.ctx.restore_c(vj);
             if self.ctx.aborted {
                 break;
@@ -483,15 +525,17 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in moved_to_s.iter().rev() {
             self.ctx.pop_s(v);
         }
+        self.ctx.put_buf(moved_to_s);
+        self.ctx.put_buf(order);
         any
     }
 
     /// Plain SE branching over all candidates (Equation 1) — used only for the
     /// branching-strategy ablation of Figure 11.
     fn branch_se_plain(&mut self, cand: &[VertexId]) -> bool {
-        let order: Vec<VertexId> = cand.to_vec();
+        let order = cand;
         let mut any = false;
-        let mut excluded: Vec<VertexId> = Vec::new();
+        let mut excluded = self.ctx.take_buf();
         for (j, &vj) in order.iter().enumerate() {
             // Donate the untaken SE branches B_{j+1}.. (include v_k, exclude
             // v_1..v_{k-1}) when a worker is hungry.
@@ -509,12 +553,12 @@ impl<'a, 'g> FastQc<'a, 'g> {
                 }
                 self.ctx.donate(tasks);
                 self.ctx.push_s(vj);
-                any |= self.recurse(order[j + 1..].to_vec());
+                any |= self.recurse_slice(&order[j + 1..]);
                 self.ctx.pop_s(vj);
                 break;
             }
             self.ctx.push_s(vj);
-            any |= self.recurse(order[j + 1..].to_vec());
+            any |= self.recurse_slice(&order[j + 1..]);
             self.ctx.pop_s(vj);
             if self.ctx.aborted {
                 break;
@@ -525,32 +569,30 @@ impl<'a, 'g> FastQc<'a, 'g> {
         for &v in excluded.iter().rev() {
             self.ctx.restore_c(v);
         }
+        self.ctx.put_buf(excluded);
         any
     }
 
     /// The candidate ordering of Equations 15/16: the pivot's non-neighbours
     /// in `C` first (with the pivot itself leading when it is a candidate),
     /// then the pivot's neighbours in `C`.
-    fn pivot_order(&self, cand: &[VertexId], pivot: VertexId) -> Vec<VertexId> {
-        let mut non_neighbors: Vec<VertexId> = Vec::new();
-        let mut neighbors: Vec<VertexId> = Vec::new();
-        for &v in cand {
-            if v == pivot {
-                continue;
-            }
-            if self.ctx.has_edge(v, pivot) {
-                neighbors.push(v);
-            } else {
-                non_neighbors.push(v);
-            }
-        }
-        let mut order = Vec::with_capacity(cand.len());
+    fn pivot_order_into(&self, cand: &[VertexId], pivot: VertexId, order: &mut Vec<VertexId>) {
+        order.clear();
         if self.ctx.in_c(pivot) {
             order.push(pivot);
         }
-        order.extend(non_neighbors);
-        order.extend(neighbors);
-        order
+        // Two passes over `cand` (non-neighbours, then neighbours) instead of
+        // two temporary vectors; edge tests are O(1) on the kernel path.
+        for &v in cand {
+            if v != pivot && !self.ctx.has_edge(v, pivot) {
+                order.push(v);
+            }
+        }
+        for &v in cand {
+            if v != pivot && self.ctx.has_edge(v, pivot) {
+                order.push(v);
+            }
+        }
     }
 }
 

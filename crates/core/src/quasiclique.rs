@@ -12,9 +12,52 @@
 
 use mqce_graph::bitset::{AdjacencyMatrix, BitSet};
 use mqce_graph::{Graph, VertexId};
+use std::collections::VecDeque;
 
 /// Epsilon used to absorb floating-point noise in threshold computations.
 pub(crate) const EPS: f64 = 1e-9;
+
+/// Reusable scratch for the quasi-clique predicates.
+///
+/// [`is_quasi_clique_in`] and [`no_single_vertex_extension_in`] are called on
+/// every emission attempt of the branch-and-bound search — up to once per
+/// explored branch — so their working state (membership masks, BFS frontiers,
+/// the `h ∪ {w}` candidate buffer) lives here instead of being allocated per
+/// call. Buffers are re-dimensioned, never re-allocated once warm; one
+/// `QcScratch` serves subgraphs of any size in sequence.
+pub struct QcScratch {
+    /// Membership mask of `h` (kernel path).
+    mask: BitSet,
+    /// BFS visited set (kernel path).
+    visited: BitSet,
+    /// BFS stack (kernel path).
+    stack: Vec<VertexId>,
+    /// Membership flags of `h` (slice path).
+    in_set: Vec<bool>,
+    /// BFS visited flags (slice path).
+    seen: Vec<bool>,
+    /// BFS queue (slice path).
+    queue: VecDeque<VertexId>,
+    /// Vertices of `h` that rely on the new vertex for their degree bound.
+    deficient: Vec<VertexId>,
+    /// Candidate buffer for `h ∪ {w}`.
+    extended: Vec<VertexId>,
+}
+
+impl Default for QcScratch {
+    fn default() -> Self {
+        QcScratch {
+            mask: BitSet::new(0),
+            visited: BitSet::new(0),
+            stack: Vec::new(),
+            in_set: Vec::new(),
+            seen: Vec::new(),
+            queue: VecDeque::new(),
+            deficient: Vec::new(),
+            extended: Vec::new(),
+        }
+    }
+}
 
 /// The degree every vertex of a quasi-clique with `size` vertices must have:
 /// `⌈γ·(size−1)⌉`.
@@ -63,6 +106,19 @@ pub fn is_quasi_clique_with(
     h: &[VertexId],
     gamma: f64,
 ) -> bool {
+    is_quasi_clique_in(g, adj, h, gamma, &mut QcScratch::default())
+}
+
+/// [`is_quasi_clique_with`] with caller-owned scratch, so the per-call masks
+/// and BFS state are reused instead of re-allocated (the form the searcher's
+/// emission path uses — see [`QcScratch`]).
+pub fn is_quasi_clique_in(
+    g: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    h: &[VertexId],
+    gamma: f64,
+    scratch: &mut QcScratch,
+) -> bool {
     if h.is_empty() {
         return false;
     }
@@ -72,13 +128,22 @@ pub fn is_quasi_clique_with(
     let req = required_degree(gamma, h.len());
     match adj {
         Some(m) => {
-            let mask = BitSet::from_members(m.num_vertices(), h);
+            scratch.mask.reset(m.num_vertices());
             for &v in h {
-                if m.degree_in_mask(v, &mask) < req {
+                scratch.mask.insert(v);
+            }
+            for &v in h {
+                if m.degree_in_mask(v, &scratch.mask) < req {
                     return false;
                 }
             }
-            m.is_connected_within(&mask, h[0], h.len())
+            m.is_connected_within_in(
+                &scratch.mask,
+                h[0],
+                h.len(),
+                &mut scratch.visited,
+                &mut scratch.stack,
+            )
         }
         None => {
             for &v in h {
@@ -86,7 +151,13 @@ pub fn is_quasi_clique_with(
                     return false;
                 }
             }
-            mqce_graph::connectivity::is_connected_subset(g, h)
+            mqce_graph::connectivity::is_connected_subset_in(
+                g,
+                h,
+                &mut scratch.in_set,
+                &mut scratch.seen,
+                &mut scratch.queue,
+            )
         }
     }
 }
@@ -152,6 +223,21 @@ pub fn no_single_vertex_extension_with(
     pool: impl IntoIterator<Item = VertexId>,
     gamma: f64,
 ) -> bool {
+    no_single_vertex_extension_in(g, adj, h, deg_in_h, pool, gamma, &mut QcScratch::default())
+}
+
+/// [`no_single_vertex_extension_with`] with caller-owned scratch for the
+/// deficient-vertex list, the `h ∪ {w}` candidate buffer and the nested
+/// predicate state (the form the searcher's emission path uses).
+pub fn no_single_vertex_extension_in(
+    g: &Graph,
+    adj: Option<&AdjacencyMatrix>,
+    h: &[VertexId],
+    deg_in_h: &[u32],
+    pool: impl IntoIterator<Item = VertexId>,
+    gamma: f64,
+    scratch: &mut QcScratch,
+) -> bool {
     if h.is_empty() {
         return true;
     }
@@ -159,17 +245,23 @@ pub fn no_single_vertex_extension_with(
     let req = required_degree(gamma, new_size);
     // Vertices of `h` that would rely on the new vertex for their degree
     // requirement. If any vertex cannot reach the requirement even with the
-    // new vertex adjacent, no extension exists at all.
-    let mut deficient: Vec<VertexId> = Vec::new();
+    // new vertex adjacent, no extension exists at all. The list is moved out
+    // of the scratch so the nested predicate call below can borrow the
+    // scratch mutably.
+    let mut deficient = std::mem::take(&mut scratch.deficient);
+    deficient.clear();
     for &v in h {
         let d = deg_in_h[v as usize] as usize;
         if d + 1 < req {
+            scratch.deficient = deficient;
             return true;
         }
         if d < req {
             deficient.push(v);
         }
     }
+    let mut extended = std::mem::take(&mut scratch.extended);
+    let mut no_extension = true;
     'outer: for w in pool {
         if h.contains(&w) {
             continue;
@@ -188,13 +280,17 @@ pub fn no_single_vertex_extension_with(
         }
         // Degree conditions hold for every vertex of h ∪ {w}; confirm with the
         // exact predicate (connectivity, exact thresholds).
-        let mut extended = h.to_vec();
+        extended.clear();
+        extended.extend_from_slice(h);
         extended.push(w);
-        if is_quasi_clique_with(g, adj, &extended, gamma) {
-            return false;
+        if is_quasi_clique_in(g, adj, &extended, gamma, scratch) {
+            no_extension = false;
+            break;
         }
     }
-    true
+    scratch.deficient = deficient;
+    scratch.extended = extended;
+    no_extension
 }
 
 #[cfg(test)]

@@ -21,10 +21,11 @@ use mqce_graph::bitset::AdjacencyMatrix;
 use mqce_graph::{Graph, VertexId};
 
 use crate::bounds::{branch_bounds, candidate_feasible};
-use crate::branch::{DegSource, SearchCtx, SearchOutcome};
+use crate::branch::{DegSource, SearchCtx, SearchOutcome, SearchScratch};
 use crate::config::MqceParams;
 use crate::quasiclique::{required_degree, tau};
 use crate::scheduler::{SplitRequest, SplitSink};
+use crate::stats::SearchStats;
 
 /// Runs Quick+ on `g` starting from the branch `(s_init, cand, implicit D)`.
 pub fn run_quickplus(
@@ -50,10 +51,12 @@ pub fn run_quickplus_with_kernel(
     run_quickplus_inner(g, kernel, s_init, cand, params, deadline, None)
 }
 
-/// [`run_quickplus_with_kernel`] wired into the work-stealing scheduler:
-/// while SE-branching at shallow depths the searcher polls `splitter` and
-/// donates untaken sibling branches to hungry workers (see
-/// [`run_fastqc_split`](crate::fastqc::run_fastqc_split)).
+/// [`run_quickplus_with_kernel`] with a split sink, materialising its
+/// outputs: while SE-branching at shallow depths the searcher polls
+/// `splitter` and donates untaken sibling branches to hungry workers. Test
+/// support — the scheduler itself threads a [`SearchScratch`] through
+/// [`run_quickplus_in`] instead.
+#[cfg(test)]
 pub(crate) fn run_quickplus_split(
     g: &Graph,
     kernel: Option<&AdjacencyMatrix>,
@@ -75,12 +78,39 @@ fn run_quickplus_inner(
     deadline: Option<Instant>,
     splitter: Option<&dyn SplitSink>,
 ) -> SearchOutcome {
-    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline);
+    let mut bufs = SearchScratch::new();
+    let stats = run_quickplus_in(
+        g, kernel, s_init, cand, params, deadline, splitter, &mut bufs,
+    );
+    SearchOutcome {
+        outputs: bufs.sets.into_vecs(),
+        stats,
+        thread_stats: Vec::new(),
+    }
+}
+
+/// The allocation-free driver entry point: runs Quick+ using the caller's
+/// reusable [`SearchScratch`], leaving the emitted family behind in
+/// `bufs.sets` (local ids, packed). Returns the search statistics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_quickplus_in(
+    g: &Graph,
+    kernel: Option<&AdjacencyMatrix>,
+    s_init: &[VertexId],
+    cand: &[VertexId],
+    params: MqceParams,
+    deadline: Option<Instant>,
+    splitter: Option<&dyn SplitSink>,
+    bufs: &mut SearchScratch,
+) -> SearchStats {
+    let mut ctx = SearchCtx::new_with_kernel(g, kernel, params, s_init, cand, deadline, bufs);
     if let Some(splitter) = splitter {
         ctx = ctx.with_splitter(splitter);
     }
+    let mut root = ctx.take_buf();
+    root.extend_from_slice(cand);
     let mut searcher = QuickPlus { ctx: &mut ctx };
-    searcher.recurse(cand.to_vec());
+    searcher.recurse(root);
     ctx.finish()
 }
 
@@ -102,16 +132,17 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
     /// `Quick-Rec(S, C, D)`: returns `true` iff a quasi-clique was found under
     /// this branch (so the parent knows whether to consider `G[S]`).
     fn recurse(&mut self, cand: Vec<VertexId>) -> bool {
-        if !self.ctx.enter_branch() {
-            self.ctx.leave_branch();
-            return false;
-        }
-        let result = self.branch_body(cand);
+        let result = if self.ctx.enter_branch() {
+            self.branch_body(&cand)
+        } else {
+            false
+        };
         self.ctx.leave_branch();
+        self.ctx.put_buf(cand);
         result
     }
 
-    fn branch_body(&mut self, cand: Vec<VertexId>) -> bool {
+    fn branch_body(&mut self, cand: &[VertexId]) -> bool {
         // Termination (lines 3-6): no candidates left.
         if cand.is_empty() {
             return self.output_partial_set();
@@ -122,7 +153,8 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
         let order = cand;
         let mut any_found = false;
         let mut donated = false;
-        let mut excluded: Vec<VertexId> = Vec::new();
+        let mut excluded = self.ctx.take_buf();
+        let mut removed = self.ctx.take_buf();
         for (i, &vi) in order.iter().enumerate() {
             // Donate the untaken SE branches B_{i+1}.. (include v_k, exclude
             // v_1..v_{k-1}, implicit in the (s_init, cand) pair) when a
@@ -143,26 +175,24 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
                 donated = true;
             }
             self.ctx.push_s(vi);
-            let mut child_cand: Vec<VertexId> = order[i + 1..].to_vec();
+            let mut child_cand = self.ctx.take_buf();
+            child_cand.extend_from_slice(&order[i + 1..]);
 
             // Type I pruning on C_i and Type II checks on S_i.
-            let mut removed: Vec<VertexId> = Vec::new();
+            removed.clear();
             let type2 = self.prune(&mut child_cand, &mut removed);
             if !type2 {
                 any_found |= self.recurse(child_cand);
             } else {
                 self.ctx.stats.pruned_by_size += 1;
+                self.ctx.put_buf(child_cand);
             }
             for &v in removed.iter().rev() {
                 self.ctx.restore_c(v);
             }
             self.ctx.pop_s(vi);
             if self.ctx.aborted {
-                // Restore bookkeeping and bail out.
-                for &v in excluded.iter().rev() {
-                    self.ctx.restore_c(v);
-                }
-                return any_found;
+                break;
             }
             if donated {
                 break;
@@ -170,8 +200,14 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
             self.ctx.remove_c(vi);
             excluded.push(vi);
         }
+        let aborted = self.ctx.aborted;
         for &v in excluded.iter().rev() {
             self.ctx.restore_c(v);
+        }
+        self.ctx.put_buf(excluded);
+        self.ctx.put_buf(removed);
+        if aborted {
+            return any_found;
         }
 
         // Additional step (lines 12-15): if no sub-branch found a QC, the
@@ -186,15 +222,19 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
     /// (regardless of θ), per lines 4-5 / 13-14 of Algorithm 1. Quick+ does
     /// not apply the necessary-maximality filter.
     fn output_partial_set(&mut self) -> bool {
-        let s: Vec<VertexId> = self.ctx.s_vertices().to_vec();
-        if s.is_empty() {
+        if self.ctx.s_len() == 0 {
             return false;
         }
-        if !self.ctx.is_qc(&s) {
-            return false;
-        }
-        self.ctx.emit(&s, DegSource::PartialSet, false);
-        true
+        let mut s = self.ctx.take_buf();
+        s.extend_from_slice(self.ctx.s_vertices());
+        let result = if self.ctx.is_qc(&s) {
+            self.ctx.emit(&s, DegSource::PartialSet, false);
+            true
+        } else {
+            false
+        };
+        self.ctx.put_buf(s);
+        result
     }
 
     /// Applies Type I pruning rules to `cand` (removing vertices, recorded in
@@ -259,7 +299,7 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
 
             // Type I rules: remove candidates that cannot belong to any large
             // QC under the branch.
-            let mut to_remove: Vec<VertexId> = Vec::new();
+            let mut to_remove = self.ctx.take_buf();
             for &v in cand.iter() {
                 // (1) Degree too small to ever satisfy the θ requirement.
                 let rule_degree = self.ctx.deg_sc(v) < min_req;
@@ -278,6 +318,7 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
                 }
             }
             if to_remove.is_empty() {
+                self.ctx.put_buf(to_remove);
                 return false;
             }
             self.ctx.stats.candidates_refined += to_remove.len() as u64;
@@ -286,6 +327,7 @@ impl<'a, 'g> QuickPlus<'a, 'g> {
                 removed.push(v);
             }
             cand.retain(|v| !to_remove.contains(v));
+            self.ctx.put_buf(to_remove);
         }
     }
 }

@@ -42,14 +42,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mqce_graph::bitset::AdjacencyMatrix;
-use mqce_graph::{Graph, VertexId};
-use mqce_settrie::MaximalityEngine;
+use mqce_graph::{Graph, InducedSubgraph, VertexId};
+use mqce_settrie::{MaximalityEngine, SetArena};
 
-use crate::branch::SearchOutcome;
+use crate::branch::{SearchOutcome, SearchScratch};
 use crate::config::MqceParams;
-use crate::dc::{build_subproblem, DcConfig, DcPlan, EngineFactory, InnerAlgorithm};
-use crate::fastqc::run_fastqc_split;
-use crate::quickplus::run_quickplus_split;
+use crate::dc::{build_subproblem_in, DcConfig, DcPlan, DcScratch, EngineFactory, InnerAlgorithm};
+use crate::fastqc::run_fastqc_in;
+use crate::quickplus::run_quickplus_in;
 use crate::stats::{SearchStats, ThreadStats};
 
 /// Idle spins (yields) before the hungry wait loop starts sleeping.
@@ -301,13 +301,19 @@ fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
 
 /// Parallel variant of [`subproblem_estimates`]: the ordering is split into
 /// one contiguous chunk per worker and each chunk runs on its own scoped
-/// thread with a private stamp array. On very large graphs this pass used to
-/// be a single-threaded serial section before the workers even started.
+/// thread, reusing the epoch-stamped array of that worker's [`DcScratch`]
+/// (the same array the subproblem builds will use). On very large graphs
+/// this pass used to be a single-threaded serial section before the workers
+/// even started.
 ///
 /// Returns the estimates plus each worker's wall-clock milliseconds, which
 /// the caller folds into the matching worker's [`ThreadStats`] busy time so
 /// the per-thread accounting covers the whole parallel region.
-fn subproblem_estimates_parallel(plan: &DcPlan, num_threads: usize) -> (Vec<usize>, Vec<f64>) {
+fn subproblem_estimates_parallel(
+    plan: &DcPlan,
+    num_threads: usize,
+    scratches: &mut [DcScratch],
+) -> (Vec<usize>, Vec<f64>) {
     let n = plan.ordering.len();
     if num_threads <= 1 || n < 2 {
         let start = Instant::now();
@@ -315,24 +321,23 @@ fn subproblem_estimates_parallel(plan: &DcPlan, num_threads: usize) -> (Vec<usiz
         return (estimates, vec![start.elapsed().as_secs_f64() * 1e3]);
     }
     let chunk_len = n.div_ceil(num_threads);
-    let chunks: Vec<(usize, &[mqce_graph::VertexId])> = plan
-        .ordering
-        .chunks(chunk_len)
-        .enumerate()
-        .map(|(k, chunk)| (k * chunk_len, chunk))
-        .collect();
     let num_vertices = plan.reduced.graph.num_vertices();
     let results: Vec<(usize, Vec<usize>, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|(offset, chunk)| {
+        let handles: Vec<_> = plan
+            .ordering
+            .chunks(chunk_len)
+            .enumerate()
+            .zip(scratches.iter_mut())
+            .map(|((k, chunk), scratch)| {
+                let offset = k * chunk_len;
                 scope.spawn(move || {
                     let start = Instant::now();
-                    let mut stamp: Vec<u32> = vec![u32::MAX; num_vertices];
                     let estimates: Vec<usize> = chunk
                         .iter()
-                        .enumerate()
-                        .map(|(i, &vi)| two_hop_estimate(plan, &mut stamp, i as u32, vi))
+                        .map(|&vi| {
+                            let (stamp, tag) = scratch.sub.stamp_epoch(num_vertices);
+                            two_hop_estimate(plan, stamp, tag, vi)
+                        })
                         .collect();
                     (offset, estimates, start.elapsed().as_secs_f64() * 1e3)
                 })
@@ -352,9 +357,10 @@ fn subproblem_estimates_parallel(plan: &DcPlan, num_threads: usize) -> (Vec<usiz
     (estimates, millis)
 }
 
-/// Everything one worker accumulated over the run.
+/// Everything one worker accumulated over the run. Mapped outputs are packed
+/// into a flat arena and boxed only once, at the final merge.
 struct WorkerResult {
-    outputs: Vec<Vec<VertexId>>,
+    raw: SetArena,
     stats: SearchStats,
     engine: Option<Box<dyn MaximalityEngine>>,
     thread_stats: ThreadStats,
@@ -373,10 +379,15 @@ pub(crate) fn run_dc_work_stealing(
     engine_factory: Option<EngineFactory<'_>>,
 ) -> (SearchOutcome, Vec<Box<dyn MaximalityEngine>>) {
     let sched = Scheduler::new(num_threads, params.steal_granularity);
+    // One reusable scratch per worker, threaded through the whole run: the
+    // estimate pass below shares its stamp array, then each worker owns one
+    // scratch for every subproblem and stolen split task it executes.
+    let mut scratches: Vec<DcScratch> = (0..num_threads).map(|_| DcScratch::default()).collect();
     // The cost-estimate pass parallelises over the same worker count; its
     // per-chunk wall-clock is folded into the matching worker's busy time
     // below so ThreadStats covers the whole parallel region.
-    let (estimates, estimate_millis) = subproblem_estimates_parallel(plan, num_threads);
+    let (estimates, estimate_millis) =
+        subproblem_estimates_parallel(plan, num_threads, &mut scratches);
     let mut seeds: Vec<usize> = (0..plan.ordering.len()).collect();
     // Descending estimated cost; ties broken by ordering position so the
     // seeding is deterministic.
@@ -391,8 +402,10 @@ pub(crate) fn run_dc_work_stealing(
 
     let sched_ref = &sched;
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..num_threads)
-            .map(|id| {
+        let handles: Vec<_> = scratches
+            .into_iter()
+            .enumerate()
+            .map(|(id, scratch)| {
                 scope.spawn(move || {
                     worker_loop(
                         sched_ref,
@@ -403,6 +416,7 @@ pub(crate) fn run_dc_work_stealing(
                         dc,
                         deadline,
                         engine_factory,
+                        scratch,
                     )
                 })
             })
@@ -420,7 +434,7 @@ pub(crate) fn run_dc_work_stealing(
     for (worker, mut result) in results.into_iter().enumerate() {
         result.thread_stats.busy_millis += estimate_millis.get(worker).copied().unwrap_or(0.0);
         stats.merge(&result.stats);
-        outputs.extend(result.outputs);
+        outputs.extend(result.raw.into_vecs());
         engines.extend(result.engine);
         thread_stats.push(result.thread_stats);
     }
@@ -444,9 +458,10 @@ fn worker_loop(
     dc: DcConfig,
     deadline: Option<Instant>,
     engine_factory: Option<EngineFactory<'_>>,
+    mut scratch: DcScratch,
 ) -> WorkerResult {
     let mut result = WorkerResult {
-        outputs: Vec::new(),
+        raw: SetArena::new(),
         stats: SearchStats::default(),
         engine: engine_factory.map(|f| f()),
         thread_stats: ThreadStats {
@@ -477,6 +492,7 @@ fn worker_loop(
                     inner,
                     dc,
                     deadline,
+                    &mut scratch,
                     &mut result,
                 );
                 sched.outstanding.fetch_sub(1, Ordering::SeqCst);
@@ -526,52 +542,73 @@ fn run_task(
     inner: InnerAlgorithm,
     dc: DcConfig,
     deadline: Option<Instant>,
+    scratch: &mut DcScratch,
     result: &mut WorkerResult,
 ) {
     match task {
         Task::Root(idx) => {
             let vi = plan.ordering[idx];
             result.thread_stats.subproblems += 1;
-            let Some(built) = build_subproblem(plan, vi, params, dc, &mut result.stats) else {
+            let Some((sub, local_vi)) =
+                build_subproblem_in(plan, vi, params, dc, &mut result.stats, scratch)
+            else {
                 return;
             };
-            // Pre-compose local → original so split tasks never need the plan.
-            let to_orig: Vec<VertexId> = built
-                .sub
-                .to_global
-                .iter()
-                .map(|&r| plan.reduced.to_global[r as usize])
-                .collect();
+            // Pre-compose local → original in place (both id maps are sorted
+            // ascending, so the composition stays sorted) so split tasks
+            // never need the plan.
+            let InducedSubgraph {
+                graph,
+                to_global,
+                adjacency,
+            } = sub;
+            let mut to_orig = to_global;
+            for r in to_orig.iter_mut() {
+                *r = plan.reduced.to_global[*r as usize];
+            }
             let shared = Arc::new(SubShared {
-                graph: built.sub.graph,
-                kernel: built.sub.adjacency,
+                graph,
+                kernel: adjacency,
                 to_orig,
             });
-            execute_branch(
-                sched,
-                id,
-                &shared,
-                &[built.local_vi],
-                &built.cand,
-                params,
-                inner,
-                deadline,
-                result,
-            );
+            {
+                let DcScratch {
+                    ref mut search,
+                    ref cand,
+                    ..
+                } = *scratch;
+                execute_branch(
+                    sched,
+                    id,
+                    &shared,
+                    &[local_vi],
+                    cand,
+                    params,
+                    inner,
+                    deadline,
+                    search,
+                    result,
+                );
+            }
+            // If no outstanding split task still holds the subproblem, take
+            // its buffers back so the next build reuses them.
+            if let Ok(sh) = Arc::try_unwrap(shared) {
+                scratch.sub.recycle_graph(sh.graph, sh.to_orig);
+            }
         }
         Task::Split(split) => {
             result.thread_stats.splits += 1;
             result.stats.split_executed += 1;
-            let shared = Arc::clone(&split.shared);
             execute_branch(
                 sched,
                 id,
-                &shared,
+                &split.shared,
                 &split.s_init,
                 &split.cand,
                 params,
                 inner,
                 deadline,
+                &mut scratch.search,
                 result,
             );
         }
@@ -579,8 +616,9 @@ fn run_task(
 }
 
 /// Runs the configured searcher on one branch of a subproblem (the whole
-/// subproblem when `s_init = [v_i]`), maps the outputs to original-graph
-/// ids, and streams them into the worker's engine.
+/// subproblem when `s_init = [v_i]`) with the worker's reusable search
+/// scratch, maps the outputs to original-graph ids into the worker's flat
+/// arena, and streams them into the worker's engine.
 #[allow(clippy::too_many_arguments)]
 fn execute_branch(
     sched: &Scheduler,
@@ -591,6 +629,7 @@ fn execute_branch(
     params: MqceParams,
     inner: InnerAlgorithm,
     deadline: Option<Instant>,
+    search: &mut SearchScratch,
     result: &mut WorkerResult,
 ) {
     let sink = SubSink {
@@ -599,8 +638,8 @@ fn execute_branch(
         worker: id,
     };
     let kernel = shared.kernel.as_ref();
-    let outcome = match inner {
-        InnerAlgorithm::FastQc(branching) => run_fastqc_split(
+    let stats = match inner {
+        InnerAlgorithm::FastQc(branching) => run_fastqc_in(
             &shared.graph,
             kernel,
             s_init,
@@ -608,20 +647,30 @@ fn execute_branch(
             params,
             branching,
             deadline,
-            &sink,
+            Some(&sink),
+            search,
         ),
-        InnerAlgorithm::QuickPlus => {
-            run_quickplus_split(&shared.graph, kernel, s_init, cand, params, deadline, &sink)
-        }
+        InnerAlgorithm::QuickPlus => run_quickplus_in(
+            &shared.graph,
+            kernel,
+            s_init,
+            cand,
+            params,
+            deadline,
+            Some(&sink),
+            search,
+        ),
     };
-    result.stats.merge(&outcome.stats);
-    for h in outcome.outputs {
-        let mut set: Vec<VertexId> = h.iter().map(|&l| shared.to_orig[l as usize]).collect();
-        set.sort_unstable();
-        if let Some(engine) = result.engine.as_deref_mut() {
-            engine.add(&set);
+    result.stats.merge(&stats);
+    for i in 0..search.sets.len() {
+        result.raw.begin();
+        for &l in search.sets.get(i) {
+            result.raw.push_elem(shared.to_orig[l as usize]);
         }
-        result.outputs.push(set);
+        let set = result.raw.commit_sorted();
+        if let Some(engine) = result.engine.as_deref_mut() {
+            engine.add(set);
+        }
     }
 }
 
@@ -735,6 +784,71 @@ mod tests {
         }
     }
 
+    /// [`run_with_greedy_splits`] with one [`SearchScratch`] reused across
+    /// the root search and every drained split task — exactly the lifetime a
+    /// scheduler worker gives its scratch — instead of a fresh scratch per
+    /// call. Returns the union of all outputs.
+    fn run_with_greedy_splits_reused_scratch(
+        g: &Graph,
+        params: MqceParams,
+        branching: Option<BranchingStrategy>,
+    ) -> (Vec<Vec<VertexId>>, usize) {
+        let sink = GreedySink::new();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let mut scratch = SearchScratch::default();
+        let mut outputs: Vec<Vec<VertexId>> = Vec::new();
+        let run = |s_init: &[VertexId], cand: &[VertexId], scratch: &mut SearchScratch| {
+            match branching {
+                Some(b) => {
+                    run_fastqc_in(g, None, s_init, cand, params, b, None, Some(&sink), scratch);
+                }
+                None => {
+                    run_quickplus_in(g, None, s_init, cand, params, None, Some(&sink), scratch);
+                }
+            }
+            scratch.sets.to_vecs()
+        };
+        outputs.extend(run(&[], &all, &mut scratch));
+        loop {
+            let task = sink.queue.borrow_mut().pop();
+            let Some(task) = task else { break };
+            outputs.extend(run(&task.s_init, &task.cand, &mut scratch));
+        }
+        (outputs, sink.donations.get())
+    }
+
+    #[test]
+    fn forced_splits_with_reused_scratch_match_fresh_scratch() {
+        // Differential half of the greedy-split test: under identical forced
+        // splitting, a worker-lifetime scratch (reused across the root run
+        // and every donated task) must reproduce the fresh-scratch raw
+        // stream exactly. A buffer leaking state across a split boundary
+        // would desynchronise the two runs.
+        let g = mqce_graph::generators::erdos_renyi_gnm(14, 50, 11);
+        let mut total_donations = 0usize;
+        for &gamma in &[0.5, 0.6, 0.9] {
+            for theta in 2..=3 {
+                let params = MqceParams::new(gamma, theta).unwrap();
+                for branching in [
+                    Some(BranchingStrategy::HybridSe),
+                    Some(BranchingStrategy::Se),
+                    None,
+                ] {
+                    let (fresh, _) = run_with_greedy_splits(&g, params, branching);
+                    let (reused, donations) =
+                        run_with_greedy_splits_reused_scratch(&g, params, branching);
+                    assert_eq!(
+                        reused, fresh,
+                        "reused scratch diverged for {branching:?} gamma={gamma} theta={theta}"
+                    );
+                    total_donations += donations;
+                }
+            }
+        }
+        // The differential is only meaningful if splits actually happened.
+        assert!(total_donations > 0, "the greedy sink never forced a split");
+    }
+
     #[test]
     fn parallel_estimates_match_sequential() {
         use crate::dc::DcConfig;
@@ -744,7 +858,10 @@ mod tests {
             let plan = crate::dc::prepare_plan(&g, params, DcConfig::paper_default());
             let sequential = subproblem_estimates(&plan);
             for threads in [1usize, 2, 3, 8, 64] {
-                let (parallel, millis) = subproblem_estimates_parallel(&plan, threads);
+                let mut scratches: Vec<DcScratch> =
+                    (0..threads).map(|_| DcScratch::default()).collect();
+                let (parallel, millis) =
+                    subproblem_estimates_parallel(&plan, threads, &mut scratches);
                 assert_eq!(parallel, sequential, "threads={threads} n={n}");
                 // One timing slot per worker (a single slot when the
                 // sequential path was taken), all finite and non-negative.
@@ -762,10 +879,11 @@ mod tests {
         let dc = DcConfig::paper_default();
         let plan = crate::dc::prepare_plan(&g, params, dc);
         let estimates = subproblem_estimates(&plan);
+        let mut scratch = DcScratch::default();
         for (i, &vi) in plan.ordering.iter().enumerate() {
             let mut stats = SearchStats::default();
             let before = stats.dc_vertices_before_pruning;
-            let _ = crate::dc::build_subproblem(&plan, vi, params, dc, &mut stats);
+            let _ = crate::dc::build_subproblem_in(&plan, vi, params, dc, &mut stats, &mut scratch);
             assert_eq!(
                 estimates[i] as u64,
                 stats.dc_vertices_before_pruning - before,

@@ -107,6 +107,30 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Re-dimensions the set for a universe of `0..n` and empties it,
+    /// reusing the existing word buffer when it is large enough.
+    ///
+    /// This is the scratch-reuse counterpart of [`BitSet::new`]: searchers
+    /// that process many subgraphs of different sizes call it once per
+    /// subproblem instead of allocating a fresh mask.
+    pub fn reset(&mut self, n: usize) {
+        let words = n.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(words, 0u64);
+        self.nbits = n;
+    }
+
+    /// Re-dimensions the set for a universe of `0..n` and fills it with
+    /// every vertex, reusing the existing word buffer when possible
+    /// (the scratch-reuse counterpart of [`BitSet::full`]).
+    pub fn reset_full(&mut self, n: usize) {
+        let words = n.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(words, !0u64);
+        self.nbits = n;
+        self.trim_tail();
+    }
+
     /// The raw words of the mask (little-endian bit order within a word).
     #[inline]
     pub fn words(&self) -> &[u64] {
@@ -267,13 +291,31 @@ impl AdjacencyMatrix {
     /// Each BFS expansion is a word-parallel `row & mask & !visited`, so the
     /// whole check is `O(|mask| · n/64)` word operations.
     pub fn is_connected_within(&self, mask: &BitSet, start: VertexId, member_count: usize) -> bool {
+        let mut visited = BitSet::new(self.n);
+        let mut stack = Vec::new();
+        self.is_connected_within_in(mask, start, member_count, &mut visited, &mut stack)
+    }
+
+    /// [`is_connected_within`](Self::is_connected_within) with caller-owned
+    /// scratch: `visited` is re-dimensioned (not re-allocated once warm) and
+    /// `stack` is cleared here, so predicate-heavy callers can run the BFS
+    /// without touching the heap.
+    pub fn is_connected_within_in(
+        &self,
+        mask: &BitSet,
+        start: VertexId,
+        member_count: usize,
+        visited: &mut BitSet,
+        stack: &mut Vec<VertexId>,
+    ) -> bool {
         debug_assert!(mask.contains(start));
         if member_count <= 1 {
             return true;
         }
-        let mut visited = BitSet::new(self.n);
+        visited.reset(self.n);
         visited.insert(start);
-        let mut stack = vec![start];
+        stack.clear();
+        stack.push(start);
         let mut reached = 1usize;
         while let Some(v) = stack.pop() {
             let row = self.row(v);

@@ -8,15 +8,36 @@ use crate::graph::{Graph, VertexId};
 /// The empty set and singletons are considered connected (matching the
 /// quasi-clique definition, where a single vertex is a trivial QC).
 pub fn is_connected_subset(g: &Graph, set: &[VertexId]) -> bool {
+    is_connected_subset_in(
+        g,
+        set,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut std::collections::VecDeque::new(),
+    )
+}
+
+/// [`is_connected_subset`] with caller-owned scratch buffers, so repeated
+/// predicate checks reuse the same allocations. The buffers are resized and
+/// cleared here; their previous contents are ignored.
+pub fn is_connected_subset_in(
+    g: &Graph,
+    set: &[VertexId],
+    in_set: &mut Vec<bool>,
+    visited: &mut Vec<bool>,
+    queue: &mut std::collections::VecDeque<VertexId>,
+) -> bool {
     if set.len() <= 1 {
         return true;
     }
-    let mut in_set = vec![false; g.num_vertices()];
+    in_set.clear();
+    in_set.resize(g.num_vertices(), false);
     for &v in set {
         in_set[v as usize] = true;
     }
-    let mut visited = vec![false; g.num_vertices()];
-    let mut queue = std::collections::VecDeque::new();
+    visited.clear();
+    visited.resize(g.num_vertices(), false);
+    queue.clear();
     queue.push_back(set[0]);
     visited[set[0] as usize] = true;
     let mut reached = 1usize;

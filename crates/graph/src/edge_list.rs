@@ -3,12 +3,18 @@
 //! The format is the de-facto standard used by SNAP / konect.cc dumps: one
 //! `u v` pair per line, `#` or `%` comment lines, arbitrary whitespace.
 //! Vertex ids may be sparse; they are compacted to `0..n` on load.
+//!
+//! The loader streams the text once into a flat, interned edge array and then
+//! builds the CSR directly in two passes over that array — count degrees,
+//! prefix-sum, fill — followed by an in-place per-vertex sort + dedup that
+//! compacts the neighbour pool with a forward write cursor. No intermediate
+//! `Vec<Vec<_>>` adjacency is ever materialised, so loading a SNAP-class
+//! graph allocates O(1) vectors instead of O(|V|).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-use crate::builder::GraphBuilder;
 use crate::graph::{Graph, VertexId};
 
 /// Errors produced while parsing an edge list.
@@ -96,16 +102,57 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, EdgeListError> 
             .map_err(|_| parse_err())?;
         let u = intern(a, &mut labels, &mut index);
         let v = intern(b, &mut labels, &mut index);
-        edges.push((u, v));
-    }
-    let mut builder = GraphBuilder::new(labels.len());
-    for (u, v) in edges {
         if u != v {
-            builder.add_edge(u, v);
+            edges.push((u, v));
         }
     }
+
+    // Two-pass CSR construction over the flat edge array: count degrees,
+    // prefix-sum into offsets, then fill each vertex's segment through a
+    // cursor array.
+    let n = labels.len();
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, v) in &edges {
+        offsets[u as usize + 1] += 1;
+        offsets[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut neighbors = vec![0 as VertexId; offsets[n]];
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    for &(u, v) in &edges {
+        neighbors[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        neighbors[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    drop(cursor);
+    drop(edges);
+
+    // Sort each adjacency list in place and drop duplicate edges, compacting
+    // the pool with a forward write cursor. `write` never exceeds the current
+    // segment's start, so the reads stay ahead of the writes.
+    let mut write = 0usize;
+    for v in 0..n {
+        let (start, end) = (offsets[v], offsets[v + 1]);
+        neighbors[start..end].sort_unstable();
+        offsets[v] = write;
+        let mut prev = None;
+        for i in start..end {
+            let nb = neighbors[i];
+            if prev != Some(nb) {
+                neighbors[write] = nb;
+                write += 1;
+                prev = Some(nb);
+            }
+        }
+    }
+    offsets[n] = write;
+    neighbors.truncate(write);
+
     Ok(LoadedGraph {
-        graph: builder.build(),
+        graph: Graph::from_csr_parts(offsets, neighbors),
         labels,
     })
 }
@@ -193,6 +240,50 @@ mod tests {
             let lu = loaded.labels.iter().position(|&l| l == u as u64).unwrap() as u32;
             let lv = loaded.labels.iter().position(|&l| l == v as u64).unwrap() as u32;
             assert!(loaded.graph.has_edge(lu, lv));
+        }
+    }
+
+    #[test]
+    fn direct_csr_matches_builder_on_messy_input() {
+        // Duplicates (both orientations), self-loops, sparse unordered ids:
+        // the two-pass CSR loader must agree with the GraphBuilder path.
+        use crate::builder::GraphBuilder;
+        let mut text = String::new();
+        let mut rng = 0x2545F4914F6CDD1Du64;
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..400 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (rng >> 33) % 37 * 101 + 7;
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (rng >> 33) % 37 * 101 + 7;
+            text.push_str(&format!("{a} {b}\n"));
+            edges.push((a, b));
+        }
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        // Rebuild through the incremental builder using the loader's
+        // label-interning order.
+        let index: HashMap<u64, VertexId> = loaded
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as VertexId))
+            .collect();
+        let mut builder = GraphBuilder::new(loaded.labels.len());
+        for (a, b) in edges {
+            let (u, v) = (index[&a], index[&b]);
+            if u != v {
+                builder.add_edge(u, v);
+            }
+        }
+        let expected = builder.build();
+        assert_eq!(loaded.graph.num_vertices(), expected.num_vertices());
+        assert_eq!(loaded.graph.num_edges(), expected.num_edges());
+        for v in expected.vertices() {
+            assert_eq!(loaded.graph.neighbors(v), expected.neighbors(v));
         }
     }
 

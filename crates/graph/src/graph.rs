@@ -68,6 +68,35 @@ impl Graph {
         }
     }
 
+    /// Builds a graph directly from finished CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1` with `offsets[0] == 0`, and each
+    /// per-vertex slice of `neighbors` must already be sorted, deduplicated,
+    /// and symmetric. Callers that extract subgraphs into reusable buffers
+    /// (see `SubproblemScratch`) use this to skip the `Vec<Vec<_>>`
+    /// intermediate and the copy `from_adjacency` would pay.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len() % 2, 0, "adjacency must be symmetric");
+        debug_assert!(offsets.windows(2).all(|w| {
+            let list = &neighbors[w[0]..w[1]];
+            list.windows(2).all(|p| p[0] < p[1])
+        }));
+        let num_edges = neighbors.len() / 2;
+        Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// Decomposes the graph back into its CSR arrays so scratch owners can
+    /// reclaim the buffers (inverse of [`Graph::from_csr_parts`]).
+    pub(crate) fn into_csr_parts(self) -> (Vec<usize>, Vec<VertexId>) {
+        (self.offsets, self.neighbors)
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -17,6 +17,8 @@
 //!   degeneracy ordering used by the divide-and-conquer framework.
 //! * [`subgraph`] — induced subgraphs with local/global vertex-id mappings and
 //!   2-hop neighbourhood extraction.
+//! * [`scratch`] — reusable per-worker buffers ([`SubproblemScratch`]) for
+//!   allocation-free subgraph extraction on the divide-and-conquer hot path.
 //! * [`connectivity`] — BFS connectivity and connected components.
 //! * [`edge_list`] — plain-text edge-list parsing and serialisation.
 //! * [`stats`] — summary statistics matching the columns of Table 1 of the
@@ -36,11 +38,13 @@ pub mod formats;
 pub mod generators;
 mod graph;
 pub mod ordering;
+pub mod scratch;
 pub mod stats;
 pub mod subgraph;
 
 pub use bitset::{AdjacencyMatrix, BitSet};
 pub use builder::GraphBuilder;
 pub use graph::{Graph, VertexId};
+pub use scratch::SubproblemScratch;
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;

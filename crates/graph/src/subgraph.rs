@@ -7,6 +7,7 @@
 
 use crate::bitset::AdjacencyMatrix;
 use crate::graph::{Graph, VertexId};
+use crate::scratch::SubproblemScratch;
 
 /// An induced subgraph `G[H]` together with the mapping between its local
 /// vertex ids (`0..H.len()`) and the original graph's ids.
@@ -47,6 +48,18 @@ impl InducedSubgraph {
             to_global,
             adjacency: None,
         }
+    }
+
+    /// Builds the subgraph of `g` induced by `vertices` using reusable
+    /// per-worker buffers: the scratch's epoch-stamped local-id map replaces
+    /// the O(whole-graph) `local_of` refill, and the local CSR is filled
+    /// directly into recycled `offsets`/`neighbors` buffers in a single pass
+    /// (the monotone global→local map keeps each list sorted), skipping the
+    /// `Vec<Vec<_>>` intermediate and the `from_adjacency` copy. After
+    /// warmup this performs no heap allocation; hand the subgraph back via
+    /// [`SubproblemScratch::recycle`] when done.
+    pub fn new_in(g: &Graph, vertices: &[VertexId], scratch: &mut SubproblemScratch) -> Self {
+        scratch.extract(g, vertices)
     }
 
     /// Builds the packed adjacency kernel for the subgraph when the adaptive

@@ -25,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cost_model;
 pub mod engine;
 mod filter;
 mod trie;
 
+pub use arena::SetArena;
 pub use cost_model::{fit_log_linear, S2CostModel, S2Decision};
 pub use engine::{choose_backend, filter_maximal_with, MaximalityEngine, S2Backend, S2Outcome};
 pub use filter::{filter_maximal, filter_maximal_naive};

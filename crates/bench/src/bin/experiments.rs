@@ -6,7 +6,7 @@
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
 //! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `s2-stress`,
-//! `s2-calibrate`, `threads`, `alloc-gate`, `all`.
+//! `s2-calibrate`, `threads`, `alloc-gate`, `updates`, `all`.
 //!
 //! `quick` is the backend-comparison profile (bitset kernel vs sorted
 //! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
@@ -30,7 +30,7 @@ use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|updates|all> \
          [--quick] [--time-limit <seconds>] [--json <path>] \
          [--s2-backend <inverted|bitset|extremal>] [--emit <path>]"
     );
@@ -110,7 +110,7 @@ fn main() {
     // accumulate them into a single BENCH_mqce.json.
     let perf_profile = matches!(
         experiment.as_str(),
-        "quick" | "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate"
+        "quick" | "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates"
     );
     if perf_profile {
         if !time_limit_set {
@@ -145,6 +145,7 @@ fn main() {
         }
         "threads" => experiments::thread_sweep(opts),
         "alloc-gate" => experiments::alloc_gate(opts),
+        "updates" => experiments::updates(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };
@@ -152,7 +153,7 @@ fn main() {
     if let Some(path) = json_path {
         if matches!(
             experiment.as_str(),
-            "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate"
+            "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates"
         ) {
             append_json(&path, &records).expect("append JSON results");
             println!("\nappended {} records to {}", records.len(), path.display());

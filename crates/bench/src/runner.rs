@@ -124,6 +124,32 @@ pub struct RunRecord {
     /// cache. `default` for the same schema-evolution reason.
     #[serde(default)]
     pub serve_cache_hits: u64,
+    /// Requests that consulted the daemon's cache and missed. `default` so
+    /// pre-update-protocol files still parse.
+    #[serde(default)]
+    pub serve_cache_misses: u64,
+    /// Cache entries dropped by the daemon, counting both LRU evictions and
+    /// invalidations forced by `update` requests. `default` as above.
+    #[serde(default)]
+    pub serve_cache_evictions: u64,
+    /// Cache entries resident when the daemon shut down. `default` as above.
+    #[serde(default)]
+    pub serve_cache_len: u64,
+    /// Edges applied by `GraphDelta` batches over this record's lifetime
+    /// (0 for non-incremental runs). `default` so older files parse.
+    #[serde(default)]
+    pub updates_applied: u64,
+    /// Subproblems re-run by the incremental session across those batches —
+    /// the dirty-set size the update machinery actually paid for. `default`
+    /// as above.
+    #[serde(default)]
+    pub dirty_subproblems: u64,
+    /// Wall-clock milliseconds a full recompute took on the same schedule,
+    /// the baseline against which `s1_millis` (incremental wall-clock) shows
+    /// the update speedup. 0 when no baseline was measured. `default` as
+    /// above.
+    #[serde(default)]
+    pub full_recompute_millis: f64,
     /// Heap-allocation events during the run (0 unless the harness was
     /// built with the `count-allocs` feature — see
     /// [`alloc_stats`](crate::alloc_stats)). `default` so older files parse.
@@ -342,6 +368,12 @@ pub fn measure_threads_with(
         thread_stats: result.thread_stats.iter().map(ThreadRow::from).collect(),
         serve_requests: 0,
         serve_cache_hits: 0,
+        serve_cache_misses: 0,
+        serve_cache_evictions: 0,
+        serve_cache_len: 0,
+        updates_applied: 0,
+        dirty_subproblems: 0,
+        full_recompute_millis: 0.0,
         alloc_count: alloc_after
             .alloc_count
             .saturating_sub(alloc_before.alloc_count),
@@ -752,6 +784,12 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].serve_requests, 0);
         assert_eq!(parsed[0].serve_cache_hits, 0);
+        assert_eq!(parsed[0].serve_cache_misses, 0);
+        assert_eq!(parsed[0].serve_cache_evictions, 0);
+        assert_eq!(parsed[0].serve_cache_len, 0);
+        assert_eq!(parsed[0].updates_applied, 0);
+        assert_eq!(parsed[0].dirty_subproblems, 0);
+        assert_eq!(parsed[0].full_recompute_millis, 0.0);
         assert_eq!(parsed[0].dataset, "k4");
         // And the new fields do serialise for fresh records.
         let json = serde_json::to_string_pretty(&parsed).unwrap();

@@ -7,9 +7,10 @@
 //! knows the field names.
 //!
 //! A request selects a command (`enumerate`, `query`, `topk`, `ping`,
-//! `shutdown`) and may override any of the per-request knobs (γ, θ, k,
-//! algorithm, branching, adjacency/S2 backends, worker threads, a relative
-//! deadline in milliseconds). Responses echo the request `id` and carry the
+//! `update`, `shutdown`) and may override any of the per-request knobs (γ,
+//! θ, k, algorithm, branching, adjacency/S2 backends, worker threads, a
+//! relative deadline in milliseconds). `update` carries `insert` / `delete`
+//! edge lists (`[[u, v], …]`). Responses echo the request `id` and carry the
 //! result plus `cached` / `best_effort` / `s2_timed_out` status flags.
 
 use serde::Value;
@@ -19,7 +20,8 @@ use serde::Value;
 pub struct Request {
     /// Opaque id echoed in the response (string or number on the wire).
     pub id: Option<String>,
-    /// Command: `enumerate`, `query`, `topk`, `ping` or `shutdown`.
+    /// Command: `enumerate`, `query`, `topk`, `ping`, `update` or
+    /// `shutdown`.
     pub cmd: String,
     /// Density threshold γ.
     pub gamma: f64,
@@ -29,6 +31,10 @@ pub struct Request {
     pub k: usize,
     /// Query vertices (`query` only).
     pub vertices: Vec<u32>,
+    /// Edges to insert (`update` only), as `(u, v)` pairs.
+    pub insert: Vec<(u32, u32)>,
+    /// Edges to delete (`update` only), as `(u, v)` pairs.
+    pub delete: Vec<(u32, u32)>,
     /// MQCE-S1 algorithm name (same values as `--algorithm`).
     pub algorithm: Option<String>,
     /// Branching strategy (same values as `--branching`).
@@ -59,6 +65,8 @@ impl Default for Request {
             theta: 2,
             k: 10,
             vertices: Vec::new(),
+            insert: Vec::new(),
+            delete: Vec::new(),
             algorithm: None,
             branching: None,
             backend: None,
@@ -186,6 +194,24 @@ fn as_vertices(v: &Value) -> Result<Vec<u32>, String> {
     }
 }
 
+/// Decodes an edge list (`[[u, v], …]`) from a value tree.
+fn as_edges(v: &Value, name: &str) -> Result<Vec<(u32, u32)>, String> {
+    let Value::Array(items) = v else {
+        return Err(format!("field `{name}` must be an array of [u, v] pairs"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let pair = as_vertices(item)
+                .map_err(|_| format!("field `{name}` must be an array of [u, v] pairs"))?;
+            match pair[..] {
+                [u, v] => Ok((u, v)),
+                _ => Err(format!("field `{name}` entries must be [u, v] pairs")),
+            }
+        })
+        .collect()
+}
+
 impl Request {
     /// Decodes a request from one JSON line.
     pub fn parse_line(line: &str) -> Result<Request, String> {
@@ -209,6 +235,8 @@ impl Request {
                 "theta" => req.theta = as_usize(v, "theta")?,
                 "k" => req.k = as_usize(v, "k")?,
                 "vertices" => req.vertices = as_vertices(v)?,
+                "insert" => req.insert = as_edges(v, "insert")?,
+                "delete" => req.delete = as_edges(v, "delete")?,
                 "algorithm" => req.algorithm = Some(as_str(v, "algorithm")?),
                 "branching" => req.branching = Some(as_str(v, "branching")?),
                 "backend" => req.backend = Some(as_str(v, "backend")?),
@@ -221,7 +249,7 @@ impl Request {
             }
         }
         match req.cmd.as_str() {
-            "enumerate" | "query" | "topk" | "ping" | "shutdown" => Ok(req),
+            "enumerate" | "query" | "topk" | "ping" | "update" | "shutdown" => Ok(req),
             other => Err(format!("unknown command {other:?}")),
         }
     }
@@ -250,6 +278,20 @@ impl Request {
                         .collect(),
                 ),
             );
+        }
+        let edges_value = |edges: &[(u32, u32)]| {
+            Value::Array(
+                edges
+                    .iter()
+                    .map(|&(u, v)| Value::Array(vec![Value::Num(u as f64), Value::Num(v as f64)]))
+                    .collect(),
+            )
+        };
+        if !self.insert.is_empty() {
+            push("insert", edges_value(&self.insert));
+        }
+        if !self.delete.is_empty() {
+            push("delete", edges_value(&self.delete));
         }
         for (key, opt) in [
             ("algorithm", &self.algorithm),
@@ -434,6 +476,22 @@ mod tests {
         assert_eq!(min.gamma, 0.9);
         assert_eq!(min.theta, 2);
         assert!(!min.sets);
+    }
+
+    #[test]
+    fn update_requests_roundtrip() {
+        let req = Request {
+            id: Some("u1".to_string()),
+            cmd: "update".to_string(),
+            insert: vec![(1, 2), (3, 4)],
+            delete: vec![(5, 6)],
+            ..Request::default()
+        };
+        assert_eq!(Request::parse_line(&req.to_line()).unwrap(), req);
+        // Malformed edge lists are rejected loudly.
+        assert!(Request::parse_line(r#"{"cmd":"update","insert":[[1]]}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"update","insert":[1,2]}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"update","delete":[[1,2,3]]}"#).is_err());
     }
 
     #[test]

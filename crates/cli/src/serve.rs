@@ -22,6 +22,19 @@
 //!   the pipeline time limit, and a request whose budget ran out while
 //!   queued returns immediately, flagged best-effort (the zero-budget path
 //!   through the S2 deadline logic guarantees prompt return).
+//!
+//! The graph is **not** immutable: an `update` request applies a
+//! [`GraphDelta`] in place. The prepared graph lives behind an `RwLock` of
+//! `Arc` snapshots — computations clone the `Arc` under a brief read lock
+//! and keep working on their snapshot while an update swaps in the next
+//! one, and a dedicated mutex serialises updates so delta application,
+//! core maintenance and the fingerprint swap are atomic with respect to
+//! each other. The result cache survives updates selectively: per-vertex
+//! `query` answers whose vertices all fall outside the update's dirty
+//! two-hop closure cannot have changed (the anchored decomposition bounds
+//! every affected maximal quasi-clique inside that closure), so those
+//! entries are re-keyed under the new fingerprint; everything else under
+//! the old fingerprint is invalidated.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -30,11 +43,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use mqce_core::{enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, PreparedGraph};
-use mqce_graph::Graph;
+use mqce_graph::{
+    dirty_two_hop_closure, update_core_decomposition, Graph, GraphDelta, SubproblemScratch,
+};
 use serde::Value;
 
 use crate::args::ParsedArgs;
@@ -77,6 +92,13 @@ pub struct ServeSummary {
     pub expired: u64,
     /// Malformed or invalid requests.
     pub errors: u64,
+    /// Requests that consulted the result cache and missed.
+    pub cache_misses: u64,
+    /// Entries dropped from the cache: LRU evictions plus invalidations
+    /// forced by `update` requests.
+    pub cache_evictions: u64,
+    /// Entries resident in the cache when the snapshot was taken.
+    pub cache_len: u64,
 }
 
 #[derive(Default)]
@@ -85,15 +107,20 @@ struct ServeStats {
     cache_hits: AtomicU64,
     expired: AtomicU64,
     errors: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl ServeStats {
-    fn snapshot(&self) -> ServeSummary {
+    fn snapshot(&self, cache_len: usize) -> ServeSummary {
         ServeSummary {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_len: cache_len as u64,
         }
     }
 }
@@ -158,8 +185,12 @@ impl Drop for GateGuard<'_> {
 }
 
 /// A complete answer worth replaying: the MQC sets plus the command-specific
-/// extras (query universe size, top-k round count, …).
+/// extras (query universe size, top-k round count, …). The command and its
+/// query vertices are kept so `update` can decide which entries survive a
+/// graph mutation.
 struct CachedOutcome {
+    cmd: String,
+    vertices: Vec<u32>,
     mqcs: Vec<Vec<u32>>,
     extra: Vec<(String, Value)>,
 }
@@ -191,11 +222,15 @@ impl ResultCache {
         })
     }
 
-    fn insert(&mut self, key: String, outcome: Arc<CachedOutcome>) {
+    /// Inserts an entry, evicting the least-recently-used one at capacity.
+    /// Returns how many entries were evicted (0 or 1) so the daemon's
+    /// eviction counter stays exact.
+    fn insert(&mut self, key: String, outcome: Arc<CachedOutcome>) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         self.tick += 1;
+        let mut evicted = 0;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
                 .map
@@ -204,9 +239,32 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                evicted = 1;
             }
         }
         self.map.insert(key, (self.tick, outcome));
+        evicted
+    }
+
+    /// Rewrites every entry through `migrate`: `Some(new_key)` keeps the
+    /// entry (possibly under a different key, preserving its recency),
+    /// `None` drops it. Returns how many entries were dropped. This is how
+    /// `update` re-keys surviving answers under the new fingerprint.
+    fn retain_rekey<F>(&mut self, mut migrate: F) -> u64
+    where
+        F: FnMut(&str, &CachedOutcome) -> Option<String>,
+    {
+        let mut dropped = 0;
+        let entries: Vec<_> = self.map.drain().collect();
+        for (key, (used, outcome)) in entries {
+            match migrate(&key, &outcome) {
+                Some(new_key) => {
+                    self.map.insert(new_key, (used, outcome));
+                }
+                None => dropped += 1,
+            }
+        }
+        dropped
     }
 
     fn len(&self) -> usize {
@@ -238,7 +296,13 @@ impl WakeTarget {
 
 /// Everything a connection thread needs, shared behind one `Arc`.
 struct ServerState {
-    prepared: PreparedGraph,
+    /// The current graph snapshot. Computations take a brief read lock to
+    /// clone the `Arc` and then work lock-free on their snapshot; `update`
+    /// swaps in a freshly prepared graph under the write lock.
+    prepared: RwLock<Arc<PreparedGraph>>,
+    /// Serialises `update` requests end to end (apply → prepare → swap →
+    /// cache re-key) so two concurrent deltas cannot interleave.
+    update_lock: Mutex<()>,
     settings: ServeSettings,
     cache: Mutex<ResultCache>,
     gate: Gate,
@@ -246,6 +310,12 @@ struct ServerState {
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     wake: WakeTarget,
+}
+
+impl ServerState {
+    fn snapshot(&self) -> Arc<PreparedGraph> {
+        Arc::clone(&self.prepared.read().expect("prepared lock"))
+    }
 }
 
 /// A connected client stream, TCP or Unix.
@@ -349,7 +419,8 @@ fn serve_on(
     let bench_log = settings.bench_log.clone();
     let graph_label = settings.graph_label.clone();
     let state = Arc::new(ServerState {
-        prepared: PreparedGraph::new(graph),
+        prepared: RwLock::new(Arc::new(PreparedGraph::new(graph))),
+        update_lock: Mutex::new(()),
         gate: Gate::new(settings.max_inflight),
         cache: Mutex::new(ResultCache::new(settings.cache_capacity)),
         settings,
@@ -390,7 +461,8 @@ fn serve_on(
         std::thread::sleep(Duration::from_millis(2));
     }
 
-    let summary = state.stats.snapshot();
+    let cache_len = state.cache.lock().expect("cache lock").len();
+    let summary = state.stats.snapshot(cache_len);
     if let Some(path) = bench_log {
         let _ = mqce_bench::runner::append_json(&path, &[serve_record(&graph_label, summary)]);
     }
@@ -425,6 +497,12 @@ fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRe
         thread_stats: Vec::new(),
         serve_requests: summary.requests,
         serve_cache_hits: summary.cache_hits,
+        serve_cache_misses: summary.cache_misses,
+        serve_cache_evictions: summary.cache_evictions,
+        serve_cache_len: summary.cache_len,
+        updates_applied: 0,
+        dirty_subproblems: 0,
+        full_recompute_millis: 0.0,
         alloc_count: 0,
         peak_alloc_bytes: 0,
         stats: Default::default(),
@@ -467,6 +545,15 @@ fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
     let arrival = Instant::now();
     match req.cmd.as_str() {
         "ping" => (ping_response(state, &req), false),
+        // Updates mutate the graph, so they bypass the result cache entirely
+        // (rather: they rewrite it) and are never stored in it.
+        "update" => {
+            let response = update_response(state, &req, arrival);
+            if !response.ok {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            (response, false)
+        }
         "shutdown" => (
             Response {
                 id: req.id,
@@ -486,12 +573,14 @@ fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
 }
 
 fn ping_response(state: &ServerState, req: &Request) -> Response {
-    let stats = state.stats.snapshot();
-    let g = state.prepared.graph();
+    let cache_len = state.cache.lock().expect("cache lock").len();
+    let stats = state.stats.snapshot(cache_len);
+    let prepared = state.snapshot();
+    let g = prepared.graph();
     let extra = vec![
         (
             "fingerprint".to_string(),
-            Value::Str(format!("{:016x}", state.prepared.fingerprint())),
+            Value::Str(format!("{:016x}", prepared.fingerprint())),
         ),
         (
             "graph".to_string(),
@@ -501,7 +590,7 @@ fn ping_response(state: &ServerState, req: &Request) -> Response {
         ("edges".to_string(), Value::Num(g.num_edges() as f64)),
         (
             "degeneracy".to_string(),
-            Value::Num(state.prepared.degeneracy() as f64),
+            Value::Num(prepared.degeneracy() as f64),
         ),
         ("requests".to_string(), Value::Num(stats.requests as f64)),
         (
@@ -509,14 +598,113 @@ fn ping_response(state: &ServerState, req: &Request) -> Response {
             Value::Num(stats.cache_hits as f64),
         ),
         (
+            "cache_misses".to_string(),
+            Value::Num(stats.cache_misses as f64),
+        ),
+        (
+            "cache_evictions".to_string(),
+            Value::Num(stats.cache_evictions as f64),
+        ),
+        ("cache_len".to_string(), Value::Num(stats.cache_len as f64)),
+        (
             "cache_entries".to_string(),
-            Value::Num(state.cache.lock().expect("cache lock").len() as f64),
+            Value::Num(stats.cache_len as f64),
         ),
     ];
     Response {
         id: req.id.clone(),
         ok: true,
         extra,
+        ..Response::default()
+    }
+}
+
+/// Handles an `update` request: applies the [`GraphDelta`] to the current
+/// snapshot, recomputes the core decomposition (reporting which vertices
+/// changed core number), swaps in the freshly prepared graph — the
+/// fingerprint is recomputed from the mutated CSR, so it tracks the graph
+/// exactly — and re-keys the result cache. A cached `query` answer whose
+/// vertices all lie outside the dirty two-hop closure cannot have changed
+/// (every affected maximal quasi-clique lives inside that closure), so it
+/// survives under the new fingerprint; every other entry is invalidated.
+fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Response {
+    if req.insert.is_empty() && req.delete.is_empty() {
+        return Response::failure(
+            req.id.clone(),
+            "`update` needs a non-empty `insert` or `delete` list",
+        );
+    }
+    let delta = GraphDelta::new(req.insert.clone(), req.delete.clone());
+
+    // One update at a time: apply → prepare → swap → re-key is atomic with
+    // respect to other updates. Readers keep using their snapshots.
+    let _updating = state.update_lock.lock().expect("update lock");
+    let old = state.snapshot();
+    let old_fingerprint = old.fingerprint();
+    let new_graph = delta.apply(old.graph());
+    let mut scratch = SubproblemScratch::new();
+    let dirty = dirty_two_hop_closure(old.graph(), &new_graph, &delta, &mut scratch);
+    let core_update = update_core_decomposition(old.cores(), &new_graph);
+    let prepared = Arc::new(PreparedGraph::with_cores(new_graph, core_update.cores));
+    let new_fingerprint = prepared.fingerprint();
+    *state.prepared.write().expect("prepared lock") = Arc::clone(&prepared);
+
+    // Re-key the cache: only `query` answers fully outside the dirty
+    // closure are still valid. Anything else (whole-graph enumerations,
+    // top-k answers, queries touching the closure, leftovers from even
+    // older fingerprints) is dropped and counted as an eviction.
+    let old_prefix = format!("{old_fingerprint:016x}|");
+    let new_prefix = format!("{new_fingerprint:016x}|");
+    let (invalidated, kept) = {
+        let mut cache = state.cache.lock().expect("cache lock");
+        let invalidated = cache.retain_rekey(|key, outcome| {
+            let rest = key.strip_prefix(old_prefix.as_str())?;
+            let unaffected = outcome.cmd == "query"
+                && !outcome.vertices.is_empty()
+                && outcome
+                    .vertices
+                    .iter()
+                    .all(|v| dirty.binary_search(v).is_err());
+            unaffected.then(|| format!("{new_prefix}{rest}"))
+        });
+        (invalidated, cache.len())
+    };
+    state
+        .stats
+        .cache_evictions
+        .fetch_add(invalidated, Ordering::Relaxed);
+
+    let g = prepared.graph();
+    Response {
+        id: req.id.clone(),
+        ok: true,
+        elapsed_ms: arrival.elapsed().as_secs_f64() * 1e3,
+        extra: vec![
+            (
+                "fingerprint".to_string(),
+                Value::Str(format!("{new_fingerprint:016x}")),
+            ),
+            (
+                "previous_fingerprint".to_string(),
+                Value::Str(format!("{old_fingerprint:016x}")),
+            ),
+            (
+                "updates_applied".to_string(),
+                Value::Num(delta.len() as f64),
+            ),
+            ("dirty".to_string(), Value::Num(dirty.len() as f64)),
+            (
+                "core_changed".to_string(),
+                Value::Num(core_update.changed.len() as f64),
+            ),
+            ("vertices".to_string(), Value::Num(g.num_vertices() as f64)),
+            ("edges".to_string(), Value::Num(g.num_edges() as f64)),
+            (
+                "cache_invalidated".to_string(),
+                Value::Num(invalidated as f64),
+            ),
+            ("cache_kept".to_string(), Value::Num(kept as f64)),
+        ],
         ..Response::default()
     }
 }
@@ -546,13 +734,22 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
     let deadline = req
         .deadline_ms
         .map(|ms| arrival + Duration::from_millis(ms));
-    let key = req.cache_key(state.prepared.fingerprint());
+    // The snapshot pins one graph version for the whole request: the cache
+    // key, the enumeration and the stored outcome all agree even if an
+    // update lands mid-request.
+    let prepared = state.snapshot();
+    let key = req.cache_key(prepared.fingerprint());
 
     if !req.no_cache {
         let hit = state.cache.lock().expect("cache lock").get(&key);
-        if let Some(outcome) = hit {
-            state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return render(&req, &outcome, true, false, false, arrival);
+        match hit {
+            Some(outcome) => {
+                state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return render(&req, &outcome, true, false, false, arrival);
+            }
+            None => {
+                state.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -582,28 +779,29 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
         "enumerate" => {
             let threads = crate::resolve_threads(req.threads);
             let result = if threads > 1 {
-                enumerate_mqcs_shared_parallel(&state.prepared, &config, threads)
+                enumerate_mqcs_shared_parallel(&prepared, &config, threads)
             } else {
-                enumerate_mqcs_shared(&state.prepared, &config)
+                enumerate_mqcs_shared(&prepared, &config)
             };
             let (timed_out, s2_timed_out) = (result.timed_out(), result.s2_timed_out());
             let outcome = CachedOutcome {
+                cmd: req.cmd.clone(),
+                vertices: Vec::new(),
                 mqcs: result.mqcs,
                 extra: vec![("s2_engine".to_string(), Value::Str(result.s2.to_string()))],
             };
             (outcome, timed_out || s2_timed_out, s2_timed_out)
         }
         "query" => {
-            let result = match mqce_core::find_mqcs_containing(
-                state.prepared.graph(),
-                &req.vertices,
-                &config,
-            ) {
-                Ok(result) => result,
-                Err(e) => return Response::failure(req.id, e.to_string()),
-            };
+            let result =
+                match mqce_core::find_mqcs_containing(prepared.graph(), &req.vertices, &config) {
+                    Ok(result) => result,
+                    Err(e) => return Response::failure(req.id, e.to_string()),
+                };
             let s2_timed_out = result.s2_timed_out;
             let outcome = CachedOutcome {
+                cmd: req.cmd.clone(),
+                vertices: req.vertices.clone(),
                 mqcs: result.mqcs,
                 extra: vec![(
                     "universe".to_string(),
@@ -614,7 +812,7 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
         }
         "topk" => {
             let result = match mqce_core::find_largest_mqcs(
-                state.prepared.graph(),
+                prepared.graph(),
                 req.gamma,
                 req.k,
                 Some(config),
@@ -623,6 +821,8 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
                 Err(e) => return Response::failure(req.id, e.to_string()),
             };
             let outcome = CachedOutcome {
+                cmd: req.cmd.clone(),
+                vertices: Vec::new(),
                 mqcs: result.mqcs,
                 extra: vec![
                     (
@@ -646,11 +846,15 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
 
     let outcome = Arc::new(outcome);
     if !req.no_cache && !best_effort && !s2_timed_out {
-        state
+        let evicted = state
             .cache
             .lock()
             .expect("cache lock")
             .insert(key, Arc::clone(&outcome));
+        state
+            .stats
+            .cache_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
     }
     render(&req, &outcome, false, best_effort, s2_timed_out, arrival)
 }
@@ -748,8 +952,14 @@ pub(crate) fn cmd_serve<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<()
     if !quiet {
         writeln!(
             out,
-            "served           requests={} cache_hits={} expired={} errors={}",
-            summary.requests, summary.cache_hits, summary.expired, summary.errors
+            "served           requests={} cache_hits={} cache_misses={} cache_evictions={} cache_len={} expired={} errors={}",
+            summary.requests,
+            summary.cache_hits,
+            summary.cache_misses,
+            summary.cache_evictions,
+            summary.cache_len,
+            summary.expired,
+            summary.errors
         )
         .map_err(io_err)?;
     }
@@ -787,6 +997,30 @@ fn connect_with_retry(parsed: &ParsedArgs) -> Result<Stream, CliError> {
     }
 }
 
+/// Parses an `--insert`/`--delete` flag value: a comma-separated list of
+/// `u-v` endpoint pairs, e.g. `0-3,7-12`.
+fn parse_edge_list(parsed: &ParsedArgs, name: &str) -> Result<Vec<(u32, u32)>, CliError> {
+    let Some(text) = parsed.get(name) else {
+        return Ok(Vec::new());
+    };
+    let bad = |pair: &str| {
+        CliError::Params(format!(
+            "--{name}: `{pair}` is not a `u-v` edge (expected e.g. `0-3,7-12`)"
+        ))
+    };
+    text.split(',')
+        .map(str::trim)
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| {
+            let (u, v) = pair.split_once('-').ok_or_else(|| bad(pair))?;
+            Ok((
+                u.trim().parse::<u32>().map_err(|_| bad(pair))?,
+                v.trim().parse::<u32>().map_err(|_| bad(pair))?,
+            ))
+        })
+        .collect()
+}
+
 /// Builds the single request described by `mqce client --cmd ...` flags.
 fn request_from_flags(parsed: &ParsedArgs, cmd: &str) -> Result<Request, CliError> {
     Ok(Request {
@@ -796,6 +1030,8 @@ fn request_from_flags(parsed: &ParsedArgs, cmd: &str) -> Result<Request, CliErro
         theta: parsed.get_usize("theta", 2)?,
         k: parsed.get_usize("k", 10)?,
         vertices: parsed.get_vertex_list("vertices")?,
+        insert: parse_edge_list(parsed, "insert")?,
+        delete: parse_edge_list(parsed, "delete")?,
         algorithm: parsed.get("algorithm").map(str::to_string),
         branching: parsed.get("branching").map(str::to_string),
         backend: parsed.get("backend").map(str::to_string),
@@ -826,6 +1062,8 @@ pub(crate) fn cmd_client<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(
         "theta",
         "k",
         "vertices",
+        "insert",
+        "delete",
         "algorithm",
         "branching",
         "backend",
@@ -917,19 +1155,22 @@ mod tests {
         assert!(gate.acquire(Some(Instant::now() + Duration::from_millis(20))));
     }
 
+    fn outcome(cmd: &str, vertices: &[u32]) -> Arc<CachedOutcome> {
+        Arc::new(CachedOutcome {
+            cmd: cmd.to_string(),
+            vertices: vertices.to_vec(),
+            mqcs: Vec::new(),
+            extra: Vec::new(),
+        })
+    }
+
     #[test]
     fn cache_evicts_least_recently_used() {
         let mut cache = ResultCache::new(2);
-        let outcome = || {
-            Arc::new(CachedOutcome {
-                mqcs: Vec::new(),
-                extra: Vec::new(),
-            })
-        };
-        cache.insert("a".to_string(), outcome());
-        cache.insert("b".to_string(), outcome());
+        assert_eq!(cache.insert("a".to_string(), outcome("query", &[1])), 0);
+        assert_eq!(cache.insert("b".to_string(), outcome("query", &[2])), 0);
         assert!(cache.get("a").is_some()); // refresh `a`
-        cache.insert("c".to_string(), outcome()); // evicts `b`
+        assert_eq!(cache.insert("c".to_string(), outcome("query", &[3])), 1); // evicts `b`
         assert!(cache.get("b").is_none());
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
@@ -939,14 +1180,34 @@ mod tests {
     #[test]
     fn zero_capacity_cache_stores_nothing() {
         let mut cache = ResultCache::new(0);
-        cache.insert(
-            "a".to_string(),
-            Arc::new(CachedOutcome {
-                mqcs: Vec::new(),
-                extra: Vec::new(),
-            }),
-        );
+        assert_eq!(cache.insert("a".to_string(), outcome("query", &[1])), 0);
         assert!(cache.get("a").is_none());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn retain_rekey_migrates_survivors_and_counts_drops() {
+        let mut cache = ResultCache::new(8);
+        cache.insert("00aa|query|x".to_string(), outcome("query", &[5]));
+        cache.insert("00aa|query|y".to_string(), outcome("query", &[2]));
+        cache.insert("00aa|enumerate|z".to_string(), outcome("enumerate", &[]));
+        cache.insert("dead|query|w".to_string(), outcome("query", &[9]));
+        // Mimic an update: old fp `00aa`, new fp `00bb`, dirty = {2}.
+        let dirty = [2u32];
+        let dropped = cache.retain_rekey(|key, entry| {
+            let rest = key.strip_prefix("00aa|")?;
+            let unaffected = entry.cmd == "query"
+                && !entry.vertices.is_empty()
+                && entry
+                    .vertices
+                    .iter()
+                    .all(|v| dirty.binary_search(v).is_err());
+            unaffected.then(|| format!("00bb|{rest}"))
+        });
+        // Dropped: the dirty query, the enumerate, and the stale-fp entry.
+        assert_eq!(dropped, 3);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("00bb|query|x").is_some());
+        assert!(cache.get("00aa|query|x").is_none());
     }
 }

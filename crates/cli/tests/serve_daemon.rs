@@ -222,6 +222,129 @@ fn spent_deadlines_return_promptly_and_are_flagged_best_effort() {
 }
 
 #[test]
+fn updates_rekey_the_cache_and_match_a_fresh_run() {
+    use mqce_graph::{dirty_two_hop_closure, GraphDelta, SubproblemScratch};
+
+    let graph = test_graph(300, 9);
+    let config = MqceConfig::new(0.9, 4).unwrap();
+
+    // Build the batch locally first: delete one edge and insert one non-edge
+    // in the high-vertex region, then compute the dirty two-hop closure so
+    // the test can pick a provably unaffected query vertex.
+    let deleted = graph
+        .edges()
+        .find(|&(u, _)| u >= 250)
+        .expect("the community graph has edges among high vertices");
+    let inserted = (250..300u32)
+        .flat_map(|u| (250..300u32).map(move |v| (u, v)))
+        .find(|&(u, v)| u < v && !graph.has_edge(u, v))
+        .expect("some high-vertex non-edge exists");
+    let delta = GraphDelta::new(vec![inserted], vec![deleted]);
+    let mutated = delta.apply(&graph);
+    let mut scratch = SubproblemScratch::new();
+    let dirty = dirty_two_hop_closure(&graph, &mutated, &delta, &mut scratch);
+    let clean_v = (0..graph.num_vertices() as u32)
+        .find(|v| dirty.binary_search(v).is_err())
+        .expect("some vertex is outside the dirty closure");
+    let dirty_v = *dirty.first().expect("the closure is non-empty");
+
+    let expected_clean = find_mqcs_containing(&graph, &[clean_v], &config)
+        .expect("query succeeds")
+        .mqcs;
+    let expected_after = enumerate_mqcs(&mutated, &config).mqcs;
+
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+    let query = |v: u32| Request {
+        cmd: "query".to_string(),
+        gamma: 0.9,
+        theta: 4,
+        vertices: vec![v],
+        sets: true,
+        ..Request::default()
+    };
+
+    // Warm the cache: one query far from the update, one inside its closure.
+    let cold_clean = roundtrip(addr, &query(clean_v));
+    assert!(cold_clean.ok && !cold_clean.cached);
+    assert_eq!(cold_clean.mqcs.as_ref(), Some(&expected_clean));
+    let cold_dirty = roundtrip(addr, &query(dirty_v));
+    assert!(cold_dirty.ok && !cold_dirty.cached);
+
+    // Apply the update.
+    let update = roundtrip(
+        addr,
+        &Request {
+            cmd: "update".to_string(),
+            insert: vec![inserted],
+            delete: vec![deleted],
+            ..Request::default()
+        },
+    );
+    assert!(update.ok, "update failed: {:?}", update.error);
+    let new_fp = format!("{:016x}", mutated.fingerprint());
+    assert_eq!(update.extra_str("fingerprint"), Some(new_fp.as_str()));
+    assert_ne!(
+        update.extra_str("fingerprint"),
+        update.extra_str("previous_fingerprint"),
+        "the fingerprint must change with the graph"
+    );
+    assert_eq!(update.extra_num("updates_applied"), Some(2.0));
+    assert_eq!(update.extra_num("dirty"), Some(dirty.len() as f64));
+    assert!(update.extra_num("cache_invalidated").unwrap_or(0.0) >= 1.0);
+    assert!(update.extra_num("cache_kept").unwrap_or(0.0) >= 1.0);
+
+    // The unaffected query survived the re-key: same answer, still cached.
+    let warm_clean = roundtrip(addr, &query(clean_v));
+    assert!(
+        warm_clean.cached,
+        "a query outside the dirty closure must stay cached across the update"
+    );
+    assert_eq!(warm_clean.mqcs.as_ref(), Some(&expected_clean));
+
+    // The query inside the closure was invalidated and recomputes against
+    // the mutated graph.
+    let recomputed = roundtrip(addr, &query(dirty_v));
+    assert!(recomputed.ok && !recomputed.cached);
+    let expected_dirty = find_mqcs_containing(&mutated, &[dirty_v], &config)
+        .expect("query succeeds")
+        .mqcs;
+    assert_eq!(recomputed.mqcs.as_ref(), Some(&expected_dirty));
+
+    // A full enumeration now equals a fresh run on the mutated graph.
+    let after = roundtrip(
+        addr,
+        &Request {
+            gamma: 0.9,
+            theta: 4,
+            sets: true,
+            ..Request::default()
+        },
+    );
+    assert!(after.ok && !after.cached);
+    assert_eq!(after.mqcs.as_ref(), Some(&expected_after));
+
+    // Ping reports the new fingerprint and the cache counters moved.
+    let ping = roundtrip(
+        addr,
+        &Request {
+            cmd: "ping".to_string(),
+            ..Request::default()
+        },
+    );
+    assert_eq!(ping.extra_str("fingerprint"), Some(new_fp.as_str()));
+    assert!(ping.extra_num("cache_evictions").unwrap_or(0.0) >= 1.0);
+    assert!(ping.extra_num("cache_misses").unwrap_or(0.0) >= 3.0);
+
+    shutdown(addr);
+    let summary = handle.join().expect("daemon thread");
+    assert_eq!(summary.errors, 0);
+    assert!(summary.cache_hits >= 1);
+    assert!(summary.cache_misses >= 3);
+    assert!(summary.cache_evictions >= 1);
+    assert!(summary.cache_len >= 1);
+}
+
+#[test]
 fn malformed_and_invalid_requests_get_error_responses() {
     let graph = test_graph(500, 5);
     let (addr, handle) = start_daemon(graph, ServeSettings::default());
@@ -320,6 +443,42 @@ fn cli_serve_and_client_roundtrip_over_unix_socket() {
     let warm = Response::parse_line(warm.trim()).unwrap();
     assert!(warm.cached, "same request again must hit the cache");
     assert_eq!(warm.mqcs.as_ref(), Some(&expected));
+
+    // Mutate the graph through the client's `--insert`/`--delete` edge-pair
+    // flags; the daemon must answer subsequent requests for the new graph.
+    use mqce_graph::GraphDelta;
+    let (du, dv) = loaded.edges().next().expect("graph has edges");
+    let (iu, iv) = (0..loaded.num_vertices() as u32)
+        .flat_map(|u| (0..loaded.num_vertices() as u32).map(move |v| (u, v)))
+        .find(|&(u, v)| u < v && !loaded.has_edge(u, v))
+        .expect("some non-edge exists");
+    let updated = client(&[
+        "--cmd",
+        "update",
+        "--insert",
+        &format!("{iu}-{iv}"),
+        "--delete",
+        &format!("{du}-{dv}"),
+    ]);
+    let updated = Response::parse_line(updated.trim()).unwrap();
+    assert!(updated.ok, "update failed: {:?}", updated.error);
+    let mutated = GraphDelta::new(vec![(iu, iv)], vec![(du, dv)]).apply(&loaded);
+    let expected_after = enumerate_mqcs(&mutated, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+    let after = client(&[
+        "--cmd",
+        "enumerate",
+        "--gamma",
+        "0.9",
+        "--theta",
+        "4",
+        "--sets",
+    ]);
+    let after = Response::parse_line(after.trim()).unwrap();
+    assert!(
+        after.ok && !after.cached,
+        "old cache entries must not answer for the mutated graph"
+    );
+    assert_eq!(after.mqcs.as_ref(), Some(&expected_after));
 
     client(&["--shutdown"]);
     server.join().expect("server thread");

@@ -266,7 +266,7 @@ pub(crate) fn build_subproblem_in(
 /// worker's `raw` arena, and stream it into the maximality engine (when one
 /// is attached).
 #[allow(clippy::too_many_arguments)]
-fn solve_subproblem_streaming<'e>(
+pub(crate) fn solve_subproblem_streaming<'e>(
     plan: &DcPlan,
     vi: VertexId,
     params: MqceParams,

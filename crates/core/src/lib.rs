@@ -42,6 +42,7 @@ pub mod config;
 pub mod dc;
 pub mod edge_qc;
 pub mod fastqc;
+pub mod incremental;
 pub mod kernel;
 pub mod naive;
 pub mod pipeline;
@@ -59,6 +60,7 @@ pub use config::{
     AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams, ParamError, S2Backend,
     S2CostModel,
 };
+pub use incremental::{IncrementalSession, UpdateOutcome};
 pub use mqce_settrie::S2Decision;
 pub use pipeline::{
     enumerate_mqcs, enumerate_mqcs_default, enumerate_mqcs_parallel, enumerate_mqcs_parallel_with,

@@ -96,7 +96,7 @@ impl MqceResult {
 
 /// The `(inner algorithm, DC configuration)` pair of a DC-family algorithm,
 /// `None` for algorithms without a divide-and-conquer decomposition.
-fn dc_setup(config: &MqceConfig) -> Option<(InnerAlgorithm, DcConfig)> {
+pub(crate) fn dc_setup(config: &MqceConfig) -> Option<(InnerAlgorithm, DcConfig)> {
     match config.algorithm {
         Algorithm::DcFastQc => Some((
             InnerAlgorithm::FastQc(config.branching),

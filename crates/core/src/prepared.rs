@@ -49,6 +49,23 @@ impl PreparedGraph {
         }
     }
 
+    /// Prepares `graph` reusing an already-computed core decomposition —
+    /// the incremental-update path maintains the decomposition itself (see
+    /// `mqce_graph::delta::update_core_decomposition`) and must not pay the
+    /// peel a second time. `cores` must be the decomposition of `graph`.
+    pub fn with_cores(graph: Graph, cores: CoreDecomposition) -> Self {
+        debug_assert_eq!(cores.core_numbers.len(), graph.num_vertices());
+        let fingerprint = graph.fingerprint();
+        let matrix = AdjacencyMatrix::recommended_for(graph.num_vertices())
+            .then(|| AdjacencyMatrix::from_graph(&graph));
+        PreparedGraph {
+            graph,
+            fingerprint,
+            cores,
+            matrix,
+        }
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph

@@ -107,49 +107,13 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, EdgeListError> 
         }
     }
 
-    // Two-pass CSR construction over the flat edge array: count degrees,
-    // prefix-sum into offsets, then fill each vertex's segment through a
-    // cursor array.
+    // The CSR build (two passes over the flat edge array, then per-vertex
+    // sort + dedup with a compacting write cursor) is shared with
+    // `GraphDelta` so update batches and file loads canonicalise edges
+    // identically.
     let n = labels.len();
-    let mut offsets = vec![0usize; n + 1];
-    for &(u, v) in &edges {
-        offsets[u as usize + 1] += 1;
-        offsets[v as usize + 1] += 1;
-    }
-    for i in 0..n {
-        offsets[i + 1] += offsets[i];
-    }
-    let mut neighbors = vec![0 as VertexId; offsets[n]];
-    let mut cursor: Vec<usize> = offsets[..n].to_vec();
-    for &(u, v) in &edges {
-        neighbors[cursor[u as usize]] = v;
-        cursor[u as usize] += 1;
-        neighbors[cursor[v as usize]] = u;
-        cursor[v as usize] += 1;
-    }
-    drop(cursor);
+    let (offsets, neighbors) = crate::delta::csr_from_edges(n, &edges);
     drop(edges);
-
-    // Sort each adjacency list in place and drop duplicate edges, compacting
-    // the pool with a forward write cursor. `write` never exceeds the current
-    // segment's start, so the reads stay ahead of the writes.
-    let mut write = 0usize;
-    for v in 0..n {
-        let (start, end) = (offsets[v], offsets[v + 1]);
-        neighbors[start..end].sort_unstable();
-        offsets[v] = write;
-        let mut prev = None;
-        for i in start..end {
-            let nb = neighbors[i];
-            if prev != Some(nb) {
-                neighbors[write] = nb;
-                write += 1;
-                prev = Some(nb);
-            }
-        }
-    }
-    offsets[n] = write;
-    neighbors.truncate(write);
 
     Ok(LoadedGraph {
         graph: Graph::from_csr_parts(offsets, neighbors),

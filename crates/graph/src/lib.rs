@@ -20,6 +20,9 @@
 //! * [`scratch`] — reusable per-worker buffers ([`SubproblemScratch`]) for
 //!   allocation-free subgraph extraction on the divide-and-conquer hot path.
 //! * [`connectivity`] — BFS connectivity and connected components.
+//! * [`delta`] — normalised edge-update batches ([`GraphDelta`]) with a
+//!   slack-aware CSR rebuild, dirty two-hop closures, and incremental
+//!   core-decomposition maintenance for the incremental enumeration layer.
 //! * [`edge_list`] — plain-text edge-list parsing and serialisation.
 //! * [`stats`] — summary statistics matching the columns of Table 1 of the
 //!   paper (|V|, |E|, density, max degree, degeneracy).
@@ -33,6 +36,7 @@ pub mod bitset;
 mod builder;
 pub mod connectivity;
 pub mod core_decomp;
+pub mod delta;
 pub mod edge_list;
 pub mod formats;
 pub mod generators;
@@ -44,6 +48,9 @@ pub mod subgraph;
 
 pub use bitset::{AdjacencyMatrix, BitSet};
 pub use builder::GraphBuilder;
+pub use delta::{
+    canonicalize_edges, dirty_two_hop_closure, update_core_decomposition, CoreUpdate, GraphDelta,
+};
 pub use graph::{Graph, VertexId};
 pub use scratch::SubproblemScratch;
 pub use stats::GraphStats;

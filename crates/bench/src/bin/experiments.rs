@@ -21,20 +21,77 @@
 //!
 //! `--quick` runs the reduced-scale suite with a short time limit (useful for
 //! smoke-testing the harness); the default is the full laptop-scale suite.
+//!
+//! `fuzz` is the odd one out: it runs the structured differential fuzzer
+//! (`--fuzz-iters`, `--seed`, `--fixture-dir`, or `--replay <fixture>`)
+//! instead of a measurement sweep, writes minimised fixtures for any
+//! divergence it finds, and exits nonzero on failure so CI can gate on it.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use mqce_bench::experiments::{self, ExperimentOptions};
+use mqce_bench::fuzz::{replay_fixture, run_fuzz, FuzzOptions};
 use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|updates|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|updates|fuzz|all> \
          [--quick] [--time-limit <seconds>] [--json <path>] \
-         [--s2-backend <inverted|bitset|extremal>] [--emit <path>]"
+         [--s2-backend <inverted|bitset|extremal>] [--emit <path>] \
+         [--fuzz-iters <n>] [--seed <n>] [--fixture-dir <dir>] [--replay <fixture>]"
     );
     std::process::exit(2);
+}
+
+/// Runs `experiments fuzz`: a seeded differential sweep (or a single fixture
+/// replay), printing a summary and exiting nonzero on any confirmed failure.
+fn run_fuzz_command(fuzz_opts: FuzzOptions, replay: Option<PathBuf>) -> ! {
+    let report = match replay {
+        Some(path) => {
+            println!("replaying fixture {}", path.display());
+            match replay_fixture(&path) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("fuzz replay failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            println!(
+                "fuzzing {} cases (seed {:#x}), fixtures -> {}",
+                fuzz_opts.iterations,
+                fuzz_opts.seed,
+                fuzz_opts.fixture_dir.display()
+            );
+            run_fuzz(&fuzz_opts)
+        }
+    };
+    println!(
+        "fuzz: {} cases, {} checks, {} contained injected panics, {} failures",
+        report.cases,
+        report.checks,
+        report.contained_panics,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        std::process::exit(0);
+    }
+    for failure in &report.failures {
+        eprintln!(
+            "FAIL case {} [{}]: {}{}",
+            failure.case,
+            failure.check,
+            failure.detail,
+            failure
+                .fixture
+                .as_ref()
+                .map(|p| format!(" (fixture: {})", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    std::process::exit(1);
 }
 
 fn main() {
@@ -46,6 +103,8 @@ fn main() {
     let mut opts = ExperimentOptions::default();
     let mut json_path: Option<PathBuf> = None;
     let mut emit_path: Option<PathBuf> = None;
+    let mut fuzz_opts = FuzzOptions::default();
+    let mut replay_path: Option<PathBuf> = None;
 
     let mut i = 0;
     let mut time_limit_set = false;
@@ -53,6 +112,31 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--fuzz-iters" => {
+                i += 1;
+                fuzz_opts.iterations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                fuzz_opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fixture-dir" => {
+                i += 1;
+                fuzz_opts.fixture_dir =
+                    PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--replay" => {
+                i += 1;
+                replay_path = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
             "--time-limit" => {
                 i += 1;
                 let secs: u64 = args
@@ -91,6 +175,11 @@ fn main() {
         i += 1;
     }
     let experiment = experiment.unwrap_or_else(|| usage());
+    // `fuzz` is not a measurement sweep: it never returns RunRecords and
+    // exits with its own status so CI can gate on divergences directly.
+    if experiment == "fuzz" {
+        run_fuzz_command(fuzz_opts, replay_path);
+    }
     // `--quick` switches to the small-scale suite; an explicit
     // `--time-limit` wins over quick's short default regardless of the
     // order the two flags appeared in.

@@ -11,6 +11,11 @@
 //! * [`experiments`] — one function per table/figure of the paper
 //!   (Table 1, Figures 7–12, and the MAX_ROUND / shrinking / S2-cost
 //!   "other experiments").
+//! * [`fuzz`] — the offline structured differential fuzzer behind
+//!   `experiments fuzz`: seeded arbitrary-but-valid instances run through
+//!   every production configuration against the naive oracle, the
+//!   incremental session, the update WAL, and the panic-containment
+//!   boundary, with failing inputs minimised into replayable fixtures.
 //!
 //! The `experiments` binary drives these from the command line; the Criterion
 //! benches in `benches/` cover the same sweeps in `cargo bench` form.
@@ -24,4 +29,5 @@
 pub mod alloc_stats;
 pub mod datasets;
 pub mod experiments;
+pub mod fuzz;
 pub mod runner;

@@ -71,6 +71,7 @@ const SWITCHES: &[&str] = &[
     "no-cache",
     "sets",
     "shutdown",
+    "fault-injection",
 ];
 
 /// Parses raw arguments into positionals and options.

@@ -89,9 +89,11 @@ USAGE:
                 [--communities C] [--p-intra P] [--cave-size K] [--avg-degree A]
   mqce convert <input> <output>
   mqce serve <graph> [--addr HOST:PORT] [--socket PATH] [--max-inflight N]
-             [--cache-capacity N] [--bench-log PATH] [--quiet]
+             [--cache-capacity N] [--bench-log PATH] [--wal PATH]
+             [--fault-injection] [--quiet]
   mqce client [--addr HOST:PORT] [--socket PATH] [--retry-secs S]
-              [--requests FILE] [--cmd C --gamma G --theta T ...] [--shutdown]
+              [--requests FILE] [--cmd C --gamma G --theta T ...]
+              [--fault MODE] [--shutdown]
   mqce help
 
 GRAPH FILES: format chosen by extension — .clq/.dimacs/.col (DIMACS),
@@ -124,7 +126,16 @@ SERVE: the daemon loads the graph (plus degeneracy ordering and, when it
   Complete answers land in an LRU result cache; at most --max-inflight
   enumerations run at once; a spent deadline_ms budget returns immediately
   with best_effort=true. `mqce client` drives a running daemon and exits
-  non-zero if any response reports ok=false.
+  non-zero if any response reports ok=false; idempotent reads (ping,
+  enumerate, query, topk) are retried once on a transient connection reset.
+  A worker panic is contained to its DC subproblem (the response reports
+  contained_panics and is flagged best-effort); a handler panic becomes an
+  ok=false internal-error response on the same connection. With --wal PATH
+  every update is appended to a checksummed write-ahead log (fsync'd before
+  it is applied; the response reports the wal_offset watermark) and replayed
+  on startup, so a crashed daemon restarts to its exact pre-crash graph.
+  --fault-injection enables the debug-only per-request fault field
+  (panic | panic-locked | panic-worker:<v>) used by the containment tests.
 ";
 
 /// Entry point: parses `args` and writes the report to `out`.

@@ -54,6 +54,12 @@ pub struct Request {
     pub no_cache: bool,
     /// Include the MQC vertex sets in the response, not just the count.
     pub sets: bool,
+    /// Debug-only fault injection mode (`panic`, `panic-locked`,
+    /// `panic-worker:<v>`), used by the fault-containment tests. The daemon
+    /// refuses it unless started with `--fault-injection`. Fault requests
+    /// bypass the result cache entirely, so the field is not part of
+    /// [`Request::cache_key`].
+    pub fault: Option<String>,
 }
 
 impl Default for Request {
@@ -75,6 +81,7 @@ impl Default for Request {
             deadline_ms: None,
             no_cache: false,
             sets: false,
+            fault: None,
         }
     }
 }
@@ -245,6 +252,7 @@ impl Request {
                 "deadline_ms" => req.deadline_ms = Some(as_usize(v, "deadline_ms")? as u64),
                 "no_cache" => req.no_cache = as_bool(v, "no_cache")?,
                 "sets" => req.sets = as_bool(v, "sets")?,
+                "fault" => req.fault = Some(as_str(v, "fault")?),
                 other => return Err(format!("unknown request field `{other}`")),
             }
         }
@@ -314,6 +322,9 @@ impl Request {
         }
         if self.sets {
             push("sets", Value::Bool(true));
+        }
+        if let Some(fault) = &self.fault {
+            push("fault", Value::Str(fault.clone()));
         }
         Value::Object(fields)
     }
@@ -467,6 +478,7 @@ mod tests {
             deadline_ms: Some(250),
             no_cache: true,
             sets: true,
+            fault: Some("panic-worker:3".to_string()),
             ..Request::default()
         };
         let line = req.to_line();
@@ -523,6 +535,7 @@ mod tests {
         varied.sets = true;
         varied.threads = 8;
         varied.deadline_ms = Some(1000);
+        varied.fault = Some("panic".to_string());
         assert_eq!(base.cache_key(42), varied.cache_key(42));
         // ... but result-affecting parameters and the graph identity do key.
         let mut other = base.clone();

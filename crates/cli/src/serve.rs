@@ -43,12 +43,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use mqce_core::{enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, PreparedGraph};
 use mqce_graph::{
     dirty_two_hop_closure, update_core_decomposition, Graph, GraphDelta, SubproblemScratch,
+    WriteAheadLog,
 };
 use serde::Value;
 
@@ -68,6 +69,16 @@ pub struct ServeSettings {
     pub bench_log: Option<PathBuf>,
     /// Dataset label used in the bench-log record and ping responses.
     pub graph_label: String,
+    /// Write-ahead log for `update` requests. When set, every delta is
+    /// checksummed and fsync'd here *before* it is applied, so a killed
+    /// daemon restarted with the same log replays to the exact pre-crash
+    /// graph (same fingerprint, same family). `update` responses report the
+    /// durability watermark as `wal_offset`.
+    pub wal: Option<Arc<Mutex<WriteAheadLog>>>,
+    /// Honour the debug-only `fault` request field (panic injection), used
+    /// by the fault-containment tests. Leave off in production: a fault
+    /// request can deliberately panic a handler.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeSettings {
@@ -77,6 +88,8 @@ impl Default for ServeSettings {
             cache_capacity: 128,
             bench_log: None,
             graph_label: String::new(),
+            wal: None,
+            fault_injection: false,
         }
     }
 }
@@ -125,6 +138,16 @@ impl ServeStats {
     }
 }
 
+/// Recovers the guarded value from a poisoned lock. Poisoning only records
+/// that a panic unwound while the lock was held; every structure the daemon
+/// guards is either unconditionally consistent at that point (`Arc` swaps,
+/// counters, the WAL's append-only offset) or re-validated by its accessor
+/// (the result cache is cleared — see [`ServerState::cache`]), so recovering
+/// is safe and one panicking request can never wedge every later one.
+fn unpoison<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Counting semaphore for admission control. Waiters honour a deadline so a
 /// request cannot be stuck in the queue past its budget.
 struct Gate {
@@ -144,31 +167,27 @@ impl Gate {
 
     /// Waits for a slot. Returns `false` if `deadline` passes first.
     fn acquire(&self, deadline: Option<Instant>) -> bool {
-        let mut in_flight = self.slots.lock().expect("gate lock");
+        let mut in_flight = unpoison(self.slots.lock());
         loop {
             if *in_flight < self.capacity {
                 *in_flight += 1;
                 return true;
             }
             match deadline {
-                None => in_flight = self.cv.wait(in_flight).expect("gate lock"),
+                None => in_flight = unpoison(self.cv.wait(in_flight)),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
                         return false;
                     }
-                    in_flight = self
-                        .cv
-                        .wait_timeout(in_flight, d - now)
-                        .expect("gate lock")
-                        .0;
+                    in_flight = unpoison(self.cv.wait_timeout(in_flight, d - now)).0;
                 }
             }
         }
     }
 
     fn release(&self) {
-        let mut in_flight = self.slots.lock().expect("gate lock");
+        let mut in_flight = unpoison(self.slots.lock());
         *in_flight = in_flight.saturating_sub(1);
         drop(in_flight);
         self.cv.notify_one();
@@ -270,6 +289,16 @@ impl ResultCache {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Drops every entry, returning how many were removed. Used when the
+    /// mutex around the cache was poisoned: a panic mid-mutation may have
+    /// left a torn entry, and recomputing a few answers is safe where
+    /// serving a half-written one is not.
+    fn clear(&mut self) -> u64 {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        n
+    }
 }
 
 /// How a connection thread pokes the blocked `accept` loop after setting the
@@ -314,7 +343,27 @@ struct ServerState {
 
 impl ServerState {
     fn snapshot(&self) -> Arc<PreparedGraph> {
-        Arc::clone(&self.prepared.read().expect("prepared lock"))
+        let guard = unpoison(self.prepared.read());
+        Arc::clone(&guard)
+    }
+
+    /// Locks the result cache, recovering from poisoning by discarding the
+    /// (possibly torn) contents. The dropped entries are counted as
+    /// evictions so the accounting stays exact, and the poison mark is
+    /// cleared so later lockers take the fast path again.
+    fn cache(&self) -> MutexGuard<'_, ResultCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                let dropped = guard.clear();
+                self.stats
+                    .cache_evictions
+                    .fetch_add(dropped, Ordering::Relaxed);
+                guard
+            }
+        }
     }
 }
 
@@ -461,7 +510,7 @@ fn serve_on(
         std::thread::sleep(Duration::from_millis(2));
     }
 
-    let cache_len = state.cache.lock().expect("cache lock").len();
+    let cache_len = state.cache().len();
     let summary = state.stats.snapshot(cache_len);
     if let Some(path) = bench_log {
         let _ = mqce_bench::runner::append_json(&path, &[serve_record(&graph_label, summary)]);
@@ -509,11 +558,106 @@ fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRe
     }
 }
 
+/// Hard cap on one request line. The protocol's biggest legitimate payloads
+/// (bulk update edge lists) fit comfortably; anything larger is either a
+/// mistake or an attempt to balloon daemon memory, and is answered with a
+/// clean error instead of being buffered without bound.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One bounded read from a connection.
+enum LineRead {
+    /// A complete line (without the newline), within the size cap.
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the cap; the connection should be dropped (the
+    /// remainder of the stream can no longer be framed reliably).
+    TooLong,
+}
+
+/// Reads one newline-terminated line without ever buffering more than `max`
+/// bytes of it — the `BufRead::lines` convenience would happily grow its
+/// `String` to the size of whatever a client streams at us.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                // Final line without a trailing newline.
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    reader.consume(pos + 1);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > max {
+                    reader.consume(len);
+                    drain_line(reader, 8 * max)?;
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Discards the remainder of an oversized line (through its newline, EOF, or
+/// a hard budget). Without this, closing the connection while the client is
+/// still mid-write would RST the stream and could destroy the error response
+/// sitting in the client's receive buffer before it is read.
+fn drain_line<R: BufRead>(reader: &mut R, budget: usize) -> std::io::Result<()> {
+    let mut discarded = 0usize;
+    while discarded < budget {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                discarded += len;
+                reader.consume(len);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn handle_connection(stream: Stream, state: &Arc<ServerState>) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let response =
+                    Response::failure(None, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                writer.write_all(response.to_line().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                break;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -530,6 +674,18 @@ fn handle_connection(stream: Stream, state: &Arc<ServerState>) -> std::io::Resul
     Ok(())
 }
 
+/// Best human-readable rendering of a panic payload (panics almost always
+/// carry a `&str` or `String` message).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn handle_line(state: &ServerState, line: &str) -> (Response, bool) {
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     match Request::parse_line(line) {
@@ -537,12 +693,80 @@ fn handle_line(state: &ServerState, line: &str) -> (Response, bool) {
             state.stats.errors.fetch_add(1, Ordering::Relaxed);
             (Response::failure(None, e), false)
         }
-        Ok(req) => handle_request(state, req),
+        Ok(req) => {
+            // Containment boundary: a panicking handler answers *this*
+            // request with a typed internal error instead of killing its
+            // connection thread and leaving the client to diagnose an EOF.
+            // `AssertUnwindSafe` is sound because all state the handler can
+            // touch is shared and lock-guarded, and every lock recovers from
+            // poisoning into a consistent value (the cache by discarding its
+            // contents, everything else because its invariants hold wherever
+            // a panic can unwind through — see `unpoison`).
+            let id = req.id.clone();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_request(state, req)
+            })) {
+                Ok(answered) => answered,
+                Err(payload) => {
+                    state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let mut response = Response::failure(
+                        id,
+                        format!(
+                            "internal error: request handler panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    );
+                    response
+                        .extra
+                        .push(("error_kind".to_string(), Value::Str("internal".to_string())));
+                    (response, false)
+                }
+            }
+        }
+    }
+}
+
+/// Vets the debug-only `fault` request field. Returns an error response when
+/// fault injection is disabled or the mode is unknown, and panics on the
+/// spot for the handler-level modes — the containment boundary in
+/// [`handle_line`] turns that into a typed internal-error response.
+/// `panic-worker:<v>` returns `None` and is applied inside
+/// [`compute_response`], where the enumeration config exists.
+fn fault_gate(state: &ServerState, req: &Request) -> Option<Response> {
+    let fault = req.fault.as_deref()?;
+    if !state.settings.fault_injection {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return Some(Response::failure(
+            req.id.clone(),
+            "fault injection is disabled (start the daemon with --fault-injection)",
+        ));
+    }
+    match fault {
+        "panic" => panic!("injected fault: handler panic"),
+        "panic-locked" => {
+            // Panic while holding the cache lock: exercises the poison
+            // recovery in `ServerState::cache` (the next locker clears the
+            // torn cache and carries on) instead of wedging every later
+            // cache access.
+            let _cache = state.cache();
+            panic!("injected fault: handler panic while holding the cache lock");
+        }
+        mode if mode.starts_with("panic-worker:") => None,
+        other => {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            Some(Response::failure(
+                req.id.clone(),
+                format!("unknown fault mode {other:?}"),
+            ))
+        }
     }
 }
 
 fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
     let arrival = Instant::now();
+    if let Some(response) = fault_gate(state, &req) {
+        return (response, false);
+    }
     match req.cmd.as_str() {
         "ping" => (ping_response(state, &req), false),
         // Updates mutate the graph, so they bypass the result cache entirely
@@ -573,7 +797,7 @@ fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
 }
 
 fn ping_response(state: &ServerState, req: &Request) -> Response {
-    let cache_len = state.cache.lock().expect("cache lock").len();
+    let cache_len = state.cache().len();
     let stats = state.stats.snapshot(cache_len);
     let prepared = state.snapshot();
     let g = prepared.graph();
@@ -638,7 +862,28 @@ fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Resp
 
     // One update at a time: apply → prepare → swap → re-key is atomic with
     // respect to other updates. Readers keep using their snapshots.
-    let _updating = state.update_lock.lock().expect("update lock");
+    let _updating = unpoison(state.update_lock.lock());
+
+    // Durability first: the delta is checksummed and fsync'd to the WAL
+    // *before* it is applied, so a daemon killed at any later point replays
+    // it on restart and an acknowledged update is never lost. If the append
+    // fails the update is refused outright — the WAL must never lag the
+    // in-memory graph. (The converse — a logged delta whose in-process apply
+    // then fails — is surfaced as an error here and healed by the next
+    // restart's replay: the log is the durable source of truth.)
+    let wal_offset = match state.settings.wal.as_ref() {
+        Some(wal) => match unpoison(wal.lock()).append(&delta) {
+            Ok(offset) => Some(offset),
+            Err(e) => {
+                return Response::failure(
+                    req.id.clone(),
+                    format!("WAL append failed; update not applied: {e}"),
+                )
+            }
+        },
+        None => None,
+    };
+
     let old = state.snapshot();
     let old_fingerprint = old.fingerprint();
     let new_graph = delta.apply(old.graph());
@@ -647,7 +892,7 @@ fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Resp
     let core_update = update_core_decomposition(old.cores(), &new_graph);
     let prepared = Arc::new(PreparedGraph::with_cores(new_graph, core_update.cores));
     let new_fingerprint = prepared.fingerprint();
-    *state.prepared.write().expect("prepared lock") = Arc::clone(&prepared);
+    *unpoison(state.prepared.write()) = Arc::clone(&prepared);
 
     // Re-key the cache: only `query` answers fully outside the dirty
     // closure are still valid. Anything else (whole-graph enumerations,
@@ -656,7 +901,7 @@ fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Resp
     let old_prefix = format!("{old_fingerprint:016x}|");
     let new_prefix = format!("{new_fingerprint:016x}|");
     let (invalidated, kept) = {
-        let mut cache = state.cache.lock().expect("cache lock");
+        let mut cache = state.cache();
         let invalidated = cache.retain_rekey(|key, outcome| {
             let rest = key.strip_prefix(old_prefix.as_str())?;
             let unaffected = outcome.cmd == "query"
@@ -675,36 +920,42 @@ fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Resp
         .fetch_add(invalidated, Ordering::Relaxed);
 
     let g = prepared.graph();
+    let mut extra = vec![
+        (
+            "fingerprint".to_string(),
+            Value::Str(format!("{new_fingerprint:016x}")),
+        ),
+        (
+            "previous_fingerprint".to_string(),
+            Value::Str(format!("{old_fingerprint:016x}")),
+        ),
+        (
+            "updates_applied".to_string(),
+            Value::Num(delta.len() as f64),
+        ),
+        ("dirty".to_string(), Value::Num(dirty.len() as f64)),
+        (
+            "core_changed".to_string(),
+            Value::Num(core_update.changed.len() as f64),
+        ),
+        ("vertices".to_string(), Value::Num(g.num_vertices() as f64)),
+        ("edges".to_string(), Value::Num(g.num_edges() as f64)),
+        (
+            "cache_invalidated".to_string(),
+            Value::Num(invalidated as f64),
+        ),
+        ("cache_kept".to_string(), Value::Num(kept as f64)),
+    ];
+    if let Some(offset) = wal_offset {
+        // The durability watermark: the log is fsync'd up to (and including)
+        // this delta at this byte offset.
+        extra.push(("wal_offset".to_string(), Value::Num(offset as f64)));
+    }
     Response {
         id: req.id.clone(),
         ok: true,
         elapsed_ms: arrival.elapsed().as_secs_f64() * 1e3,
-        extra: vec![
-            (
-                "fingerprint".to_string(),
-                Value::Str(format!("{new_fingerprint:016x}")),
-            ),
-            (
-                "previous_fingerprint".to_string(),
-                Value::Str(format!("{old_fingerprint:016x}")),
-            ),
-            (
-                "updates_applied".to_string(),
-                Value::Num(delta.len() as f64),
-            ),
-            ("dirty".to_string(), Value::Num(dirty.len() as f64)),
-            (
-                "core_changed".to_string(),
-                Value::Num(core_update.changed.len() as f64),
-            ),
-            ("vertices".to_string(), Value::Num(g.num_vertices() as f64)),
-            ("edges".to_string(), Value::Num(g.num_edges() as f64)),
-            (
-                "cache_invalidated".to_string(),
-                Value::Num(invalidated as f64),
-            ),
-            ("cache_kept".to_string(), Value::Num(kept as f64)),
-        ],
+        extra,
         ..Response::default()
     }
 }
@@ -724,10 +975,32 @@ fn stringify(e: CliError) -> String {
 }
 
 fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Response {
-    let config = match build_request_config(&req) {
+    let mut config = match build_request_config(&req) {
         Ok(config) => config,
         Err(e) => return Response::failure(req.id, e),
     };
+    // `fault_gate` already vetted the field; only the worker mode reaches
+    // this point. The anchor flows to the DC drivers through the params so
+    // the request exercises the real per-subproblem containment boundary.
+    if let Some(anchor) = req
+        .fault
+        .as_deref()
+        .and_then(|f| f.strip_prefix("panic-worker:"))
+    {
+        match anchor.parse::<u32>() {
+            Ok(v) => config.params.fail_anchor = Some(v),
+            Err(_) => {
+                return Response::failure(
+                    req.id,
+                    format!("bad fault anchor {anchor:?} (expected panic-worker:<vertex>)"),
+                )
+            }
+        }
+    }
+    // Fault requests bypass the cache in both directions: a cached clean
+    // answer must not mask the injected fault, and a faulted answer must
+    // never be served to a clean request.
+    let use_cache = !req.no_cache && req.fault.is_none();
     if req.cmd == "query" && req.vertices.is_empty() {
         return Response::failure(req.id, "`query` needs a non-empty `vertices` list");
     }
@@ -740,8 +1013,8 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
     let prepared = state.snapshot();
     let key = req.cache_key(prepared.fingerprint());
 
-    if !req.no_cache {
-        let hit = state.cache.lock().expect("cache lock").get(&key);
+    if use_cache {
+        let hit = state.cache().get(&key);
         match hit {
             Some(outcome) => {
                 state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -775,6 +1048,21 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
         None => config,
     };
 
+    // Surfaces contained worker panics in the response: the answer is
+    // honest (`best_effort`, never cached — the panicked subproblem's
+    // quasi-cliques may be missing) and the offending anchor is reported.
+    let panic_extras = |stats: &mqce_core::SearchStats, extra: &mut Vec<(String, Value)>| {
+        if stats.subproblem_panics > 0 {
+            extra.push((
+                "contained_panics".to_string(),
+                Value::Num(stats.subproblem_panics as f64),
+            ));
+            if let Some(anchor) = stats.last_panicked_anchor {
+                extra.push(("panicked_anchor".to_string(), Value::Num(anchor as f64)));
+            }
+        }
+    };
+
     let (outcome, best_effort, s2_timed_out) = match req.cmd.as_str() {
         "enumerate" => {
             let threads = crate::resolve_threads(req.threads);
@@ -784,13 +1072,20 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
                 enumerate_mqcs_shared(&prepared, &config)
             };
             let (timed_out, s2_timed_out) = (result.timed_out(), result.s2_timed_out());
+            let contained = result.stats.subproblem_panics;
+            let mut extra = vec![("s2_engine".to_string(), Value::Str(result.s2.to_string()))];
+            panic_extras(&result.stats, &mut extra);
             let outcome = CachedOutcome {
                 cmd: req.cmd.clone(),
                 vertices: Vec::new(),
                 mqcs: result.mqcs,
-                extra: vec![("s2_engine".to_string(), Value::Str(result.s2.to_string()))],
+                extra,
             };
-            (outcome, timed_out || s2_timed_out, s2_timed_out)
+            (
+                outcome,
+                timed_out || s2_timed_out || contained > 0,
+                s2_timed_out,
+            )
         }
         "query" => {
             let result =
@@ -799,16 +1094,19 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
                     Err(e) => return Response::failure(req.id, e.to_string()),
                 };
             let s2_timed_out = result.s2_timed_out;
+            let contained = result.stats.subproblem_panics;
+            let mut extra = vec![(
+                "universe".to_string(),
+                Value::Num(result.universe_size as f64),
+            )];
+            panic_extras(&result.stats, &mut extra);
             let outcome = CachedOutcome {
                 cmd: req.cmd.clone(),
                 vertices: req.vertices.clone(),
                 mqcs: result.mqcs,
-                extra: vec![(
-                    "universe".to_string(),
-                    Value::Num(result.universe_size as f64),
-                )],
+                extra,
             };
-            (outcome, s2_timed_out, s2_timed_out)
+            (outcome, s2_timed_out || contained > 0, s2_timed_out)
         }
         "topk" => {
             let result = match mqce_core::find_largest_mqcs(
@@ -845,12 +1143,8 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
     let best_effort = best_effort || deadline.is_some_and(|d| Instant::now() >= d);
 
     let outcome = Arc::new(outcome);
-    if !req.no_cache && !best_effort && !s2_timed_out {
-        let evicted = state
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&outcome));
+    if use_cache && !best_effort && !s2_timed_out {
+        let evicted = state.cache().insert(key, Arc::clone(&outcome));
         state
             .stats
             .cache_evictions
@@ -897,18 +1191,43 @@ pub(crate) fn cmd_serve<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<()
         "max-inflight",
         "cache-capacity",
         "bench-log",
+        "wal",
+        "fault-injection",
         "quiet",
     ])?;
     parsed.no_extra_positionals(2)?;
     let path = parsed.positional(1, "graph")?;
-    let graph = crate::load_graph(path)?;
+    let mut graph = crate::load_graph(path)?;
+    let quiet = parsed.switch("quiet");
+
+    // Crash recovery: replay the WAL's surviving deltas onto the freshly
+    // loaded graph before serving, so a killed daemon restarts to the exact
+    // post-update state its clients last saw acknowledged.
+    let wal = match parsed.get("wal") {
+        Some(wal_path) => {
+            let (wal, deltas) = WriteAheadLog::open(std::path::Path::new(wal_path))
+                .map_err(|e| CliError::Io(format!("cannot open WAL {wal_path}: {e}")))?;
+            let replayed = deltas.len();
+            for delta in &deltas {
+                graph = delta.apply(&graph);
+            }
+            if !quiet && replayed > 0 {
+                writeln!(out, "wal replay       {replayed} updates from {wal_path}")
+                    .map_err(io_err)?;
+            }
+            Some(Arc::new(Mutex::new(wal)))
+        }
+        None => None,
+    };
+
     let settings = ServeSettings {
         max_inflight: parsed.get_usize("max-inflight", 2)?.max(1),
         cache_capacity: parsed.get_usize("cache-capacity", 128)?,
         bench_log: parsed.get("bench-log").map(PathBuf::from),
         graph_label: path.to_string(),
+        wal,
+        fault_injection: parsed.switch("fault-injection"),
     };
-    let quiet = parsed.switch("quiet");
 
     let summary = if let Some(socket) = parsed.get("socket") {
         #[cfg(unix)]
@@ -966,6 +1285,17 @@ pub(crate) fn cmd_serve<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<()
     Ok(())
 }
 
+/// Reconnect pacing: exponential backoff (10ms doubling to a 640ms ceiling)
+/// with a small deterministic jitter derived from the attempt number by a
+/// hash-multiply, so many clients started by the same supervisor do not
+/// hammer a restarting daemon in lockstep. No clock or RNG involved — the
+/// same attempt always sleeps the same time, which keeps tests reproducible.
+fn retry_backoff(attempt: u32) -> Duration {
+    let base = 10u64 << attempt.min(6);
+    let jitter = (attempt as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56;
+    Duration::from_millis(base + jitter % (base / 2 + 1))
+}
+
 fn connect_with_retry(parsed: &ParsedArgs) -> Result<Stream, CliError> {
     let retry = Duration::from_secs(parsed.get_u64("retry-secs", 0)?);
     let give_up = Instant::now() + retry;
@@ -986,15 +1316,59 @@ fn connect_with_retry(parsed: &ParsedArgs) -> Result<Stream, CliError> {
         let addr = parsed.get("addr").unwrap_or("127.0.0.1:7621");
         TcpStream::connect(addr).map(Stream::Tcp)
     };
+    let mut attempt = 0u32;
     loop {
         match connect() {
             Ok(stream) => return Ok(stream),
             Err(_) if Instant::now() < give_up => {
-                std::thread::sleep(Duration::from_millis(50));
+                let pause = retry_backoff(attempt).min(give_up - Instant::now());
+                attempt += 1;
+                std::thread::sleep(pause);
             }
             Err(e) => return Err(CliError::Io(format!("cannot connect to daemon: {e}"))),
         }
     }
+}
+
+/// One client connection: paired buffered reader/writer over a cloned
+/// stream, so a failed round trip can be retried on a fresh connection.
+struct ClientConn {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+}
+
+impl ClientConn {
+    fn connect(parsed: &ParsedArgs) -> Result<ClientConn, CliError> {
+        let stream = connect_with_retry(parsed)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        Ok(ClientConn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn round_trip(&mut self, line: &str) -> Result<String, CliError> {
+        self.writer.write_all(line.as_bytes()).map_err(io_err)?;
+        self.writer.write_all(b"\n").map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io_err)?;
+        if n == 0 {
+            return Err(CliError::Io(
+                "daemon closed the connection before responding".to_string(),
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Commands that are safe to retry blindly on a transient connection error:
+/// they never mutate daemon state, so running twice equals running once.
+/// `update` and `shutdown` are deliberately absent — a reset after sending
+/// either leaves "did it happen?" genuinely unknown.
+fn is_idempotent(cmd: &str) -> bool {
+    matches!(cmd, "ping" | "enumerate" | "query" | "topk")
 }
 
 /// Parses an `--insert`/`--delete` flag value: a comma-separated list of
@@ -1043,6 +1417,7 @@ fn request_from_flags(parsed: &ParsedArgs, cmd: &str) -> Result<Request, CliErro
         },
         no_cache: parsed.switch("no-cache"),
         sets: parsed.switch("sets"),
+        fault: parsed.get("fault").map(str::to_string),
     })
 }
 
@@ -1072,28 +1447,32 @@ pub(crate) fn cmd_client<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(
         "deadline-ms",
         "no-cache",
         "sets",
+        "fault",
         "shutdown",
     ])?;
     parsed.no_extra_positionals(1)?;
 
-    let stream = connect_with_retry(parsed)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
-    let mut writer = BufWriter::new(stream);
+    let mut conn = ClientConn::connect(parsed)?;
     let mut any_failed = false;
-    let mut exchange = |line: &str, out: &mut W, any_failed: &mut bool| -> Result<(), CliError> {
-        writer.write_all(line.as_bytes()).map_err(io_err)?;
-        writer.write_all(b"\n").map_err(io_err)?;
-        writer.flush().map_err(io_err)?;
-        let mut response = String::new();
-        let n = reader.read_line(&mut response).map_err(io_err)?;
-        if n == 0 {
-            return Err(CliError::Io(
-                "daemon closed the connection before responding".to_string(),
-            ));
-        }
-        let response = response.trim_end();
+    let exchange = |conn: &mut ClientConn,
+                    request: &Request,
+                    out: &mut W,
+                    any_failed: &mut bool|
+     -> Result<(), CliError> {
+        let line = request.to_line();
+        let response = match conn.round_trip(&line) {
+            Ok(response) => response,
+            // A transient reset (daemon restarted, idle connection reaped)
+            // on a read-only command is safe to retry exactly once on a
+            // fresh connection; anything mutating propagates the error.
+            Err(CliError::Io(_)) if is_idempotent(&request.cmd) => {
+                *conn = ClientConn::connect(parsed)?;
+                conn.round_trip(&line)?
+            }
+            Err(e) => return Err(e),
+        };
         writeln!(out, "{response}").map_err(io_err)?;
-        match Response::parse_line(response) {
+        match Response::parse_line(&response) {
             Ok(resp) if !resp.ok => *any_failed = true,
             Ok(_) => {}
             Err(e) => return Err(CliError::Other(format!("unparseable response: {e}"))),
@@ -1110,11 +1489,11 @@ pub(crate) fn cmd_client<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(
             }
             // Validate locally so a typo is caught before it hits the wire.
             let request = Request::parse_line(line).map_err(CliError::Other)?;
-            exchange(&request.to_line(), out, &mut any_failed)?;
+            exchange(&mut conn, &request, out, &mut any_failed)?;
         }
     } else if let Some(cmd) = parsed.get("cmd") {
         let request = request_from_flags(parsed, cmd)?;
-        exchange(&request.to_line(), out, &mut any_failed)?;
+        exchange(&mut conn, &request, out, &mut any_failed)?;
     } else if !parsed.switch("shutdown") {
         return Err(CliError::Params(
             "nothing to send: give --cmd, --requests or --shutdown".to_string(),
@@ -1126,7 +1505,7 @@ pub(crate) fn cmd_client<W: Write>(parsed: &ParsedArgs, out: &mut W) -> Result<(
             cmd: "shutdown".to_string(),
             ..Request::default()
         };
-        exchange(&request.to_line(), out, &mut any_failed)?;
+        exchange(&mut conn, &request, out, &mut any_failed)?;
     }
 
     if any_failed {

@@ -3,6 +3,13 @@
 //! are an order of magnitude faster than the cold run), spent deadlines
 //! return promptly flagged best-effort, and the CLI `serve`/`client`
 //! sub-commands drive the whole loop over a Unix socket.
+//!
+//! The fault-containment half: injected panics (request-handler, lock-held,
+//! and in-worker via `--fault-injection`) leave the daemon serving with
+//! intact cache accounting, oversized request lines are rejected without
+//! harm, a seeded protocol-line fuzzer cannot kill the daemon, and a
+//! SIGKILLed `--wal` daemon restarts to the exact pre-crash fingerprint and
+//! family.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -374,6 +381,442 @@ fn malformed_and_invalid_requests_get_error_responses() {
     shutdown(addr);
     let summary = handle.join().expect("daemon thread");
     assert_eq!(summary.errors, 3);
+}
+
+#[test]
+fn injected_faults_are_contained_and_the_daemon_keeps_serving() {
+    let graph = test_graph(60, 21);
+    let expected = enumerate_mqcs(&graph, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+    let (addr, handle) = start_daemon(
+        graph,
+        ServeSettings {
+            fault_injection: true,
+            ..ServeSettings::default()
+        },
+    );
+    let enumerate = Request {
+        gamma: 0.9,
+        theta: 4,
+        sets: true,
+        ..Request::default()
+    };
+
+    // Warm the cache so the post-fault accounting has something to protect.
+    let cold = roundtrip(addr, &enumerate);
+    assert!(cold.ok && !cold.cached);
+    assert_eq!(cold.mqcs.as_ref(), Some(&expected));
+
+    // A handler panic becomes a typed internal-error response on the same
+    // connection; the daemon keeps serving.
+    for mode in ["panic", "panic-locked"] {
+        let fault = Request {
+            fault: Some(mode.to_string()),
+            ..enumerate.clone()
+        };
+        let response = roundtrip(addr, &fault);
+        assert!(!response.ok, "fault {mode} must produce an error response");
+        assert_eq!(response.extra_str("error_kind"), Some("internal"));
+        assert!(
+            response
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("panicked")),
+            "error should say the handler panicked: {:?}",
+            response.error
+        );
+    }
+
+    // `panic-locked` poisoned the cache mutex while holding it; recovery
+    // clears the cache (never serves a possibly-torn entry), so the warmed
+    // entry is gone — but the daemon answers correctly and re-caches.
+    let after = roundtrip(addr, &enumerate);
+    assert!(after.ok, "error: {:?}", after.error);
+    assert!(
+        !after.cached,
+        "the poisoned cache must have been cleared, not served"
+    );
+    assert_eq!(after.mqcs.as_ref(), Some(&expected));
+    let warm = roundtrip(addr, &enumerate);
+    assert!(
+        warm.ok && warm.cached,
+        "the recovered cache must fill again"
+    );
+
+    // An in-worker panic (inside the DC search) is contained per-subproblem:
+    // the response succeeds, is flagged best-effort, and reports the anchor.
+    // Not every vertex anchors an executing subproblem, so probe until one
+    // panics.
+    let mut contained = None;
+    for v in 0..60u32 {
+        let fault = Request {
+            fault: Some(format!("panic-worker:{v}")),
+            ..enumerate.clone()
+        };
+        let response = roundtrip(addr, &fault);
+        assert!(
+            response.ok,
+            "worker fault must not fail: {:?}",
+            response.error
+        );
+        assert!(
+            !response.cached,
+            "fault requests must bypass the cache entirely"
+        );
+        if response.extra_num("contained_panics").unwrap_or(0.0) >= 1.0 {
+            assert!(response.best_effort, "a lossy answer must be best-effort");
+            assert_eq!(response.extra_num("panicked_anchor"), Some(v as f64));
+            contained = Some(response);
+            break;
+        }
+    }
+    let contained = contained.expect("some vertex anchors an executing subproblem");
+    // The surviving family is a subset of the true one.
+    for set in contained.mqcs.as_deref().unwrap_or(&[]) {
+        assert!(expected.contains(set), "torn output {set:?}");
+    }
+
+    // Cache accounting survived all of it: the cached entry still answers.
+    let still_warm = roundtrip(addr, &enumerate);
+    assert!(still_warm.ok && still_warm.cached);
+    assert_eq!(still_warm.mqcs.as_ref(), Some(&expected));
+
+    shutdown(addr);
+    let summary = handle.join().expect("daemon thread");
+    assert_eq!(summary.errors, 2, "exactly the two injected handler faults");
+    assert!(summary.cache_hits >= 2);
+}
+
+#[test]
+fn fault_requests_are_refused_without_the_flag() {
+    let graph = test_graph(60, 22);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+    let response = roundtrip(
+        addr,
+        &Request {
+            gamma: 0.9,
+            theta: 4,
+            fault: Some("panic".to_string()),
+            ..Request::default()
+        },
+    );
+    assert!(!response.ok);
+    assert!(
+        response
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("fault injection is disabled")),
+        "got: {:?}",
+        response.error
+    );
+    shutdown(addr);
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_and_the_daemon_survives() {
+    let graph = test_graph(60, 23);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+
+    // Slightly over the 1 MiB line cap: small enough to fit in socket
+    // buffers even though the server stops reading mid-line.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let oversized = "x".repeat((1 << 20) + 4096);
+    writer.write_all(oversized.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Response::parse_line(line.trim_end()).expect("parse error response");
+    assert!(!response.ok);
+    assert!(
+        response
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("exceeds")),
+        "got: {:?}",
+        response.error
+    );
+    // The connection is dropped after the refusal…
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+
+    // …but the daemon itself keeps serving fresh connections.
+    let ping = roundtrip(
+        addr,
+        &Request {
+            cmd: "ping".to_string(),
+            ..Request::default()
+        },
+    );
+    assert!(ping.ok);
+
+    shutdown(addr);
+    let summary = handle.join().expect("daemon thread");
+    assert_eq!(summary.errors, 1);
+}
+
+/// Seeded protocol-line fuzz: random garbage and mutated valid requests,
+/// first through `Request::parse_line` under `catch_unwind` (the parser must
+/// never panic), then through a live daemon (every line gets exactly one
+/// well-formed response and the daemon outlives all of it).
+#[test]
+fn protocol_line_fuzz_never_panics_the_parser_or_kills_the_daemon() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let base_lines = [
+        Request {
+            gamma: 0.9,
+            theta: 4,
+            sets: true,
+            ..Request::default()
+        }
+        .to_line(),
+        Request {
+            cmd: "query".to_string(),
+            gamma: 0.85,
+            theta: 3,
+            vertices: vec![0, 1, 2],
+            ..Request::default()
+        }
+        .to_line(),
+        Request {
+            cmd: "update".to_string(),
+            insert: vec![(0, 5)],
+            delete: vec![(1, 2)],
+            ..Request::default()
+        }
+        .to_line(),
+    ];
+    const POOL: &[char] = &[
+        '{', '}', '[', ']', '"', ':', ',', '.', '-', '\\', '0', '7', '9', 'a', 'z', 'µ', '∞', ' ',
+        '\t', 'n', 'e',
+    ];
+    let mutate = |rng: &mut StdRng| -> String {
+        let mut line: Vec<char> = if rng.gen_bool(0.5) {
+            // Mutate a valid request line.
+            base_lines[rng.gen_range(0..base_lines.len())]
+                .chars()
+                .collect()
+        } else {
+            // Pure random garbage.
+            (0..rng.gen_range(0..120))
+                .map(|_| POOL[rng.gen_range(0..POOL.len())])
+                .collect()
+        };
+        for _ in 0..rng.gen_range(1..8) {
+            if line.is_empty() {
+                line.push(POOL[rng.gen_range(0..POOL.len())]);
+                continue;
+            }
+            let at = rng.gen_range(0..line.len());
+            match rng.gen_range(0..4) {
+                0 => line[at] = POOL[rng.gen_range(0..POOL.len())],
+                1 => {
+                    line.insert(at, POOL[rng.gen_range(0..POOL.len())]);
+                }
+                2 => {
+                    line.remove(at);
+                }
+                _ => line.truncate(at),
+            }
+        }
+        let mut line: String = line
+            .into_iter()
+            .filter(|&c| c != '\n' && c != '\r')
+            .collect();
+        // The daemon silently skips whitespace-only lines (no response), so
+        // a blank line would deadlock the one-response-per-line loop below.
+        if line.trim().is_empty() {
+            line.push('{');
+        }
+        line
+    };
+
+    let lines: Vec<String> = (0..400).map(|_| mutate(&mut rng)).collect();
+
+    // Parser half: must return Ok or Err, never unwind.
+    for line in &lines {
+        let parsed = std::panic::catch_unwind(|| Request::parse_line(line));
+        assert!(parsed.is_ok(), "parse_line panicked on {line:?}");
+    }
+
+    // Daemon half: one response per line, daemon survives all of them.
+    let graph = test_graph(60, 24);
+    let (addr, handle) = start_daemon(graph, ServeSettings::default());
+    for chunk in lines.chunks(50) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        for line in chunk {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            assert!(
+                reader.read_line(&mut response).unwrap() > 0,
+                "daemon closed the connection on {line:?}"
+            );
+            Response::parse_line(response.trim_end())
+                .unwrap_or_else(|e| panic!("unparseable response to {line:?}: {e}"));
+        }
+    }
+
+    // A real request still works afterwards.
+    let sane = roundtrip(
+        addr,
+        &Request {
+            gamma: 0.9,
+            theta: 4,
+            ..Request::default()
+        },
+    );
+    assert!(sane.ok, "error: {:?}", sane.error);
+    shutdown(addr);
+    handle.join().expect("daemon thread");
+}
+
+/// SIGKILL the daemon mid-life and restart it with the same `--wal`: the
+/// replayed log must land on the exact pre-crash fingerprint and family.
+#[cfg(unix)]
+#[test]
+fn sigkilled_daemon_recovers_its_state_from_the_wal() {
+    use std::os::unix::net::UnixStream;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("mqce_wal_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("graph.txt");
+    let sock = dir.join("daemon.sock");
+    let wal = dir.join("updates.wal");
+    let _ = std::fs::remove_file(&sock);
+    let _ = std::fs::remove_file(&wal);
+
+    let graph = test_graph(60, 25);
+    mqce_cli::save_graph(&graph, graph_path.to_str().unwrap()).unwrap();
+    let loaded = mqce_cli::load_graph(graph_path.to_str().unwrap()).unwrap();
+
+    let spawn_daemon = || {
+        Command::new(env!("CARGO_BIN_EXE_mqce"))
+            .args([
+                "serve",
+                graph_path.to_str().unwrap(),
+                "--socket",
+                sock.to_str().unwrap(),
+                "--wal",
+                wal.to_str().unwrap(),
+                "--quiet",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon process")
+    };
+    let wait_ready = || {
+        for _ in 0..400 {
+            if UnixStream::connect(&sock).is_ok() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon did not come up on {}", sock.display());
+    };
+    let unix_roundtrip = |request: &Request| -> Response {
+        let stream = UnixStream::connect(&sock).expect("connect to daemon");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        writer
+            .write_all(format!("{}\n", request.to_line()).as_bytes())
+            .expect("send request");
+        writer.flush().expect("flush request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        Response::parse_line(line.trim_end()).expect("parse response")
+    };
+
+    let mut child = spawn_daemon();
+    wait_ready();
+
+    // Two updates, each durably logged before it is applied.
+    let (du, dv) = loaded.edges().next().expect("graph has edges");
+    let non_edges: Vec<(u32, u32)> = (0..loaded.num_vertices() as u32)
+        .flat_map(|u| (0..loaded.num_vertices() as u32).map(move |v| (u, v)))
+        .filter(|&(u, v)| u < v && !loaded.has_edge(u, v))
+        .take(2)
+        .collect();
+    let mut offsets = Vec::new();
+    for (i, batch) in [
+        (vec![non_edges[0]], vec![(du, dv)]),
+        (vec![non_edges[1]], vec![]),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let response = unix_roundtrip(&Request {
+            cmd: "update".to_string(),
+            insert: batch.0.clone(),
+            delete: batch.1.clone(),
+            ..Request::default()
+        });
+        assert!(response.ok, "update {i} failed: {:?}", response.error);
+        let offset = response
+            .extra_num("wal_offset")
+            .expect("update must report its WAL offset");
+        offsets.push(offset);
+    }
+    assert!(offsets[1] > offsets[0], "the WAL must grow monotonically");
+
+    let enumerate = Request {
+        gamma: 0.9,
+        theta: 4,
+        sets: true,
+        ..Request::default()
+    };
+    let ping = Request {
+        cmd: "ping".to_string(),
+        ..Request::default()
+    };
+    let pre_fp = unix_roundtrip(&ping)
+        .extra_str("fingerprint")
+        .expect("ping reports a fingerprint")
+        .to_string();
+    let pre_family = unix_roundtrip(&enumerate).mqcs.expect("sets requested");
+
+    // SIGKILL: no destructors, no socket cleanup, no WAL finalisation.
+    child.kill().expect("kill daemon");
+    child.wait().expect("reap daemon");
+    let _ = std::fs::remove_file(&sock);
+
+    let mut child = spawn_daemon();
+    wait_ready();
+    let post_fp = unix_roundtrip(&ping)
+        .extra_str("fingerprint")
+        .expect("ping reports a fingerprint")
+        .to_string();
+    assert_eq!(post_fp, pre_fp, "WAL replay must restore the fingerprint");
+    let post = unix_roundtrip(&enumerate);
+    assert!(
+        post.ok && !post.cached,
+        "a fresh process has an empty cache"
+    );
+    assert_eq!(
+        post.mqcs.as_ref(),
+        Some(&pre_family),
+        "WAL replay must restore the exact family"
+    );
+
+    assert!(
+        unix_roundtrip(&Request {
+            cmd: "shutdown".to_string(),
+            ..Request::default()
+        })
+        .ok
+    );
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown after recovery");
 }
 
 /// Drives the real CLI sub-commands over a Unix socket: `serve` in a

@@ -57,6 +57,13 @@ pub struct MqceParams {
     /// are still stolen between workers). Only consulted by the parallel
     /// driver; sequential runs ignore it.
     pub steal_granularity: usize,
+    /// Test-only fault injection consumed by the DC drivers: panic inside
+    /// the searcher of the subproblem anchored at this original-graph
+    /// vertex. Exists to prove the per-subproblem `catch_unwind` containment
+    /// boundary (unit tests, the daemon's `--fault-injection` mode); always
+    /// `None` outside those paths.
+    #[doc(hidden)]
+    pub fail_anchor: Option<mqce_graph::VertexId>,
 }
 
 impl MqceParams {
@@ -78,6 +85,7 @@ impl MqceParams {
             theta,
             backend: AdjacencyBackend::default(),
             steal_granularity: DEFAULT_STEAL_GRANULARITY,
+            fail_anchor: None,
         })
     }
 

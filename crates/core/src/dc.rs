@@ -283,29 +283,63 @@ pub(crate) fn solve_subproblem_streaming<'e>(
     };
 
     // ---- lines 7-8: run the searcher with S = {v_i} ----
-    let kernel = sub.adjacency.as_ref();
-    let sub_stats = match inner {
-        InnerAlgorithm::FastQc(branching) => run_fastqc_in(
-            &sub.graph,
-            kernel,
-            &[local_vi],
-            &scratch.cand,
-            params,
-            branching,
-            deadline,
-            None,
-            &mut scratch.search,
-        ),
-        InnerAlgorithm::QuickPlus => run_quickplus_in(
-            &sub.graph,
-            kernel,
-            &[local_vi],
-            &scratch.cand,
-            params,
-            deadline,
-            None,
-            &mut scratch.search,
-        ),
+    //
+    // The searcher runs inside a containment boundary: a panicking
+    // subproblem (a bug, or an injected fault) fails alone instead of
+    // tearing down the whole enumeration — the serve daemon answers many
+    // requests from one process and must outlive any single bad subproblem.
+    // `AssertUnwindSafe` is sound because everything the closure mutates is
+    // discarded wholesale on panic: the search scratch is replaced with a
+    // fresh one and the subproblem's outputs are never extracted (`raw` and
+    // the engine are only touched after the searcher returns), so no torn
+    // state is observable after the catch.
+    let anchor = plan.reduced.to_global[vi as usize];
+    let searched = {
+        let DcScratch {
+            ref mut search,
+            ref cand,
+            ..
+        } = *scratch;
+        let kernel = sub.adjacency.as_ref();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if params.fail_anchor == Some(anchor) {
+                panic!("injected fault: searcher panic at anchor {anchor}");
+            }
+            match inner {
+                InnerAlgorithm::FastQc(branching) => run_fastqc_in(
+                    &sub.graph,
+                    kernel,
+                    &[local_vi],
+                    cand,
+                    params,
+                    branching,
+                    deadline,
+                    None,
+                    search,
+                ),
+                InnerAlgorithm::QuickPlus => run_quickplus_in(
+                    &sub.graph,
+                    kernel,
+                    &[local_vi],
+                    cand,
+                    params,
+                    deadline,
+                    None,
+                    search,
+                ),
+            }
+        }))
+    };
+    let sub_stats = match searched {
+        Ok(sub_stats) => sub_stats,
+        Err(_) => {
+            stats.subproblem_panics += 1;
+            stats.last_panicked_anchor = Some(anchor);
+            // The scratch may hold a half-built search frame; discard it
+            // rather than reuse it (the buffers are rebuilt on first use).
+            scratch.search = SearchScratch::default();
+            return;
+        }
     };
     stats.merge(&sub_stats);
     // Map local → reduced → original ids. Both id maps are sorted ascending,
@@ -1057,5 +1091,62 @@ mod tests {
             None,
         );
         assert!(outcome2.outputs.is_empty());
+    }
+
+    /// Finds an anchor (original-graph id) whose subproblem actually reaches
+    /// the searcher, so an injected fault at that anchor is guaranteed to
+    /// exercise the containment boundary.
+    fn first_executing_anchor(g: &Graph, p: MqceParams, dc: DcConfig) -> VertexId {
+        let plan = prepare_plan(g, p, dc);
+        let mut stats = SearchStats::default();
+        let mut scratch = DcScratch::default();
+        for &vi in &plan.ordering {
+            if let Some((sub, _)) = build_subproblem_in(&plan, vi, p, dc, &mut stats, &mut scratch)
+            {
+                scratch.sub.recycle(sub);
+                return plan.reduced.to_global[vi as usize];
+            }
+        }
+        panic!("no executing subproblem on the test graph");
+    }
+
+    #[test]
+    fn injected_searcher_panic_is_contained_to_its_subproblem() {
+        let g = Graph::paper_figure1();
+        let dc = DcConfig::paper_default();
+        let mut p = params(0.6, 3);
+        let anchor = first_executing_anchor(&g, p, dc);
+        p.fail_anchor = Some(anchor);
+
+        let outcome = run_dc(
+            &g,
+            p,
+            InnerAlgorithm::FastQc(BranchingStrategy::HybridSe),
+            dc,
+            None,
+        );
+        assert_eq!(outcome.stats.subproblem_panics, 1);
+        assert_eq!(outcome.stats.last_panicked_anchor, Some(anchor));
+        assert!(!outcome.stats.timed_out);
+        assert!(outcome.stats.to_string().contains("contained_panics=1"));
+
+        // Every output is still a valid quasi-clique, and the family is
+        // complete except (at most) for sets the panicked anchor was
+        // responsible for discovering.
+        let expected = naive::all_maximal_quasi_cliques(&g, p);
+        for h in &outcome.outputs {
+            assert!(crate::quasiclique::is_quasi_clique(&g, h, p.gamma));
+            assert!(
+                expected.iter().any(|e| h.iter().all(|v| e.contains(v))),
+                "contained run produced a set outside the true family: {h:?}"
+            );
+        }
+        let filtered = filter_maximal(&outcome.outputs);
+        for e in expected.iter().filter(|e| !e.contains(&anchor)) {
+            assert!(
+                filtered.contains(e),
+                "maximal QC {e:?} (not involving the panicked anchor) was lost"
+            );
+        }
     }
 }

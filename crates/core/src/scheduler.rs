@@ -638,28 +638,53 @@ fn execute_branch(
         worker: id,
     };
     let kernel = shared.kernel.as_ref();
-    let stats = match inner {
-        InnerAlgorithm::FastQc(branching) => run_fastqc_in(
-            &shared.graph,
-            kernel,
-            s_init,
-            cand,
-            params,
-            branching,
-            deadline,
-            Some(&sink),
-            search,
-        ),
-        InnerAlgorithm::QuickPlus => run_quickplus_in(
-            &shared.graph,
-            kernel,
-            s_init,
-            cand,
-            params,
-            deadline,
-            Some(&sink),
-            search,
-        ),
+    // Containment boundary: a panicking branch fails alone. `AssertUnwindSafe`
+    // is sound because on panic everything the closure mutated is discarded or
+    // already consistent: the search scratch is replaced wholesale below, the
+    // worker arena and engine are untouched until the searcher returns, and
+    // any branches donated through the sink before the panic are self-contained
+    // tasks already counted in `outstanding` (they run independently of this
+    // branch's fate). `worker_loop` still decrements `outstanding` after this
+    // returns, so containment never hangs the barrier.
+    let anchor = s_init.first().map(|&l| shared.to_orig[l as usize]);
+    let searched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(a) = anchor {
+            if params.fail_anchor == Some(a) {
+                panic!("injected fault: searcher panic at anchor {a}");
+            }
+        }
+        match inner {
+            InnerAlgorithm::FastQc(branching) => run_fastqc_in(
+                &shared.graph,
+                kernel,
+                s_init,
+                cand,
+                params,
+                branching,
+                deadline,
+                Some(&sink),
+                search,
+            ),
+            InnerAlgorithm::QuickPlus => run_quickplus_in(
+                &shared.graph,
+                kernel,
+                s_init,
+                cand,
+                params,
+                deadline,
+                Some(&sink),
+                search,
+            ),
+        }
+    }));
+    let stats = match searched {
+        Ok(stats) => stats,
+        Err(_) => {
+            result.stats.subproblem_panics += 1;
+            result.stats.last_panicked_anchor = anchor;
+            *search = SearchScratch::default();
+            return;
+        }
     };
     result.stats.merge(&stats);
     for i in 0..search.sets.len() {
@@ -888,6 +913,63 @@ mod tests {
                 estimates[i] as u64,
                 stats.dc_vertices_before_pruning - before,
                 "estimate mismatch at anchor {vi}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_contains_injected_searcher_panics() {
+        use crate::dc::DcConfig;
+        let g = mqce_graph::generators::erdos_renyi_gnm(20, 95, 11);
+        let dc = DcConfig::paper_default();
+        let mut params = MqceParams::new(0.85, 3).unwrap();
+        let plan = crate::dc::prepare_plan(&g, params, dc);
+
+        // Find an anchor whose subproblem actually reaches the searcher.
+        let mut scratch = DcScratch::default();
+        let mut probe_stats = SearchStats::default();
+        let anchor = plan
+            .ordering
+            .iter()
+            .find_map(|&vi| {
+                crate::dc::build_subproblem_in(
+                    &plan,
+                    vi,
+                    params,
+                    dc,
+                    &mut probe_stats,
+                    &mut scratch,
+                )
+                .map(|(sub, _)| {
+                    scratch.sub.recycle(sub);
+                    plan.reduced.to_global[vi as usize]
+                })
+            })
+            .expect("no executing subproblem");
+        params.fail_anchor = Some(anchor);
+
+        // The run must complete (no hung barrier), contain the panic(s) —
+        // donated splits of the poisoned subproblem share its anchor and may
+        // re-panic on other workers — and keep every other subproblem's
+        // outputs intact.
+        let (outcome, _) =
+            run_dc_work_stealing(&plan, params, InnerAlgorithm::QuickPlus, dc, 3, None, None);
+        assert!(outcome.stats.subproblem_panics >= 1);
+        assert_eq!(outcome.stats.last_panicked_anchor, Some(anchor));
+        assert!(!outcome.stats.timed_out);
+
+        let expected = naive::all_maximal_quasi_cliques(&g, params);
+        for h in &outcome.outputs {
+            assert!(
+                expected.iter().any(|e| h.iter().all(|v| e.contains(v))),
+                "contained run produced a set outside the true family: {h:?}"
+            );
+        }
+        let filtered = filter_maximal(&outcome.outputs);
+        for e in expected.iter().filter(|e| !e.contains(&anchor)) {
+            assert!(
+                filtered.contains(e),
+                "maximal QC {e:?} (not involving the panicked anchor) was lost"
             );
         }
     }

@@ -42,6 +42,14 @@ pub struct SearchStats {
     /// Tasks (whole subproblems or split tasks) taken from another worker's
     /// deque.
     pub tasks_stolen: u64,
+    /// Subproblem or split-task searches that panicked and were contained
+    /// by the DC drivers' `catch_unwind` boundary. The panicked branch's
+    /// outputs are discarded (the family may be missing its quasi-cliques);
+    /// every other subproblem completes normally. Always 0 unless there is
+    /// a bug or a fault was injected.
+    pub subproblem_panics: u64,
+    /// Original-graph anchor vertex of the most recently contained panic.
+    pub last_panicked_anchor: Option<mqce_graph::VertexId>,
     /// Whether the run stopped early because the time limit was hit.
     pub timed_out: bool,
 }
@@ -65,6 +73,8 @@ impl SearchStats {
         self.split_donated += other.split_donated;
         self.split_executed += other.split_executed;
         self.tasks_stolen += other.tasks_stolen;
+        self.subproblem_panics += other.subproblem_panics;
+        self.last_panicked_anchor = other.last_panicked_anchor.or(self.last_panicked_anchor);
         self.timed_out |= other.timed_out;
     }
 }
@@ -180,6 +190,12 @@ impl std::fmt::Display for SearchStats {
                 " donated={} splits_run={} stolen={}",
                 self.split_donated, self.split_executed, self.tasks_stolen
             )?;
+        }
+        if self.subproblem_panics > 0 {
+            write!(f, " contained_panics={}", self.subproblem_panics)?;
+            if let Some(anchor) = self.last_panicked_anchor {
+                write!(f, "(last_anchor={anchor})")?;
+            }
         }
         if self.timed_out {
             write!(f, " TIMED_OUT")?;

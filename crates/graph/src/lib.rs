@@ -24,6 +24,9 @@
 //!   slack-aware CSR rebuild, dirty two-hop closures, and incremental
 //!   core-decomposition maintenance for the incremental enumeration layer.
 //! * [`edge_list`] — plain-text edge-list parsing and serialisation.
+//! * [`wal`] — an append-only write-ahead log of [`GraphDelta`] batches
+//!   (length-prefixed, checksummed, truncated-tail-tolerant) backing the
+//!   serve daemon's crash recovery.
 //! * [`stats`] — summary statistics matching the columns of Table 1 of the
 //!   paper (|V|, |E|, density, max degree, degeneracy).
 //!
@@ -45,6 +48,7 @@ pub mod ordering;
 pub mod scratch;
 pub mod stats;
 pub mod subgraph;
+pub mod wal;
 
 pub use bitset::{AdjacencyMatrix, BitSet};
 pub use builder::GraphBuilder;
@@ -55,3 +59,4 @@ pub use graph::{Graph, VertexId};
 pub use scratch::SubproblemScratch;
 pub use stats::GraphStats;
 pub use subgraph::InducedSubgraph;
+pub use wal::WriteAheadLog;

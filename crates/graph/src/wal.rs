@@ -1,0 +1,337 @@
+//! Append-only write-ahead log of [`GraphDelta`] batches.
+//!
+//! The `mqce serve` daemon applies edge updates in memory; without a
+//! durability story a crash silently loses every applied delta. This module
+//! gives updates a minimal WAL: each batch is serialised as one
+//! length-prefixed, checksummed record and `fsync`'d *before* the in-memory
+//! apply→swap, so a killed daemon can replay the log on startup and reach
+//! the exact pre-crash graph (same fingerprint, hence same maximal family).
+//!
+//! On-disk format (all integers little-endian):
+//!
+//! ```text
+//! magic  : 8 bytes  b"MQCEWAL1"
+//! record : u32 payload_len | u64 fnv1a64(payload) | payload
+//! payload: u32 n_inserts | n_inserts × (u32 u, u32 v)
+//!          u32 n_deletes | n_deletes × (u32 u, u32 v)
+//! ```
+//!
+//! Recovery is *truncated-tail tolerant*: a crash mid-append leaves a
+//! partial or checksum-broken record at the end of the file; [`open`]
+//! replays every intact prefix record, truncates the torn tail in place and
+//! resumes appending from there. A corrupt *magic* (the file is not a WAL at
+//! all) is an error, never silently overwritten.
+//!
+//! [`open`]: WriteAheadLog::open
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::delta::GraphDelta;
+
+/// File-identifying prefix; bumped if the record format ever changes.
+const MAGIC: &[u8; 8] = b"MQCEWAL1";
+
+/// Hard cap on one record's payload (64 MiB). A length prefix beyond this is
+/// treated as tail corruption rather than honoured as an allocation request.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// FNV-1a 64-bit, the same family as [`Graph::fingerprint`](crate::Graph):
+/// tiny, allocation-free and more than strong enough to catch torn writes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_payload(delta: &GraphDelta) -> Vec<u8> {
+    let inserts = delta.inserts();
+    let deletes = delta.deletes();
+    let mut payload = Vec::with_capacity(8 + 8 * (inserts.len() + deletes.len()));
+    let put_edges = |payload: &mut Vec<u8>, edges: &[(u32, u32)]| {
+        payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for &(u, v) in edges {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    };
+    put_edges(&mut payload, inserts);
+    put_edges(&mut payload, deletes);
+    payload
+}
+
+/// Decodes one payload; `None` on any structural mismatch (wrong count vs
+/// length), which recovery treats exactly like a failed checksum.
+fn decode_payload(payload: &[u8]) -> Option<GraphDelta> {
+    fn take_u32(payload: &[u8], at: &mut usize) -> Option<u32> {
+        let bytes = payload.get(*at..*at + 4)?;
+        *at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+    fn take_edges(payload: &[u8], at: &mut usize) -> Option<Vec<(u32, u32)>> {
+        let n = take_u32(payload, at)? as usize;
+        // The claimed count is bounded by the remaining bytes before any
+        // allocation is sized from it.
+        let mut edges = Vec::with_capacity(n.min(payload.len() / 8 + 1));
+        for _ in 0..n {
+            let u = take_u32(payload, at)?;
+            let v = take_u32(payload, at)?;
+            edges.push((u, v));
+        }
+        Some(edges)
+    }
+    let mut at = 0usize;
+    let inserts = take_edges(payload, &mut at)?;
+    let deletes = take_edges(payload, &mut at)?;
+    if at != payload.len() {
+        return None;
+    }
+    Some(GraphDelta::new(inserts, deletes))
+}
+
+/// An open write-ahead log: an append handle positioned after the last
+/// intact record.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    file: File,
+    /// Bytes of intact log (magic plus whole records); the append position.
+    offset: u64,
+}
+
+impl WriteAheadLog {
+    /// Opens (or creates) the log at `path`, replays every intact record and
+    /// truncates any torn tail left by a crash mid-append. Returns the open
+    /// log positioned for appending plus the replayed deltas in append
+    /// order — apply them to the graph the daemon originally loaded to reach
+    /// the exact pre-crash state.
+    pub fn open(path: &Path) -> std::io::Result<(WriteAheadLog, Vec<GraphDelta>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            return Ok((
+                WriteAheadLog {
+                    file,
+                    offset: MAGIC.len() as u64,
+                },
+                Vec::new(),
+            ));
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not an mqce WAL (bad magic)", path.display()),
+            ));
+        }
+
+        let mut deltas = Vec::new();
+        let mut good = MAGIC.len();
+        loop {
+            let rest = &bytes[good..];
+            if rest.is_empty() {
+                break;
+            }
+            // Partial header, oversized length, short payload or a checksum
+            // mismatch all mean the same thing: the tail is torn. Keep the
+            // intact prefix and cut the rest.
+            let Some(header) = rest.get(..12) else { break };
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+            let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+            if len > MAX_PAYLOAD {
+                break;
+            }
+            let Some(payload) = rest.get(12..12 + len as usize) else {
+                break;
+            };
+            if fnv1a64(payload) != sum {
+                break;
+            }
+            let Some(delta) = decode_payload(payload) else {
+                break;
+            };
+            deltas.push(delta);
+            good += 12 + len as usize;
+        }
+        if good < bytes.len() {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        Ok((
+            WriteAheadLog {
+                file,
+                offset: good as u64,
+            },
+            deltas,
+        ))
+    }
+
+    /// Appends one delta as a checksummed record and `fsync`s it. Returns the
+    /// log offset *after* the record — the durability watermark reported in
+    /// `update` responses. The caller must append **before** applying the
+    /// delta in memory, so a crash between the two replays the delta rather
+    /// than losing it.
+    pub fn append(&mut self, delta: &GraphDelta) -> std::io::Result<u64> {
+        let payload = encode_payload(delta);
+        let mut record = Vec::with_capacity(12 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        self.offset += record.len() as u64;
+        Ok(self.offset)
+    }
+
+    /// Bytes of intact log: the position the next record will be written at.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mqce_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_replays_appended_deltas_in_order() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let d1 = GraphDelta::new(vec![(0, 1), (1, 2)], vec![]);
+        let d2 = GraphDelta::new(vec![(2, 3)], vec![(0, 1)]);
+        {
+            let (mut wal, replayed) = WriteAheadLog::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            let off1 = wal.append(&d1).unwrap();
+            let off2 = wal.append(&d2).unwrap();
+            assert!(off2 > off1);
+            assert_eq!(wal.offset(), off2);
+        }
+        let (wal, replayed) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].inserts(), d1.inserts());
+        assert_eq!(replayed[0].deletes(), d1.deletes());
+        assert_eq!(replayed[1].inserts(), d2.inserts());
+        assert_eq!(replayed[1].deletes(), d2.deletes());
+
+        // Replaying onto the base graph reaches the same fingerprint as
+        // applying the deltas directly.
+        let base = Graph::from_edges(4, &[(0, 3)]);
+        let direct = d2.apply(&d1.apply(&base));
+        let mut replay = base;
+        for d in &replayed {
+            replay = d.apply(&replay);
+        }
+        assert_eq!(replay.fingerprint(), direct.fingerprint());
+        // The append position survives reopen.
+        assert_eq!(wal.offset(), std::fs::metadata(&path).unwrap().len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let path = temp_path("torn_tail");
+        let _ = std::fs::remove_file(&path);
+        let d1 = GraphDelta::new(vec![(0, 1)], vec![]);
+        let d2 = GraphDelta::new(vec![(5, 9)], vec![]);
+        let intact_len;
+        {
+            let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+            intact_len = wal.append(&d1).unwrap();
+            wal.append(&d2).unwrap();
+        }
+        // Simulate a crash mid-append: cut the second record in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let torn = intact_len + (full - intact_len) / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn)
+            .unwrap();
+
+        let (mut wal, replayed) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "only the intact prefix replays");
+        assert_eq!(replayed[0].inserts(), d1.inserts());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+
+        // The log keeps working after recovery.
+        wal.append(&d2).unwrap();
+        let (_, replayed) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].inserts(), d2.inserts());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_the_log_at_the_bad_record() {
+        let path = temp_path("bad_sum");
+        let _ = std::fs::remove_file(&path);
+        let keep_len;
+        {
+            let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+            keep_len = wal.append(&GraphDelta::new(vec![(0, 1)], vec![])).unwrap();
+            wal.append(&GraphDelta::new(vec![(2, 3)], vec![])).unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = keep_len as usize + 12;
+        bytes[target] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replayed) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep_len);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_non_wal_file_is_rejected_not_overwritten() {
+        let path = temp_path("not_a_wal");
+        std::fs::write(&path, b"0 1\n1 2\n").unwrap();
+        let err = WriteAheadLog::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The file is untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), b"0 1\n1 2\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_deltas_and_large_batches_roundtrip() {
+        let path = temp_path("shapes");
+        let _ = std::fs::remove_file(&path);
+        let empty = GraphDelta::new(vec![], vec![]);
+        let big_edges: Vec<(u32, u32)> = (0..500u32).map(|i| (i, i + 1)).collect();
+        let big = GraphDelta::new(big_edges.clone(), big_edges[..7].to_vec());
+        {
+            let (mut wal, _) = WriteAheadLog::open(&path).unwrap();
+            wal.append(&empty).unwrap();
+            wal.append(&big).unwrap();
+        }
+        let (_, replayed) = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert!(replayed[0].is_empty());
+        assert_eq!(replayed[1].inserts(), big.inserts());
+        assert_eq!(replayed[1].deletes(), big.deletes());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mqce_bench::datasets::{collab, email, SuiteScale};
 use mqce_core::kernel::{expand_kernels, KernelConfig};
 use mqce_core::query::find_mqcs_containing;
-use mqce_core::{enumerate_mqcs, find_largest_mqcs, MqceConfig};
+use mqce_core::{find_largest_mqcs, MqceConfig, Session};
 
 fn bench_query_vs_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_query_vs_full");
@@ -31,8 +31,9 @@ fn bench_query_vs_full(c: &mut Criterion) {
             BenchmarkId::new("full-then-filter", dataset.name),
             &dataset.graph,
             |b, g| {
+                let session = Session::open(g.clone()).config(config);
                 b.iter(|| {
-                    let all = enumerate_mqcs(g, &config);
+                    let all = session.run();
                     all.mqcs.iter().filter(|m| m.contains(&hub)).count()
                 })
             },

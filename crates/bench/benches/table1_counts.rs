@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mqce_bench::datasets::{standard_suite, SuiteScale};
-use mqce_core::{enumerate_mqcs, Algorithm, MqceConfig};
+use mqce_core::{Algorithm, MqceConfig, Session};
 use mqce_graph::GraphStats;
 
 fn bench_table1(c: &mut Criterion) {
@@ -37,8 +37,9 @@ fn bench_table1(c: &mut Criterion) {
             BenchmarkId::new("mqc_counts", dataset.name),
             &dataset.graph,
             |b, g| {
+                let session = Session::open(g.clone()).config(config);
                 b.iter(|| {
-                    let result = enumerate_mqcs(g, &config);
+                    let result = session.run();
                     (result.mqcs.len(), result.qcs.len(), result.mqc_size_stats())
                 })
             },

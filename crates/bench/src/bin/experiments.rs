@@ -6,7 +6,7 @@
 //!
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10a`, `fig10b`,
 //! `fig11`, `fig12`, `maxround`, `shrink`, `s2`, `quick`, `s2-stress`,
-//! `s2-calibrate`, `threads`, `alloc-gate`, `updates`, `all`.
+//! `s2-calibrate`, `threads`, `alloc-gate`, `updates`, `shards`, `all`.
 //!
 //! `quick` is the backend-comparison profile (bitset kernel vs sorted
 //! slices); it writes `BENCH_mqce.json` by default so the CI bench-smoke
@@ -36,7 +36,7 @@ use mqce_bench::runner::{append_json, save_json, RunRecord};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|updates|fuzz|all> \
+        "usage: experiments <table1|fig7|fig8|fig9|fig10a|fig10b|fig11|fig12|maxround|shrink|s2|quick|s2-stress|s2-calibrate|threads|alloc-gate|updates|shards|fuzz|all> \
          [--quick] [--time-limit <seconds>] [--json <path>] \
          [--s2-backend <inverted|bitset|extremal>] [--emit <path>] \
          [--fuzz-iters <n>] [--seed <n>] [--fixture-dir <dir>] [--replay <fixture>]"
@@ -199,7 +199,7 @@ fn main() {
     // accumulate them into a single BENCH_mqce.json.
     let perf_profile = matches!(
         experiment.as_str(),
-        "quick" | "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates"
+        "quick" | "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates" | "shards"
     );
     if perf_profile {
         if !time_limit_set {
@@ -235,6 +235,7 @@ fn main() {
         "threads" => experiments::thread_sweep(opts),
         "alloc-gate" => experiments::alloc_gate(opts),
         "updates" => experiments::updates(opts),
+        "shards" => experiments::shards(opts),
         "all" => experiments::run_all(opts),
         _ => usage(),
     };
@@ -242,7 +243,7 @@ fn main() {
     if let Some(path) = json_path {
         if matches!(
             experiment.as_str(),
-            "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates"
+            "s2-stress" | "s2-calibrate" | "threads" | "alloc-gate" | "updates" | "shards"
         ) {
             append_json(&path, &records).expect("append JSON results");
             println!("\nappended {} records to {}", records.len(), path.display());

@@ -24,8 +24,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use mqce_core::{
-    enumerate_mqcs, enumerate_mqcs_parallel_with, AdjacencyBackend, Algorithm, IncrementalSession,
-    MqceConfig, ParallelScheduler, S2Backend,
+    AdjacencyBackend, Algorithm, IncrementalSession, MqceConfig, ParallelScheduler, S2Backend,
+    Session,
 };
 use mqce_graph::{Graph, GraphDelta, WriteAheadLog};
 use rand::rngs::StdRng;
@@ -192,7 +192,9 @@ fn run_case(case: &FuzzCase, checks: &mut u64, contained: &mut u64) -> Vec<(Stri
         }
     };
 
-    let oracle = enumerate_mqcs(&g, &base.with_algorithm(Algorithm::Naive));
+    let oracle = Session::open(g.clone())
+        .config(base.with_algorithm(Algorithm::Naive))
+        .run();
     *checks += 1;
 
     // --- production grid vs the oracle ------------------------------------
@@ -219,7 +221,7 @@ fn run_case(case: &FuzzCase, checks: &mut u64, contained: &mut u64) -> Vec<(Stri
                 .with_algorithm(algorithm)
                 .with_backend(backend)
                 .with_s2_backend(s2);
-            let result = enumerate_mqcs(&g, &config);
+            let result = Session::open(g.clone()).config(config).run();
             *checks += 1;
             if result.mqcs != oracle.mqcs {
                 failures.push((
@@ -246,7 +248,11 @@ fn run_case(case: &FuzzCase, checks: &mut u64, contained: &mut u64) -> Vec<(Stri
         let config = base
             .with_backend(backends[(case.index + si) % backends.len()])
             .with_s2_backend(s2s[(case.index + si) % s2s.len()]);
-        let result = enumerate_mqcs_parallel_with(&g, &config, 3, scheduler);
+        let result = Session::open(g.clone())
+            .config(config)
+            .threads(3)
+            .scheduler(scheduler)
+            .run();
         *checks += 1;
         if result.mqcs != oracle.mqcs {
             failures.push((
@@ -264,8 +270,9 @@ fn run_case(case: &FuzzCase, checks: &mut u64, contained: &mut u64) -> Vec<(Stri
     if case.n > 0 {
         let mut config = base;
         config.params.fail_anchor = Some((case.index % case.n) as u32);
-        let caught =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| enumerate_mqcs(&g, &config)));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Session::open(g.clone()).config(config).run()
+        }));
         *checks += 1;
         match caught {
             Err(_) => failures.push((
@@ -313,7 +320,7 @@ fn run_case(case: &FuzzCase, checks: &mut u64, contained: &mut u64) -> Vec<(Stri
         }
         session.update(delta);
         current = delta.apply(&current);
-        let full = enumerate_mqcs(&current, &inc_config);
+        let full = Session::open(current.clone()).config(inc_config).run();
         *checks += 1;
         if session.family() != full.mqcs.as_slice() {
             failures.push((

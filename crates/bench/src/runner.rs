@@ -4,8 +4,8 @@
 use std::time::Duration;
 
 use mqce_core::{
-    enumerate_mqcs, enumerate_mqcs_parallel_with, AdjacencyBackend, Algorithm, BranchingStrategy,
-    MqceConfig, ParallelScheduler, SearchStats, ThreadStats,
+    AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, ParallelScheduler, SearchStats,
+    Session, ThreadStats,
 };
 use mqce_graph::Graph;
 use serde::{Deserialize, Serialize};
@@ -159,6 +159,20 @@ pub struct RunRecord {
     /// caveat as `alloc_count`).
     #[serde(default)]
     pub peak_alloc_bytes: u64,
+    /// Worker processes used by the sharded coordinator (0 for ordinary
+    /// single-process runs). `default` so pre-sharding files still parse.
+    #[serde(default)]
+    pub shards: usize,
+    /// Per-shard wall-clock milliseconds (worker spawn + handshake + DC run +
+    /// result decode), one entry per shard, empty for single-process runs.
+    /// `default` as above.
+    #[serde(default)]
+    pub shard_millis: Vec<f64>,
+    /// Wall-clock milliseconds the coordinator spent merging the per-shard
+    /// families through the frontier-restricted maximality engine — the
+    /// sharding overhead that does not parallelise. `default` as above.
+    #[serde(default)]
+    pub merge_millis: f64,
     /// Raw search statistics.
     #[serde(skip)]
     pub stats: SearchStats,
@@ -332,11 +346,11 @@ pub fn measure_threads_with(
     let threads = threads.max(1);
     crate::alloc_stats::reset_peak();
     let alloc_before = crate::alloc_stats::snapshot();
-    let result = if threads > 1 {
-        enumerate_mqcs_parallel_with(g, &config, threads, scheduler)
-    } else {
-        enumerate_mqcs(g, &config)
-    };
+    let result = Session::open(g.clone())
+        .config(config)
+        .threads(threads)
+        .scheduler(scheduler)
+        .run();
     let alloc_after = crate::alloc_stats::snapshot();
     let (mqc_min, mqc_max, mqc_avg) = result.mqc_size_stats().unwrap_or((0, 0, 0.0));
     RunRecord {
@@ -353,6 +367,7 @@ pub fn measure_threads_with(
         s2_predicted_millis: result
             .s2
             .decision
+            .or(result.s2.merge_decision)
             .filter(|d| d.modeled)
             .map(|d| d.predicted_millis.to_vec())
             .unwrap_or_default(),
@@ -378,6 +393,9 @@ pub fn measure_threads_with(
             .alloc_count
             .saturating_sub(alloc_before.alloc_count),
         peak_alloc_bytes: alloc_after.peak_bytes,
+        shards: 0,
+        shard_millis: Vec::new(),
+        merge_millis: 0.0,
         stats: result.stats,
     }
 }

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use mqce_core::{enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, PreparedGraph};
+use mqce_core::{PreparedGraph, Session};
 use mqce_graph::{
     dirty_two_hop_closure, update_core_decomposition, Graph, GraphDelta, SubproblemScratch,
     WriteAheadLog,
@@ -54,7 +54,7 @@ use mqce_graph::{
 use serde::Value;
 
 use crate::args::ParsedArgs;
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::CliError;
 
 /// Daemon configuration (everything except the listening endpoint).
@@ -554,6 +554,9 @@ fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRe
         full_recompute_millis: 0.0,
         alloc_count: 0,
         peak_alloc_bytes: 0,
+        shards: 0,
+        shard_millis: Vec::new(),
+        merge_millis: 0.0,
         stats: Default::default(),
     }
 }
@@ -565,7 +568,7 @@ fn serve_record(label: &str, summary: ServeSummary) -> mqce_bench::runner::RunRe
 const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// One bounded read from a connection.
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete line (without the newline), within the size cap.
     Line(String),
     /// Clean end of stream.
@@ -578,7 +581,10 @@ enum LineRead {
 /// Reads one newline-terminated line without ever buffering more than `max`
 /// bytes of it — the `BufRead::lines` convenience would happily grow its
 /// `String` to the size of whatever a client streams at us.
-fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+pub(crate) fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> std::io::Result<LineRead> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
         let chunk = reader.fill_buf()?;
@@ -764,6 +770,16 @@ fn fault_gate(state: &ServerState, req: &Request) -> Option<Response> {
 
 fn handle_request(state: &ServerState, req: Request) -> (Response, bool) {
     let arrival = Instant::now();
+    // Version negotiation: a stamped request from a peer speaking a
+    // different protocol version is rejected with a typed failure before
+    // any work happens (unstamped requests are accepted for compatibility
+    // with clients that predate the field).
+    if let Some(theirs) = req.version {
+        if theirs != PROTOCOL_VERSION {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return (Response::version_mismatch(req.id, theirs), false);
+        }
+    }
     if let Some(response) = fault_gate(state, &req) {
         return (response, false);
     }
@@ -802,6 +818,10 @@ fn ping_response(state: &ServerState, req: &Request) -> Response {
     let prepared = state.snapshot();
     let g = prepared.graph();
     let extra = vec![
+        (
+            "protocol_version".to_string(),
+            Value::Num(PROTOCOL_VERSION as f64),
+        ),
         (
             "fingerprint".to_string(),
             Value::Str(format!("{:016x}", prepared.fingerprint())),
@@ -960,7 +980,7 @@ fn update_response(state: &ServerState, req: &Request, arrival: Instant) -> Resp
     }
 }
 
-fn build_request_config(req: &Request) -> Result<mqce_core::MqceConfig, String> {
+pub(crate) fn build_request_config(req: &Request) -> Result<mqce_core::MqceConfig, String> {
     let config = mqce_core::MqceConfig::new(req.gamma, req.theta)
         .map_err(|e| e.to_string())?
         .with_algorithm(crate::parse_algorithm(req.algorithm.as_deref()).map_err(stringify)?)
@@ -1066,11 +1086,10 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
     let (outcome, best_effort, s2_timed_out) = match req.cmd.as_str() {
         "enumerate" => {
             let threads = crate::resolve_threads(req.threads);
-            let result = if threads > 1 {
-                enumerate_mqcs_shared_parallel(&prepared, &config, threads)
-            } else {
-                enumerate_mqcs_shared(&prepared, &config)
-            };
+            let result = Session::open_prepared(Arc::clone(&prepared))
+                .config(config)
+                .threads(threads)
+                .run();
             let (timed_out, s2_timed_out) = (result.timed_out(), result.s2_timed_out());
             let contained = result.stats.subproblem_panics;
             let mut extra = vec![("s2_engine".to_string(), Value::Str(result.s2.to_string()))];
@@ -1134,6 +1153,12 @@ fn compute_response(state: &ServerState, req: Request, arrival: Instant) -> Resp
             // still detectable from the clock.
             let expired = deadline.is_some_and(|d| Instant::now() >= d);
             (outcome, expired, false)
+        }
+        "shard_run" => {
+            return Response::failure(
+                req.id,
+                "`shard_run` is answered by `mqce shard-worker` processes, not the daemon",
+            )
         }
         other => return Response::failure(req.id, format!("unknown command {other:?}")),
     };
@@ -1418,6 +1443,7 @@ fn request_from_flags(parsed: &ParsedArgs, cmd: &str) -> Result<Request, CliErro
         no_cache: parsed.switch("no-cache"),
         sets: parsed.switch("sets"),
         fault: parsed.get("fault").map(str::to_string),
+        ..Request::default()
     })
 }
 

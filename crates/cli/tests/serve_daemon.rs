@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use mqce_cli::protocol::{Request, Response};
 use mqce_cli::serve::{serve_tcp, ServeSettings, ServeSummary};
-use mqce_core::{enumerate_mqcs, find_mqcs_containing, MqceConfig};
+use mqce_core::{find_mqcs_containing, MqceConfig, Session};
 use mqce_graph::generators::{community_graph, CommunityGraphParams};
 use mqce_graph::Graph;
 
@@ -76,8 +76,8 @@ fn concurrent_requests_match_the_single_process_pipeline() {
     let graph = test_graph(500, 42);
     let config_a = MqceConfig::new(0.9, 4).unwrap();
     let config_b = MqceConfig::new(0.85, 5).unwrap();
-    let expected_a = enumerate_mqcs(&graph, &config_a).mqcs;
-    let expected_b = enumerate_mqcs(&graph, &config_b).mqcs;
+    let expected_a = Session::open(graph.clone()).config(config_a).run().mqcs;
+    let expected_b = Session::open(graph.clone()).config(config_b).run().mqcs;
     let expected_q = find_mqcs_containing(&graph, &[0, 1], &config_a)
         .expect("query succeeds")
         .mqcs;
@@ -258,7 +258,7 @@ fn updates_rekey_the_cache_and_match_a_fresh_run() {
     let expected_clean = find_mqcs_containing(&graph, &[clean_v], &config)
         .expect("query succeeds")
         .mqcs;
-    let expected_after = enumerate_mqcs(&mutated, &config).mqcs;
+    let expected_after = Session::open(mutated.clone()).config(config).run().mqcs;
 
     let (addr, handle) = start_daemon(graph, ServeSettings::default());
     let query = |v: u32| Request {
@@ -386,7 +386,10 @@ fn malformed_and_invalid_requests_get_error_responses() {
 #[test]
 fn injected_faults_are_contained_and_the_daemon_keeps_serving() {
     let graph = test_graph(60, 21);
-    let expected = enumerate_mqcs(&graph, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+    let expected = Session::open(graph.clone())
+        .config(MqceConfig::new(0.9, 4).unwrap())
+        .run()
+        .mqcs;
     let (addr, handle) = start_daemon(
         graph,
         ServeSettings {
@@ -835,7 +838,10 @@ fn cli_serve_and_client_roundtrip_over_unix_socket() {
     // The edge-list roundtrip relabels vertices, so the expectation must
     // come from the file the daemon will load, not the in-memory graph.
     let loaded = mqce_cli::load_graph(graph_path.to_str().unwrap()).unwrap();
-    let expected = enumerate_mqcs(&loaded, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+    let expected = Session::open(loaded.clone())
+        .config(MqceConfig::new(0.9, 4).unwrap())
+        .run()
+        .mqcs;
 
     let argv = |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
     let serve_args = argv(&[
@@ -906,7 +912,10 @@ fn cli_serve_and_client_roundtrip_over_unix_socket() {
     let updated = Response::parse_line(updated.trim()).unwrap();
     assert!(updated.ok, "update failed: {:?}", updated.error);
     let mutated = GraphDelta::new(vec![(iu, iv)], vec![(du, dv)]).apply(&loaded);
-    let expected_after = enumerate_mqcs(&mutated, &MqceConfig::new(0.9, 4).unwrap()).mqcs;
+    let expected_after = Session::open(mutated.clone())
+        .config(MqceConfig::new(0.9, 4).unwrap())
+        .run()
+        .mqcs;
     let after = client(&[
         "--cmd",
         "enumerate",

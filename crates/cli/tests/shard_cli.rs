@@ -1,0 +1,209 @@
+//! End-to-end tests of multi-process sharded enumeration: `mqce enumerate
+//! --shards N` must report exactly the single-process family, a worker
+//! killed mid-run must be retried once and then degrade the run to a
+//! best-effort result (never a hang), and a `mqce shard-worker` process
+//! must reject protocol-version mismatches with a typed error.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use mqce_graph::generators::{community_graph, CommunityGraphParams};
+
+/// Writes a deterministic community graph to an edge-list file under a
+/// fresh per-test temp directory and returns the file path.
+fn graph_file(name: &str, n: usize, communities: usize) -> std::path::PathBuf {
+    let g = community_graph(
+        CommunityGraphParams {
+            n,
+            num_communities: communities,
+            p_intra: 0.9,
+            inter_degree: 1.0,
+        },
+        7,
+    );
+    let dir = std::env::temp_dir().join(format!("mqce_shard_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}.txt"));
+    mqce_cli::save_graph(&g, path.to_str().unwrap()).expect("write edge list");
+    path
+}
+
+/// Runs the mqce binary, asserting it exits successfully, and returns stdout.
+fn run_mqce(args: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_mqce"))
+        .args(args)
+        .output()
+        .expect("run mqce");
+    assert!(
+        output.status.success(),
+        "mqce {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf8 output")
+}
+
+/// The `maximal qcs` count from an enumerate report.
+fn mqc_count(report: &str) -> usize {
+    report
+        .lines()
+        .find_map(|l| l.strip_prefix("maximal qcs"))
+        .expect("report has a `maximal qcs` line")
+        .trim()
+        .parse()
+        .expect("count parses")
+}
+
+#[test]
+fn three_shard_enumeration_matches_single_process() {
+    let path = graph_file("parity", 200, 20);
+    let file = path.to_str().unwrap();
+    let single = run_mqce(&["enumerate", file, "--gamma", "0.9", "--theta", "4"]);
+    let sharded = run_mqce(&[
+        "enumerate",
+        file,
+        "--gamma",
+        "0.9",
+        "--theta",
+        "4",
+        "--shards",
+        "3",
+    ]);
+    assert_eq!(mqc_count(&sharded), mqc_count(&single));
+    assert!(sharded.contains("shards           3"));
+    assert!(sharded.contains("shard 0"));
+    assert!(sharded.contains("shard 2"));
+    assert!(sharded.contains("merge "));
+    assert!(
+        !sharded.contains("WARNING"),
+        "unfaulted sharded run reported best-effort:\n{sharded}"
+    );
+}
+
+#[test]
+fn sharded_sets_are_byte_identical_to_single_process() {
+    let path = graph_file("sets", 150, 15);
+    let file = path.to_str().unwrap();
+    let args = [
+        "enumerate",
+        file,
+        "--gamma",
+        "0.85",
+        "--theta",
+        "4",
+        "--print-sets",
+    ];
+    let single = run_mqce(&args);
+    let sharded = run_mqce(&[&args[..], &["--shards", "4"]].concat());
+    // Everything after the `maximal qcs` line is the family, one set per
+    // line, in canonical order on both paths.
+    let family = |report: &str| -> Vec<String> {
+        report
+            .lines()
+            .skip_while(|l| !l.starts_with("maximal qcs"))
+            .skip(1)
+            .filter(|l| !l.is_empty() && l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .map(str::to_string)
+            .collect()
+    };
+    let (single_sets, sharded_sets) = (family(&single), family(&sharded));
+    assert!(!single_sets.is_empty());
+    assert_eq!(sharded_sets, single_sets);
+}
+
+#[test]
+fn killed_worker_is_retried_once_then_best_effort_not_a_hang() {
+    let path = graph_file("faulted", 120, 12);
+    let file = path.to_str().unwrap();
+    let report = run_mqce(&[
+        "enumerate",
+        file,
+        "--gamma",
+        "0.9",
+        "--theta",
+        "4",
+        "--shards",
+        "3",
+        "--fault-injection",
+        "--fault",
+        "die:1",
+    ]);
+    // The die fault persists across the respawn, so the retry dies too and
+    // the shard is given up rather than hanging the coordinator.
+    assert!(
+        report.contains("retried once, giving up"),
+        "lost shard was not reported as retried-then-abandoned:\n{report}"
+    );
+    assert!(
+        report.contains("WARNING"),
+        "lost shard did not degrade the run to best-effort:\n{report}"
+    );
+    // The surviving shards still produce a (partial) family report.
+    assert!(report.contains("maximal qcs"));
+}
+
+#[test]
+fn coordinator_rejects_fault_flags_without_fault_injection() {
+    let path = graph_file("guard", 60, 6);
+    let file = path.to_str().unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_mqce"))
+        .args([
+            "enumerate",
+            file,
+            "--gamma",
+            "0.9",
+            "--theta",
+            "4",
+            "--shards",
+            "2",
+            "--fault",
+            "die:0",
+        ])
+        .output()
+        .expect("run mqce");
+    assert!(!output.status.success());
+}
+
+#[test]
+fn shard_worker_negotiates_the_protocol_version() {
+    let mut worker = Command::new(env!("CARGO_BIN_EXE_mqce"))
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard worker");
+    let mut stdin = worker.stdin.take().expect("worker stdin");
+    let mut stdout = BufReader::new(worker.stdout.take().expect("worker stdout"));
+    let mut line = String::new();
+
+    // A correctly-stamped ping answers ok and advertises the version.
+    writeln!(stdin, r#"{{"id":"hi","cmd":"ping","version":1}}"#).unwrap();
+    stdin.flush().unwrap();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "ping failed: {line}");
+    assert!(
+        line.contains(r#""protocol_version":1"#),
+        "ping did not advertise the protocol version: {line}"
+    );
+
+    // A mismatched version is rejected with the typed error, not a crash.
+    line.clear();
+    writeln!(stdin, r#"{{"id":"old","cmd":"ping","version":99}}"#).unwrap();
+    stdin.flush().unwrap();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":false"#), "mismatch accepted: {line}");
+    assert!(
+        line.contains(r#""error_kind":"protocol_version""#),
+        "mismatch not typed: {line}"
+    );
+
+    // The worker is still alive and shuts down cleanly on request.
+    line.clear();
+    writeln!(stdin, r#"{{"id":"bye","cmd":"shutdown"}}"#).unwrap();
+    stdin.flush().unwrap();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "shutdown failed: {line}");
+    let status = worker.wait().expect("worker exits");
+    assert!(status.success());
+}

@@ -48,6 +48,7 @@
 //! recompute on random schedules across the γ×θ grid at 1/2/4 threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mqce_graph::delta::{dirty_two_hop_closure, update_core_decomposition, GraphDelta};
 use mqce_graph::subgraph::InducedSubgraph;
@@ -56,9 +57,10 @@ use mqce_settrie::{MaximalityEngine, SetArena};
 
 use crate::config::MqceConfig;
 use crate::dc::{solve_subproblem_streaming, DcPlan, DcScratch};
-use crate::pipeline::{dc_setup, enumerate_mqcs_shared, enumerate_mqcs_shared_parallel, feed_sets};
+use crate::pipeline::{dc_setup, feed_sets};
 use crate::prepared::PreparedGraph;
 use crate::quasiclique::required_degree;
+use crate::session::Session;
 use crate::stats::SearchStats;
 
 /// What a single [`IncrementalSession::update`] did, with the counters the
@@ -91,7 +93,7 @@ pub struct UpdateOutcome {
 /// edge-update batches by re-running only the dirtied DC subproblems. See
 /// the module docs for the invariants and the exactness argument.
 pub struct IncrementalSession {
-    prepared: PreparedGraph,
+    prepared: Arc<PreparedGraph>,
     config: MqceConfig,
     threads: usize,
     /// Session-stable total order over global vertex ids: the degeneracy
@@ -108,7 +110,9 @@ pub struct IncrementalSession {
 }
 
 /// Merges two lexicographically sorted families into one sorted family.
-fn merge_canonical(a: Vec<Vec<VertexId>>, b: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+/// Shared with the shard coordinator, which splices shard-interior sets
+/// around its frontier merge exactly as the incremental update does.
+pub(crate) fn merge_canonical(a: Vec<Vec<VertexId>>, b: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
     if a.is_empty() {
         return b;
     }
@@ -140,18 +144,28 @@ impl IncrementalSession {
     /// seed the family, and freezes the session ordering. `threads` is used
     /// for the seed run and for every subsequent dirty re-run.
     pub fn new(graph: Graph, config: MqceConfig, threads: usize) -> Self {
-        let prepared = PreparedGraph::new(graph);
+        Self::from_prepared(Arc::new(PreparedGraph::new(graph)), config, threads)
+    }
+
+    /// [`IncrementalSession::new`] over an already-prepared graph; used by
+    /// [`Session::update`](crate::session::Session::update) so the batch
+    /// session and its incremental state share one decomposition.
+    pub(crate) fn from_prepared(
+        prepared: Arc<PreparedGraph>,
+        config: MqceConfig,
+        threads: usize,
+    ) -> Self {
         let ordering = prepared.cores().ordering.clone();
         let mut rank = vec![0usize; ordering.len()];
         for (i, &v) in ordering.iter().enumerate() {
             rank[v as usize] = i;
         }
         let threads = threads.max(1);
-        let family = if threads > 1 {
-            enumerate_mqcs_shared_parallel(&prepared, &config, threads).mqcs
-        } else {
-            enumerate_mqcs_shared(&prepared, &config).mqcs
-        };
+        let family = Session::open_prepared(prepared.clone())
+            .config(config)
+            .threads(threads)
+            .run()
+            .mqcs;
         IncrementalSession {
             prepared,
             config,
@@ -166,6 +180,12 @@ impl IncrementalSession {
     /// The prepared graph the session currently holds.
     pub fn prepared(&self) -> &PreparedGraph {
         &self.prepared
+    }
+
+    /// Shared handle to the prepared graph, for re-syncing an outer
+    /// [`Session`](crate::session::Session) after an update.
+    pub(crate) fn prepared_arc(&self) -> Arc<PreparedGraph> {
+        self.prepared.clone()
     }
 
     /// The current maximal family (exactly what a fresh full run on the
@@ -203,15 +223,15 @@ impl IncrementalSession {
             self.ordering.push(v);
         }
 
-        let prepared = PreparedGraph::with_cores(new_graph, core_update.cores);
+        let prepared = Arc::new(PreparedGraph::with_cores(new_graph, core_update.cores));
         let Some((inner, dc)) = dc_setup(&self.config) else {
             // No DC decomposition, no per-anchor dirty set: full recompute.
             self.prepared = prepared;
-            self.family = if self.threads > 1 {
-                enumerate_mqcs_shared_parallel(&self.prepared, &self.config, self.threads).mqcs
-            } else {
-                enumerate_mqcs_shared(&self.prepared, &self.config).mqcs
-            };
+            self.family = Session::open_prepared(self.prepared.clone())
+                .config(self.config)
+                .threads(self.threads)
+                .run()
+                .mqcs;
             return UpdateOutcome {
                 updates_applied: delta.len() as u64,
                 core_changed: core_update.changed.len() as u64,
@@ -376,7 +396,7 @@ impl IncrementalSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::enumerate_mqcs;
+    use crate::pipeline::enumerate_mqcs_inner as enumerate_mqcs;
     use mqce_graph::generators::{community_graph, CommunityGraphParams};
 
     /// Incremental family after each batch must equal a fresh full run on

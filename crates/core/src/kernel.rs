@@ -19,7 +19,7 @@ use std::collections::HashSet;
 use mqce_graph::{Graph, VertexId};
 
 use crate::config::{Algorithm, MqceConfig, ParamError};
-use crate::pipeline::enumerate_mqcs;
+use crate::pipeline::enumerate_mqcs_inner as enumerate_mqcs;
 use crate::quasiclique::is_quasi_clique;
 use crate::verify::find_single_vertex_extension;
 

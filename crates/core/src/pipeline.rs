@@ -199,13 +199,21 @@ pub(crate) fn s2_deadline(deadline: Option<Instant>, limit: Option<Duration>) ->
 /// (already graced) S2 deadline and fills in the S2 statistics. `s2_start`
 /// is when post-S1 S2 work began (feeding or merging included), so the
 /// reported `s2_time` covers everything not overlapped with the search.
-fn finalize(
+///
+/// `merge_phase` says whether `engine` performed a cross-engine merge (the
+/// parallel per-thread merge, the incremental frontier merge, the shard
+/// coordinator merge) rather than the plain per-subproblem streaming pass:
+/// its dispatch audit then lands in [`S2Stats::merge_decision`] instead of
+/// [`S2Stats::decision`], so a merge-phase backend choice never overwrites
+/// (or masquerades as) a per-subproblem one.
+pub(crate) fn finalize(
     outcome: SearchOutcome,
     engine: Box<dyn MaximalityEngine>,
     feed_truncated: bool,
     s2_deadline: Option<Instant>,
     s1_time: Duration,
     s2_start: Instant,
+    merge_phase: bool,
 ) -> MqceResult {
     let sets_streamed = outcome.outputs.len() as u64;
     let sets_retained = engine.live_len() as u64;
@@ -220,6 +228,11 @@ fn finalize(
     let mut qcs = outcome.outputs;
     qcs.sort();
     qcs.dedup();
+    let (decision, merge_decision) = if merge_phase {
+        (None, s2_out.decision)
+    } else {
+        (s2_out.decision, None)
+    };
     MqceResult {
         qcs,
         mqcs: s2_out.mqcs,
@@ -230,7 +243,8 @@ fn finalize(
             sets_streamed,
             sets_retained,
             timed_out: s2_out.timed_out || feed_truncated || deadline_expired,
-            decision: s2_out.decision,
+            decision,
+            merge_decision,
         },
         s1_time,
         s2_time,
@@ -239,7 +253,14 @@ fn finalize(
 
 /// Runs the full MQCE pipeline (S1 + streaming S2) with the given
 /// configuration.
+#[deprecated(note = "use `mqce_core::Session`: `Session::open(g.clone()).config(*config).run()`")]
 pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
+    enumerate_mqcs_inner(g, config)
+}
+
+/// Owning-path pipeline body shared by [`Session`](crate::session::Session)
+/// and the deprecated free-function wrappers.
+pub(crate) fn enumerate_mqcs_inner(g: &Graph, config: &MqceConfig) -> MqceResult {
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let mut engine = config.s2_backend.new_engine_with_model(config.s2_model);
     let s1_start = Instant::now();
@@ -253,7 +274,15 @@ pub fn enumerate_mqcs(g: &Graph, config: &MqceConfig) -> MqceResult {
     if !fed_inline {
         feed_truncated = !feed_sets(engine.as_mut(), &outcome.outputs, s2_dl);
     }
-    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
+    finalize(
+        outcome,
+        engine,
+        feed_truncated,
+        s2_dl,
+        s1_time,
+        s2_start,
+        false,
+    )
 }
 
 /// Which parallel DC driver [`enumerate_mqcs_parallel_with`] dispatches to.
@@ -276,20 +305,35 @@ pub enum ParallelScheduler {
 /// engine; the per-thread engines are merged before the final compaction.
 /// For algorithms without a DC decomposition this falls back to the
 /// sequential solver.
+#[deprecated(
+    note = "use `mqce_core::Session`: `Session::open(g.clone()).config(*config).threads(n).run()`"
+)]
 pub fn enumerate_mqcs_parallel(g: &Graph, config: &MqceConfig, num_threads: usize) -> MqceResult {
-    enumerate_mqcs_parallel_with(g, config, num_threads, ParallelScheduler::WorkStealing)
+    enumerate_mqcs_parallel_with_inner(g, config, num_threads, ParallelScheduler::WorkStealing)
 }
 
 /// [`enumerate_mqcs_parallel`] with an explicit scheduler choice; only the
 /// bench harness should need anything but the default.
+#[deprecated(note = "use `mqce_core::Session` with `.threads(n).scheduler(s)`")]
 pub fn enumerate_mqcs_parallel_with(
     g: &Graph,
     config: &MqceConfig,
     num_threads: usize,
     scheduler: ParallelScheduler,
 ) -> MqceResult {
+    enumerate_mqcs_parallel_with_inner(g, config, num_threads, scheduler)
+}
+
+/// Parallel owning-path pipeline body shared by
+/// [`Session`](crate::session::Session) and the deprecated wrappers.
+pub(crate) fn enumerate_mqcs_parallel_with_inner(
+    g: &Graph,
+    config: &MqceConfig,
+    num_threads: usize,
+    scheduler: ParallelScheduler,
+) -> MqceResult {
     let Some((inner, dc)) = dc_setup(config) else {
-        return enumerate_mqcs(g, config);
+        return enumerate_mqcs_inner(g, config);
     };
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let s1_start = Instant::now();
@@ -326,7 +370,15 @@ pub fn enumerate_mqcs_parallel_with(
             feed_truncated = true;
         }
     }
-    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
+    finalize(
+        outcome,
+        engine,
+        feed_truncated,
+        s2_dl,
+        s1_time,
+        s2_start,
+        true,
+    )
 }
 
 /// Re-entrant variant of [`enumerate_mqcs`] over shared read-only state: the
@@ -336,9 +388,21 @@ pub fn enumerate_mqcs_parallel_with(
 /// family returned is identical to [`enumerate_mqcs`] on the same graph and
 /// configuration. Algorithms without a DC decomposition fall through to the
 /// whole-graph solver (which takes no per-run derived state anyway).
+#[deprecated(
+    note = "use `mqce_core::Session`: `Session::open_prepared(prepared).config(*config).run()`"
+)]
 pub fn enumerate_mqcs_shared(prepared: &PreparedGraph, config: &MqceConfig) -> MqceResult {
+    enumerate_mqcs_shared_inner(prepared, config)
+}
+
+/// Shared-path pipeline body used by [`Session`](crate::session::Session),
+/// the incremental seed, and the deprecated wrapper.
+pub(crate) fn enumerate_mqcs_shared_inner(
+    prepared: &PreparedGraph,
+    config: &MqceConfig,
+) -> MqceResult {
     let Some((inner, dc)) = dc_setup(config) else {
-        return enumerate_mqcs(prepared.graph(), config);
+        return enumerate_mqcs_inner(prepared.graph(), config);
     };
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let mut engine = config.s2_backend.new_engine_with_model(config.s2_model);
@@ -355,22 +419,34 @@ pub fn enumerate_mqcs_shared(prepared: &PreparedGraph, config: &MqceConfig) -> M
     let s1_time = s1_start.elapsed();
     let s2_start = Instant::now();
     let s2_dl = s2_deadline(deadline, config.time_limit);
-    finalize(outcome, engine, false, s2_dl, s1_time, s2_start)
+    finalize(outcome, engine, false, s2_dl, s1_time, s2_start, false)
 }
 
 /// Multi-threaded variant of [`enumerate_mqcs_shared`]: the work-stealing
 /// scheduler runs over a plan derived from the cached decomposition, and the
 /// per-thread engines are merged exactly as in [`enumerate_mqcs_parallel`].
+#[deprecated(note = "use `mqce_core::Session` with `.threads(n)`")]
 pub fn enumerate_mqcs_shared_parallel(
     prepared: &PreparedGraph,
     config: &MqceConfig,
     num_threads: usize,
 ) -> MqceResult {
+    enumerate_mqcs_shared_parallel_inner(prepared, config, num_threads)
+}
+
+/// Parallel shared-path pipeline body used by
+/// [`Session`](crate::session::Session), the incremental seed, and the
+/// deprecated wrapper.
+pub(crate) fn enumerate_mqcs_shared_parallel_inner(
+    prepared: &PreparedGraph,
+    config: &MqceConfig,
+    num_threads: usize,
+) -> MqceResult {
     if num_threads <= 1 {
-        return enumerate_mqcs_shared(prepared, config);
+        return enumerate_mqcs_shared_inner(prepared, config);
     }
     let Some((inner, dc)) = dc_setup(config) else {
-        return enumerate_mqcs(prepared.graph(), config);
+        return enumerate_mqcs_inner(prepared.graph(), config);
     };
     let deadline = config.time_limit.map(|limit| Instant::now() + limit);
     let s1_start = Instant::now();
@@ -400,7 +476,15 @@ pub fn enumerate_mqcs_shared_parallel(
             feed_truncated = true;
         }
     }
-    finalize(outcome, engine, feed_truncated, s2_dl, s1_time, s2_start)
+    finalize(
+        outcome,
+        engine,
+        feed_truncated,
+        s2_dl,
+        s1_time,
+        s2_start,
+        true,
+    )
 }
 
 /// Convenience wrapper: enumerate the maximal γ-quasi-cliques of size ≥ θ
@@ -411,7 +495,7 @@ pub fn enumerate_mqcs_default(
     theta: usize,
 ) -> Result<MqceResult, crate::config::ParamError> {
     let config = MqceConfig::new(gamma, theta)?;
-    Ok(enumerate_mqcs(g, &config))
+    Ok(enumerate_mqcs_inner(g, &config))
 }
 
 /// Parameters bundle re-exported for callers that only run S1.
@@ -420,6 +504,7 @@ pub fn params(gamma: f64, theta: usize) -> Result<MqceParams, crate::config::Par
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests double as coverage for the deprecated wrappers
 mod tests {
     use super::*;
     use crate::config::BranchingStrategy;

@@ -290,7 +290,8 @@ fn two_hop_estimate(plan: &DcPlan, stamp: &mut [u32], tag: u32, vi: mqce_graph::
 
 /// Per-subproblem cost estimates used to seed the deques (the sequential
 /// pass, kept as the `num_threads == 1` case and the differential reference).
-fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
+/// The shard planner reuses it to cost-balance its contiguous rank ranges.
+pub(crate) fn subproblem_estimates(plan: &DcPlan) -> Vec<usize> {
     let mut stamp: Vec<u32> = vec![u32::MAX; plan.reduced.graph.num_vertices()];
     plan.ordering
         .iter()

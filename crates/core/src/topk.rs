@@ -11,7 +11,7 @@
 use mqce_graph::{Graph, VertexId};
 
 use crate::config::{MqceConfig, ParamError};
-use crate::pipeline::enumerate_mqcs;
+use crate::pipeline::enumerate_mqcs_inner as enumerate_mqcs;
 
 /// Result of a top-k search.
 #[derive(Clone, Debug, Default)]

@@ -1,0 +1,315 @@
+//! Serialisable graph slices for multi-process sharded enumeration.
+//!
+//! A [`GraphSlice`] is an induced subgraph plus its local→global vertex-id
+//! map, flattened to a single-line ASCII token stream so the shard
+//! coordinator can embed it in the newline-JSON worker protocol. The
+//! encoding carries the raw CSR arrays (offsets, neighbours) and is
+//! checksummed with the same FNV-1a mix as [`Graph::fingerprint`], so a
+//! truncated or corrupted payload is rejected instead of silently decoding
+//! into a different graph. Decoding validates the CSR invariants for real
+//! (sorted rows, symmetry, in-range ids) — a malicious or buggy peer cannot
+//! smuggle an inconsistent adjacency structure past the debug-only
+//! assertions of the internal constructors.
+
+use crate::graph::{Graph, VertexId};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Magic token leading every encoded slice; bumped if the layout changes.
+const MAGIC: &str = "MQSL1";
+
+/// An induced subgraph slice with its local→global id map, extracted by the
+/// shard coordinator and shipped to worker processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphSlice {
+    /// The slice graph over local ids `0..n`.
+    pub graph: Graph,
+    /// `to_global[local]` = the vertex id in the originating graph; strictly
+    /// increasing, so global→local lookups are a binary search.
+    pub to_global: Vec<VertexId>,
+}
+
+/// Why decoding an encoded slice failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SliceDecodeError {
+    /// The payload does not start with the expected magic token (wrong or
+    /// incompatible encoding).
+    BadMagic,
+    /// A token was missing or not a number.
+    Malformed(&'static str),
+    /// The CSR arrays violate an invariant (unsorted row, asymmetric edge,
+    /// out-of-range id, non-monotone offsets, non-increasing id map).
+    Invalid(&'static str),
+    /// The checksum over the decoded arrays does not match the one carried
+    /// by the payload (truncation or corruption in transit).
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for SliceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceDecodeError::BadMagic => write!(f, "slice payload has wrong magic token"),
+            SliceDecodeError::Malformed(what) => write!(f, "malformed slice payload: {what}"),
+            SliceDecodeError::Invalid(what) => write!(f, "invalid slice structure: {what}"),
+            SliceDecodeError::ChecksumMismatch => write!(f, "slice checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SliceDecodeError {}
+
+/// FNV-1a over the structural content of a slice (vertex count, edge count,
+/// offsets, neighbours, id map).
+fn slice_checksum(offsets: &[usize], neighbors: &[VertexId], to_global: &[VertexId]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    mix(offsets.len() as u64);
+    mix(neighbors.len() as u64);
+    mix(to_global.len() as u64);
+    for &o in offsets {
+        mix(o as u64);
+    }
+    for &v in neighbors {
+        mix(u64::from(v));
+    }
+    for &v in to_global {
+        mix(u64::from(v));
+    }
+    h
+}
+
+impl GraphSlice {
+    /// Wraps an already-extracted induced subgraph and its id map.
+    ///
+    /// `to_global` must be strictly increasing with one entry per slice
+    /// vertex — exactly what [`InducedSubgraph`](crate::subgraph::InducedSubgraph)
+    /// produces.
+    pub fn from_parts(graph: Graph, to_global: Vec<VertexId>) -> Self {
+        debug_assert_eq!(graph.num_vertices(), to_global.len());
+        debug_assert!(to_global.windows(2).all(|w| w[0] < w[1]));
+        GraphSlice { graph, to_global }
+    }
+
+    /// Extracts the subgraph of `g` induced by `vertices` (sorted, deduped
+    /// internally) together with its id map.
+    pub fn induce(g: &Graph, vertices: &[VertexId]) -> Self {
+        let sub = crate::subgraph::InducedSubgraph::new(g, vertices);
+        GraphSlice {
+            graph: sub.graph,
+            to_global: sub.to_global,
+        }
+    }
+
+    /// Number of vertices in the slice.
+    pub fn len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_global.is_empty()
+    }
+
+    /// Local id of a global vertex, if it is in the slice.
+    pub fn local(&self, global: VertexId) -> Option<VertexId> {
+        self.to_global
+            .binary_search(&global)
+            .ok()
+            .map(|i| i as VertexId)
+    }
+
+    /// Flattens the slice to a single-line ASCII token stream:
+    /// `MQSL1 <n> <m> <offsets…> <neighbors…> <to_global…> <checksum-hex>`.
+    /// Contains no newlines, so it embeds directly in a JSON string field of
+    /// the newline-delimited worker protocol.
+    pub fn encode(&self) -> String {
+        let (offsets, neighbors) = self.graph.csr_parts();
+        let n = self.to_global.len();
+        let m = neighbors.len();
+        // Rough capacity: every token ≤ 11 digits plus a separator.
+        let mut out = String::with_capacity(16 + 12 * (offsets.len() + m + n));
+        out.push_str(MAGIC);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push(' ');
+        out.push_str(&m.to_string());
+        for &o in offsets {
+            out.push(' ');
+            out.push_str(&o.to_string());
+        }
+        for &v in neighbors {
+            out.push(' ');
+            out.push_str(&v.to_string());
+        }
+        for &v in &self.to_global {
+            out.push(' ');
+            out.push_str(&v.to_string());
+        }
+        out.push(' ');
+        out.push_str(&format!(
+            "{:016x}",
+            slice_checksum(offsets, neighbors, &self.to_global)
+        ));
+        out
+    }
+
+    /// Parses an [`encode`](GraphSlice::encode)d payload back into a slice,
+    /// fully validating structure and checksum.
+    pub fn decode(text: &str) -> Result<Self, SliceDecodeError> {
+        let mut tokens = text.split_ascii_whitespace();
+        if tokens.next() != Some(MAGIC) {
+            return Err(SliceDecodeError::BadMagic);
+        }
+        let mut next_usize = |what: &'static str| -> Result<usize, SliceDecodeError> {
+            tokens
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or(SliceDecodeError::Malformed(what))
+        };
+        let n = next_usize("vertex count")?;
+        let m = next_usize("edge-slot count")?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            offsets.push(next_usize("offset")?);
+        }
+        let mut neighbors: Vec<VertexId> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let v = next_usize("neighbor")?;
+            if v >= n {
+                return Err(SliceDecodeError::Invalid("neighbor id out of range"));
+            }
+            neighbors.push(v as VertexId);
+        }
+        let mut to_global: Vec<VertexId> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = next_usize("global id")?;
+            if v > u32::MAX as usize {
+                return Err(SliceDecodeError::Invalid("global id overflows u32"));
+            }
+            to_global.push(v as VertexId);
+        }
+        let checksum_text = tokens
+            .next()
+            .ok_or(SliceDecodeError::Malformed("checksum"))?;
+        let checksum = u64::from_str_radix(checksum_text, 16)
+            .map_err(|_| SliceDecodeError::Malformed("checksum"))?;
+        if tokens.next().is_some() {
+            return Err(SliceDecodeError::Malformed("trailing tokens"));
+        }
+
+        if offsets[0] != 0 || offsets[n] != m {
+            return Err(SliceDecodeError::Invalid("offset bounds"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SliceDecodeError::Invalid("offsets not monotone"));
+        }
+        if !to_global.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SliceDecodeError::Invalid("id map not strictly increasing"));
+        }
+        for v in 0..n {
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SliceDecodeError::Invalid("adjacency row not sorted"));
+            }
+            if row.iter().any(|&u| u as usize == v) {
+                return Err(SliceDecodeError::Invalid("self loop"));
+            }
+            for &u in row {
+                let back = &neighbors[offsets[u as usize]..offsets[u as usize + 1]];
+                if back.binary_search(&(v as VertexId)).is_err() {
+                    return Err(SliceDecodeError::Invalid("asymmetric edge"));
+                }
+            }
+        }
+        if slice_checksum(&offsets, &neighbors, &to_global) != checksum {
+            return Err(SliceDecodeError::ChecksumMismatch);
+        }
+        Ok(GraphSlice {
+            graph: Graph::from_csr_parts(offsets, neighbors),
+            to_global,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{community_graph, CommunityGraphParams};
+
+    fn sample_slice() -> GraphSlice {
+        let g = community_graph(
+            CommunityGraphParams {
+                n: 60,
+                num_communities: 5,
+                p_intra: 0.85,
+                inter_degree: 1.5,
+            },
+            11,
+        );
+        let vertices: Vec<VertexId> = (0..60).filter(|v| v % 3 != 0).collect();
+        GraphSlice::induce(&g, &vertices)
+    }
+
+    #[test]
+    fn round_trip_preserves_csr_and_id_map() {
+        let slice = sample_slice();
+        let encoded = slice.encode();
+        assert!(!encoded.contains('\n'));
+        let decoded = GraphSlice::decode(&encoded).unwrap();
+        assert_eq!(decoded, slice);
+        assert_eq!(
+            decoded.graph.fingerprint(),
+            slice.graph.fingerprint(),
+            "CSR content drifted through the round trip"
+        );
+        assert_eq!(decoded.to_global, slice.to_global);
+        // Adjacency is usable after decode.
+        for v in 0..decoded.graph.num_vertices() as VertexId {
+            assert_eq!(decoded.graph.neighbors(v), slice.graph.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn empty_slice_round_trips() {
+        let slice = GraphSlice::induce(&Graph::from_edges(0, &[]), &[]);
+        let decoded = GraphSlice::decode(&slice.encode()).unwrap();
+        assert_eq!(decoded, slice);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let slice = sample_slice();
+        let encoded = slice.encode();
+        // Flip one digit of the checksum.
+        let mut corrupted = encoded.clone();
+        let last = corrupted.pop().unwrap();
+        corrupted.push(if last == '0' { '1' } else { '0' });
+        assert_eq!(
+            GraphSlice::decode(&corrupted),
+            Err(SliceDecodeError::ChecksumMismatch)
+        );
+        // Truncation loses tokens.
+        let truncated = &encoded[..encoded.len() / 2];
+        assert!(GraphSlice::decode(truncated).is_err());
+        // Wrong magic.
+        assert_eq!(
+            GraphSlice::decode("NOPE 0 0 0 0"),
+            Err(SliceDecodeError::BadMagic)
+        );
+        // A payload whose arrays were tampered with (asymmetric edge) fails
+        // validation even when the checksum is recomputed to match.
+        let offsets = vec![0usize, 1, 1];
+        let neighbors = vec![1u32];
+        let to_global = vec![4u32, 9];
+        let checksum = super::slice_checksum(&offsets, &neighbors, &to_global);
+        let forged = format!("MQSL1 2 1 0 1 1 1 4 9 {checksum:016x}");
+        assert_eq!(
+            GraphSlice::decode(&forged),
+            Err(SliceDecodeError::Invalid("asymmetric edge"))
+        );
+    }
+}

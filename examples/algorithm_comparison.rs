@@ -81,7 +81,7 @@ fn main() {
     let mut reference: Option<Vec<Vec<u32>>> = None;
     for (name, config) in configurations {
         let start = Instant::now();
-        let result = enumerate_mqcs(&g, &config);
+        let result = Session::open(g.clone()).config(config).run();
         let elapsed = start.elapsed();
         println!(
             "{:<22} {:>10.1} {:>12} {:>10} {:>8}",

@@ -36,7 +36,7 @@ fn main() {
     let config = MqceConfig::new(gamma, theta)
         .unwrap()
         .with_algorithm(Algorithm::DcFastQc);
-    let result = enumerate_mqcs(&g, &config);
+    let result = Session::open(g.clone()).config(config).run();
 
     println!(
         "\n{} maximal {:.0}%-quasi-cliques with >= {} members",

@@ -47,12 +47,13 @@ fn main() {
     );
 
     // The same call with a different algorithm, for comparison.
-    let quick = enumerate_mqcs(
-        &g,
-        &MqceConfig::new(gamma, theta)
-            .unwrap()
-            .with_algorithm(Algorithm::QuickPlus),
-    );
+    let quick = Session::open(g.clone())
+        .config(
+            MqceConfig::new(gamma, theta)
+                .unwrap()
+                .with_algorithm(Algorithm::QuickPlus),
+        )
+        .run();
     assert_eq!(quick.mqcs, result.mqcs);
     println!(
         "\nQuick+ baseline agrees, but emitted {} candidate QCs vs {} for DCFastQC",

@@ -9,7 +9,9 @@
 //! * [`settrie`] — the set-trie index ([`mqce_settrie`]) used for maximality
 //!   filtering (MQCE-S2);
 //! * [`core`] — the enumeration algorithms ([`mqce_core`]): FastQC, DCFastQC,
-//!   the Quick+ baseline, and the end-to-end pipeline.
+//!   the Quick+ baseline, and the end-to-end pipeline behind the
+//!   [`Session`] builder (plus the in-process sharded driver in
+//!   [`core::shard`]).
 //!
 //! # Example
 //!
@@ -21,7 +23,9 @@
 //!     (0, 1), (0, 2), (1, 2), (2, 3),          // triangle {0,1,2} + bridge
 //!     (3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6),  // 4-clique {3,4,5,6}
 //! ]);
-//! let result = enumerate_mqcs_default(&g, 0.9, 3).unwrap();
+//! let result = Session::open(g)
+//!     .params(MqceParams::new(0.9, 3).unwrap())
+//!     .run();
 //! assert_eq!(result.mqcs, vec![vec![0, 1, 2], vec![3, 4, 5, 6]]);
 //! ```
 
@@ -32,6 +36,8 @@ pub use mqce_core as core;
 pub use mqce_graph as graph;
 pub use mqce_settrie as settrie;
 
+pub use mqce_core::{IncrementalSession, Session};
+
 /// One-stop imports: the graph type, the solver entry points and the
 /// configuration types.
 pub mod prelude {
@@ -40,7 +46,7 @@ pub mod prelude {
     pub use mqce_core::verify::{verify_mqc_set, verify_s1_output};
     pub use mqce_core::{
         find_largest_mqcs, AdjacencyBackend, Algorithm, BranchingStrategy, MqceConfig, MqceParams,
-        MqceResult,
+        MqceResult, Session,
     };
     pub use mqce_graph::{Graph, GraphBuilder, GraphStats, VertexId};
     pub use mqce_settrie::{

@@ -5,6 +5,11 @@
 //! schedules whose later batches delete edges the earlier batches inserted
 //! (the round-trip shape that catches stale retained sets).
 
+// These suites deliberately keep exercising the deprecated free-function
+// entry points: until they are removed they must return exactly what the
+// `Session` builder returns, and this is where that contract is enforced.
+#![allow(deprecated)]
+
 use mqce::core::{enumerate_mqcs, IncrementalSession, MqceConfig};
 use mqce::graph::generators::{community_graph, CommunityGraphParams};
 use mqce::graph::{Graph, GraphDelta};

@@ -1,6 +1,11 @@
 //! Integration tests spanning the whole workspace through the `mqce` facade:
 //! graph generation → MQCE-S1 enumeration → set-trie filtering.
 
+// These suites deliberately keep exercising the deprecated free-function
+// entry points: until they are removed they must return exactly what the
+// `Session` builder returns, and this is where that contract is enforced.
+#![allow(deprecated)]
+
 use mqce::core::naive;
 use mqce::graph::generators::{
     community_graph, erdos_renyi_gnm, planted_quasi_cliques, CommunityGraphParams, PlantedGroup,

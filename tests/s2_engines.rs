@@ -2,6 +2,11 @@
 //! equivalence against the quadratic reference, incremental-vs-batch
 //! equivalence, engine merging, and deadline-aware compaction soundness.
 
+// These suites deliberately keep exercising the deprecated free-function
+// entry points: until they are removed they must return exactly what the
+// `Session` builder returns, and this is where that contract is enforced.
+#![allow(deprecated)]
+
 use std::time::{Duration, Instant};
 
 use mqce::prelude::*;
